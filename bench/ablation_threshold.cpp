@@ -1,0 +1,46 @@
+// Ablation: the write-count Threshold of the hybrid scheme (Section 4.1).
+// Threshold=inf degenerates toward pre-copy behaviour (push everything,
+// repeatedly); Threshold=1 approaches post-copy (push once at most). The
+// sweep shows the trade-off between migration time, wasted push traffic and
+// pull-phase length under IOR.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace hm;
+using namespace hm::bench;
+
+int main() {
+  struct Item {
+    std::uint32_t threshold;
+    const char* label;
+  };
+  const Item thresholds[] = {{1, "1"},      {2, "2"},   {3, "3 (default)"},
+                             {5, "5"},      {10, "10"},
+                             {core::HybridConfig::kUnlimitedThreshold, "inf"}};
+
+  std::vector<cloud::SweepItem> items;
+  for (const Item& it : thresholds) {
+    cloud::ExperimentConfig cfg = ior_config(core::Approach::kHybrid);
+    cfg.approach_cfg.hybrid.threshold = it.threshold;
+    items.push_back({it.label, cfg});
+  }
+  std::cerr << "ablation_threshold: running " << items.size() << " simulations...\n";
+  const auto results = cloud::run_sweep(items);
+
+  cloud::print_banner(std::cout,
+                      "Ablation: hybrid write-count Threshold under IOR (1 migration)");
+  cloud::Table t({"Threshold", "mig time (s)", "storage traffic", "pushed", "pulled",
+                  "write thpt"});
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& r = results[i];
+    const auto& m = r.migrations.at(0);
+    t.add_row({items[i].label, cloud::fmt_double(r.avg_migration_time, 1),
+               cloud::fmt_bytes(storage_traffic(r)),
+               cloud::fmt_double(m.storage_chunks_pushed, 0),
+               cloud::fmt_double(m.storage_chunks_pulled, 0),
+               cloud::fmt_bytes(r.write_Bps) + "/s"});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 3: live migration performance of a single VM (4 GB RAM) running
+// I/O intensive benchmarks (IOR and AsyncWR), migrated once at t=100 s.
+//   (a) migration time          (lower is better)
+//   (b) total network traffic   (lower is better)
+//   (c) normalized average throughput vs the no-migration maximum
+//       (higher is better)
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace hm;
+using namespace hm::bench;
+
+int main() {
+  cloud::print_table1(std::cout);
+
+  // Build the sweep: every approach x {IOR, AsyncWR} + no-migration
+  // baselines for panel (c) normalization.
+  std::vector<cloud::SweepItem> items;
+  for (core::Approach a : kAllApproaches) {
+    items.push_back({std::string("ior/") + core::approach_name(a), ior_config(a)});
+    items.push_back({std::string("awr/") + core::approach_name(a), asyncwr_config(a)});
+  }
+  cloud::ExperimentConfig ior_base = ior_config(core::Approach::kHybrid);
+  ior_base.perform_migrations = false;
+  cloud::ExperimentConfig awr_base = asyncwr_config(core::Approach::kHybrid);
+  awr_base.perform_migrations = false;
+  items.push_back({"ior/baseline", ior_base});
+  items.push_back({"awr/baseline", awr_base});
+
+  std::cerr << "fig3: running " << items.size() << " simulations...\n";
+  const auto results = cloud::run_sweep(items);
+
+  auto find = [&](const std::string& label) -> const ExperimentResult& {
+    for (std::size_t i = 0; i < items.size(); ++i)
+      if (items[i].label == label) return results[i];
+    std::abort();
+  };
+
+  cloud::print_banner(std::cout, "Figure 3(a): Migration time (s, lower is better)");
+  {
+    cloud::Table t({"Approach", "IOR", "AsyncWR"});
+    for (core::Approach a : kAllApproaches) {
+      const auto& ior = find(std::string("ior/") + core::approach_name(a));
+      const auto& awr = find(std::string("awr/") + core::approach_name(a));
+      t.add_row({core::approach_name(a), cloud::fmt_double(ior.avg_migration_time, 1),
+                 cloud::fmt_double(awr.avg_migration_time, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  cloud::print_banner(std::cout, "Figure 3(b): Total network traffic (MB, lower is better)");
+  {
+    cloud::Table t({"Approach", "IOR", "AsyncWR"});
+    for (core::Approach a : kAllApproaches) {
+      const auto& ior = find(std::string("ior/") + core::approach_name(a));
+      const auto& awr = find(std::string("awr/") + core::approach_name(a));
+      t.add_row({core::approach_name(a),
+                 cloud::fmt_double(ior.total_traffic / (1024.0 * 1024), 0),
+                 cloud::fmt_double(awr.total_traffic / (1024.0 * 1024), 0)});
+    }
+    t.print(std::cout);
+  }
+
+  cloud::print_banner(std::cout,
+                      "Figure 3(c): Normalized avg throughput (% of no-migration max, "
+                      "higher is better)");
+  {
+    const auto& ib = find("ior/baseline");
+    const auto& ab = find("awr/baseline");
+    cloud::Table t({"Approach", "IOR-Read", "IOR-Write", "AsyncWR"});
+    for (core::Approach a : kAllApproaches) {
+      const auto& ior = find(std::string("ior/") + core::approach_name(a));
+      const auto& awr = find(std::string("awr/") + core::approach_name(a));
+      t.add_row({core::approach_name(a),
+                 cloud::fmt_pct(ior.read_Bps / ib.read_Bps),
+                 cloud::fmt_pct(ior.write_Bps / ib.write_Bps),
+                 cloud::fmt_pct(awr.write_Bps / ab.write_Bps)});
+    }
+    t.print(std::cout);
+    std::cout << "no-migration maxima: IOR-Read " << cloud::fmt_bytes(ib.read_Bps)
+              << "/s, IOR-Write " << cloud::fmt_bytes(ib.write_Bps)
+              << "/s, AsyncWR " << cloud::fmt_bytes(ab.write_Bps) << "/s\n";
+  }
+
+  cloud::print_banner(std::cout, "Detail: per-migration breakdown");
+  {
+    cloud::Table t({"Run", "mig time", "downtime", "mem rounds", "mem sent", "pushed",
+                    "pulled"});
+    for (core::Approach a : kAllApproaches) {
+      for (const char* wl : {"ior", "awr"}) {
+        const auto& r = find(std::string(wl) + "/" + core::approach_name(a));
+        if (r.migrations.empty()) continue;
+        const auto& m = r.migrations[0];
+        t.add_row({std::string(wl) + "/" + core::approach_name(a),
+                   cloud::fmt_seconds(m.migration_time()),
+                   cloud::fmt_double(m.downtime_s * 1000, 1) + " ms",
+                   std::to_string(m.memory_rounds), cloud::fmt_bytes(m.memory_bytes_sent),
+                   cloud::fmt_double(m.storage_chunks_pushed, 0),
+                   cloud::fmt_double(m.storage_chunks_pulled, 0)});
+      }
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 4: AsyncWR under an increasing number of simultaneous live
+// migrations (30 sources, destinations 1 -> 30).
+//   (a) average migration time per instance (lower is better)
+//   (b) total network traffic               (lower is better)
+//   (c) performance degradation (% of max computational potential lost)
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace hm;
+using namespace hm::bench;
+
+namespace {
+constexpr std::size_t kSources = 30;
+const std::size_t kMigrationCounts[] = {1, 10, 20, 30};
+}  // namespace
+
+int main() {
+  std::vector<cloud::SweepItem> items;
+  for (core::Approach a : kAllApproaches) {
+    for (std::size_t n : kMigrationCounts) {
+      cloud::ExperimentConfig cfg = asyncwr_config(a);
+      cfg.cluster.num_nodes = 70;  // 30 sources + 30 dests + headroom
+      cfg.num_vms = kSources;
+      cfg.num_migrations = n;
+      cfg.num_destinations = n;
+      cfg.migration_interval_s = 0.0;  // simultaneous
+      items.push_back({std::string(core::approach_name(a)) + "/" + std::to_string(n),
+                       cfg});
+    }
+  }
+  // Migration-free baseline for the degradation metric.
+  cloud::ExperimentConfig base = asyncwr_config(core::Approach::kHybrid);
+  base.cluster.num_nodes = 70;
+  base.num_vms = kSources;
+  base.perform_migrations = false;
+  items.push_back({"baseline", base});
+
+  std::cerr << "fig4: running " << items.size() << " simulations...\n";
+  const auto results = cloud::run_sweep(items);
+  auto find = [&](const std::string& label) -> const ExperimentResult& {
+    for (std::size_t i = 0; i < items.size(); ++i)
+      if (items[i].label == label) return results[i];
+    std::abort();
+  };
+  const auto& baseline = find("baseline");
+
+  cloud::print_banner(std::cout,
+                      "Figure 4(a): Avg. migration time / instance (s, lower is better)");
+  {
+    cloud::Table t({"Approach", "1", "10", "20", "30"});
+    for (core::Approach a : kAllApproaches) {
+      std::vector<std::string> row{core::approach_name(a)};
+      for (std::size_t n : kMigrationCounts) {
+        const auto& r = find(std::string(core::approach_name(a)) + "/" + std::to_string(n));
+        row.push_back(cloud::fmt_double(r.avg_migration_time, 1));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  cloud::print_banner(std::cout, "Figure 4(b): Total network traffic (GB, lower is better)");
+  {
+    cloud::Table t({"Approach", "1", "10", "20", "30"});
+    for (core::Approach a : kAllApproaches) {
+      std::vector<std::string> row{core::approach_name(a)};
+      for (std::size_t n : kMigrationCounts) {
+        const auto& r = find(std::string(core::approach_name(a)) + "/" + std::to_string(n));
+        row.push_back(cloud::fmt_double(r.total_traffic / (1024.0 * 1024 * 1024), 2));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  cloud::print_banner(std::cout,
+                      "Figure 4(c): Performance degradation (% of max, lower is better)");
+  {
+    cloud::Table t({"Approach", "1", "10", "20", "30"});
+    for (core::Approach a : kAllApproaches) {
+      std::vector<std::string> row{core::approach_name(a)};
+      for (std::size_t n : kMigrationCounts) {
+        const auto& r = find(std::string(core::approach_name(a)) + "/" + std::to_string(n));
+        row.push_back(cloud::fmt_pct(degradation(r, baseline)));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << "baseline (migration-free) runtime: "
+              << cloud::fmt_seconds(baseline.app_execution_time) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 5: CM1 (64 MPI ranks, one per VM) under an increasing number of
+// successive live migrations initiated 60 s apart.
+//   (a) cumulated migration time                       (lower is better)
+//   (b) network traffic excluding CM1 communication     (lower is better)
+//   (c) increase in application execution time          (lower is better)
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace hm;
+using namespace hm::bench;
+
+namespace {
+const std::size_t kMigrationCounts[] = {1, 3, 5, 7};
+}
+
+int main() {
+  std::vector<cloud::SweepItem> items;
+  for (core::Approach a : kAllApproaches) {
+    for (std::size_t n : kMigrationCounts) {
+      cloud::ExperimentConfig cfg = cm1_config(a);
+      cfg.num_migrations = n;
+      cfg.num_destinations = n;
+      cfg.first_migration_at = 60.0;
+      cfg.migration_interval_s = 60.0;  // successive, one per minute
+      items.push_back({std::string(core::approach_name(a)) + "/" + std::to_string(n),
+                       cfg});
+    }
+  }
+  cloud::ExperimentConfig base = cm1_config(core::Approach::kHybrid);
+  base.perform_migrations = false;
+  items.push_back({"baseline", base});
+
+  std::cerr << "fig5: running " << items.size() << " simulations (64 ranks each)...\n";
+  const auto results = cloud::run_sweep(items);
+  auto find = [&](const std::string& label) -> const ExperimentResult& {
+    for (std::size_t i = 0; i < items.size(); ++i)
+      if (items[i].label == label) return results[i];
+    std::abort();
+  };
+  const auto& baseline = find("baseline");
+
+  cloud::print_banner(std::cout,
+                      "Figure 5(a): Cumulated migration time (s, lower is better)");
+  {
+    cloud::Table t({"Approach", "1", "3", "5", "7"});
+    for (core::Approach a : kAllApproaches) {
+      std::vector<std::string> row{core::approach_name(a)};
+      for (std::size_t n : kMigrationCounts)
+        row.push_back(cloud::fmt_double(
+            find(std::string(core::approach_name(a)) + "/" + std::to_string(n))
+                .total_migration_time,
+            1));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  cloud::print_banner(
+      std::cout, "Figure 5(b): Migration traffic, excl. CM1 comm (GB, lower is better)");
+  {
+    cloud::Table t({"Approach", "1", "3", "5", "7"});
+    for (core::Approach a : kAllApproaches) {
+      std::vector<std::string> row{core::approach_name(a)};
+      for (std::size_t n : kMigrationCounts)
+        row.push_back(cloud::fmt_double(
+            find(std::string(core::approach_name(a)) + "/" + std::to_string(n))
+                    .migration_traffic /
+                (1024.0 * 1024 * 1024),
+            2));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  cloud::print_banner(
+      std::cout, "Figure 5(c): Increase in app execution time (s, lower is better)");
+  {
+    cloud::Table t({"Approach", "1", "3", "5", "7"});
+    for (core::Approach a : kAllApproaches) {
+      std::vector<std::string> row{core::approach_name(a)};
+      for (std::size_t n : kMigrationCounts) {
+        const auto& r =
+            find(std::string(core::approach_name(a)) + "/" + std::to_string(n));
+        row.push_back(
+            cloud::fmt_double(r.app_execution_time - baseline.app_execution_time, 1));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << "baseline (migration-free) CM1 runtime: "
+              << cloud::fmt_seconds(baseline.app_execution_time) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Engine microbenchmarks (google-benchmark): raw DES event throughput,
+// coroutine overhead, water-filling solver scaling, and chunk store ops.
+// These bound how large a scenario the harness can simulate per wall-second.
+#include <benchmark/benchmark.h>
+
+#include "net/flow_network.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "storage/chunk_store.h"
+
+namespace {
+
+using namespace hm;
+
+void BM_EventThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    int count = 0;
+    for (int i = 0; i < n; ++i)
+      s.schedule(static_cast<double>(i) * 1e-6, [&count] { ++count; });
+    s.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+sim::Task ping_pong(sim::Simulator* s, int hops) {
+  for (int i = 0; i < hops; ++i) co_await s->delay(1e-6);
+}
+
+void BM_CoroutineDelayLoop(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.spawn(ping_pong(&s, hops));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_CoroutineDelayLoop)->Arg(1000)->Arg(10000);
+
+sim::Task one_transfer(net::FlowNetwork* net, net::NodeId a, net::NodeId b) {
+  co_await net->transfer(a, b, 1e6, net::TrafficClass::kMemory);
+}
+
+void BM_FlowNetworkChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::FlowNetwork net(s, net::FlowNetworkConfig{8e9, 0.0, 8e9});
+    std::vector<net::NodeId> nodes;
+    for (int i = 0; i < 32; ++i) nodes.push_back(net.add_node(117.5e6));
+    for (int i = 0; i < flows; ++i)
+      s.spawn(one_transfer(&net, nodes[i % 32], nodes[(i + 7) % 32]));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowNetworkChurn)->Arg(64)->Arg(256)->Arg(1024);
+
+sim::Task write_chunks(storage::ChunkStore* store, int n) {
+  for (int i = 0; i < n; ++i)
+    co_await store->write_chunk(static_cast<storage::ChunkId>(i % store->num_chunks()));
+}
+
+void BM_ChunkStoreWrites(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    storage::Disk disk(s, storage::DiskConfig{55e6, 0.0});
+    storage::ChunkStore store(s, disk,
+                              storage::ImageConfig{1 * storage::kGiB,
+                                                   256 * static_cast<std::uint32_t>(1024)});
+    s.spawn(write_chunks(&store, n));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChunkStoreWrites)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Proactive fault tolerance scenario (Section 1): a node is predicted to
+// fail; every VM it hosts must be evacuated as fast as possible. The key
+// metric is the evacuation deadline: the instant the source holds no state
+// the VMs still need (paper metric: migration time = source relinquished).
+#include <iostream>
+
+#include "cloud/experiment.h"
+#include "cloud/report.h"
+#include "cloud/sweep.h"
+
+using namespace hm;
+
+int main() {
+  const std::vector<core::Approach> approaches = {
+      core::Approach::kHybrid, core::Approach::kMirror, core::Approach::kPostcopy,
+      core::Approach::kPrecopy, core::Approach::kPvfsShared};
+
+  std::vector<cloud::SweepItem> items;
+  for (core::Approach a : approaches) {
+    cloud::ExperimentConfig cfg;
+    cfg.approach = a;
+    cfg.workload = cloud::WorkloadKind::kIor;  // worst case: heavy I/O churn
+    cfg.ior.iterations = 6;
+    cfg.ior.file_bytes = 512 * storage::kMiB;
+    cfg.ior.file_offset = 1 * storage::kGiB;
+    cfg.cluster.num_nodes = 12;
+    cfg.num_vms = 1;           // the VM on the failing node
+    cfg.num_migrations = 1;
+    cfg.num_destinations = 1;
+    cfg.first_migration_at = 10.0;  // failure predicted at t=10s
+    cfg.max_sim_time = 3600.0;
+    items.push_back({core::approach_name(a), cfg});
+  }
+
+  std::cout << "Evacuating an I/O intensive VM from a failing host (predicted at "
+               "t=10s)...\n";
+  const auto results = cloud::run_sweep(items);
+
+  cloud::Table t({"Approach", "source relinquished after", "dependency window",
+                  "downtime", "traffic"});
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& r = results[i];
+    const auto& m = r.migrations.at(0);
+    t.add_row({items[i].label, cloud::fmt_seconds(m.migration_time()),
+               cloud::fmt_seconds(m.dependency_window()),
+               cloud::fmt_double(m.downtime_s * 1000, 1) + " ms",
+               cloud::fmt_bytes(r.total_traffic)});
+  }
+  t.print(std::cout);
+  std::cout << "\nIf the node dies before the source is relinquished, the VM is lost —\n"
+               "the exposure is the 'source relinquished after' column. The\n"
+               "'dependency window' shows the pull-based schemes' residual reliance\n"
+               "on the source after control already moved (the safety trade-off the\n"
+               "paper's conclusion debates). Note precopy's long exposure under\n"
+               "write-heavy load despite its zero window.\n";
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "cloud/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hm::cloud {
+
+const char* workload_name(WorkloadKind k) noexcept {
+  switch (k) {
+    case WorkloadKind::kNone: return "none";
+    case WorkloadKind::kIor: return "IOR";
+    case WorkloadKind::kAsyncWr: return "AsyncWR";
+    case WorkloadKind::kCm1: return "CM1";
+  }
+  return "?";
+}
+
+void ExperimentConfig::normalize() {
+  if (workload == WorkloadKind::kCm1) num_vms = static_cast<std::size_t>(cm1.ranks());
+  num_migrations = std::min(num_migrations, num_vms);
+  if (num_destinations == 0) num_destinations = 1;
+  const std::size_t needed = num_vms + num_destinations;
+  if (cluster.num_nodes < needed) cluster.num_nodes = needed;
+  cluster.enable_pvfs = (approach == core::Approach::kPvfsShared);
+  cluster.seed = seed;
+  approach_cfg.approach = approach;
+}
+
+namespace {
+
+sim::Task run_and_signal(workloads::Workload* w, vm::VmInstance* v, sim::WaitGroup* wg) {
+  co_await w->run(*v);
+  wg->done();
+}
+
+sim::Task run_cm1_and_signal(workloads::Cm1Application* app, sim::WaitGroup* wg) {
+  co_await app->run_all();
+  wg->done();
+}
+
+sim::Task migrate_and_signal(Middleware* mw, vm::VmInstance* v, net::NodeId dst,
+                             sim::WaitGroup* wg) {
+  co_await mw->migrate(*v, dst);
+  wg->done();
+}
+
+}  // namespace
+
+ExperimentResult Experiment::run() {
+  // NOTE: the simulator must be declared first (destroyed last) so pending
+  // event closures never outlive it.
+  sim::Simulator simulator;
+  vm::Cluster cluster(simulator, cfg_.cluster);
+  Middleware mw(simulator, cluster, cfg_.approach_cfg);
+
+  const std::size_t n_vms = cfg_.num_vms;
+  std::vector<vm::VmInstance*> vms;
+  vms.reserve(n_vms);
+  for (std::size_t i = 0; i < n_vms; ++i)
+    vms.push_back(&mw.deploy(static_cast<net::NodeId>(i), cfg_.vm));
+
+  // --- workloads -----------------------------------------------------------
+  sim::WaitGroup workload_done(simulator);
+  std::vector<std::unique_ptr<workloads::Workload>> single_vm_workloads;
+  std::unique_ptr<workloads::Cm1Application> cm1_app;
+  double workload_started_at = simulator.now();
+  switch (cfg_.workload) {
+    case WorkloadKind::kNone:
+      break;
+    case WorkloadKind::kIor:
+      for (auto* v : vms) {
+        single_vm_workloads.push_back(std::make_unique<workloads::IorWorkload>(cfg_.ior));
+        workload_done.add();
+        simulator.spawn(run_and_signal(single_vm_workloads.back().get(), v, &workload_done));
+      }
+      break;
+    case WorkloadKind::kAsyncWr:
+      for (auto* v : vms) {
+        single_vm_workloads.push_back(
+            std::make_unique<workloads::AsyncWrWorkload>(cfg_.asyncwr));
+        workload_done.add();
+        simulator.spawn(run_and_signal(single_vm_workloads.back().get(), v, &workload_done));
+      }
+      break;
+    case WorkloadKind::kCm1:
+      cm1_app = std::make_unique<workloads::Cm1Application>(simulator, vms, cfg_.cm1);
+      workload_done.add();
+      simulator.spawn(run_cm1_and_signal(cm1_app.get(), &workload_done));
+      break;
+  }
+
+  // --- migration schedule ---------------------------------------------------
+  sim::WaitGroup migrations_done(simulator);
+  if (cfg_.perform_migrations) {
+    for (std::size_t k = 0; k < cfg_.num_migrations; ++k) {
+      const double at = cfg_.first_migration_at + static_cast<double>(k) *
+                                                      cfg_.migration_interval_s;
+      const net::NodeId dst =
+          static_cast<net::NodeId>(n_vms + (k % cfg_.num_destinations));
+      vm::VmInstance* target = vms[k];
+      migrations_done.add();
+      simulator.schedule(at, [&mw, target, dst, &migrations_done, &simulator] {
+        simulator.spawn(migrate_and_signal(&mw, target, dst, &migrations_done));
+      });
+    }
+  }
+
+  // --- run -------------------------------------------------------------------
+  ExperimentResult res;
+  auto finished = [&] {
+    return workload_done.count() == 0 && migrations_done.count() == 0;
+  };
+  while (!finished()) {
+    if (!simulator.step()) break;
+    if (cfg_.max_sim_time > 0 && simulator.now() > cfg_.max_sim_time) {
+      res.completed = false;
+      break;
+    }
+  }
+
+  // --- collect ----------------------------------------------------------------
+  res.approach = core::approach_name(cfg_.approach);
+  res.workload = workload_name(cfg_.workload);
+  res.sim_duration = simulator.now();
+  res.migrations.assign(mw.metrics().migrations().begin(),
+                        mw.metrics().migrations().end());
+  res.total_migration_time = mw.metrics().total_migration_time();
+  res.avg_migration_time = mw.metrics().avg_migration_time();
+  res.max_downtime = mw.metrics().max_downtime();
+
+  auto& network = cluster.network();
+  for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
+    res.traffic_bytes[i] = network.traffic_bytes(static_cast<net::TrafficClass>(i));
+  res.total_traffic = network.total_traffic_bytes();
+  res.migration_traffic =
+      res.total_traffic - network.traffic_bytes(net::TrafficClass::kAppComm);
+
+  double wtime = 0, rtime = 0;
+  for (auto* v : vms) {
+    const core::IoStats& io = v->io_stats();
+    res.bytes_written += io.bytes_written;
+    res.bytes_read += io.bytes_read;
+    wtime += io.write_time_s;
+    rtime += io.read_time_s;
+    res.cpu_seconds_total += v->cpu_seconds();
+  }
+  res.write_Bps = wtime > 0 ? res.bytes_written / wtime : 0;
+  res.read_Bps = rtime > 0 ? res.bytes_read / rtime : 0;
+
+  switch (cfg_.workload) {
+    case WorkloadKind::kCm1:
+      res.app_execution_time = cm1_app ? cm1_app->execution_time() : 0;
+      break;
+    default:
+      res.app_execution_time = simulator.now() - workload_started_at;
+      break;
+  }
+  return res;
+}
+
+ExperimentResult run_baseline(ExperimentConfig cfg) {
+  cfg.perform_migrations = false;
+  return Experiment(std::move(cfg)).run();
+}
+
+}  // namespace hm::cloud

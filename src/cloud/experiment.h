@@ -1,0 +1,101 @@
+// Experiment harness: wires a cluster, VMs, workloads and a migration
+// schedule into one deterministic simulation and extracts the paper's
+// metrics (migration time, network traffic by class, in-VM throughput,
+// computational potential, application runtime).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/middleware.h"
+#include "core/metrics.h"
+#include "workloads/asyncwr.h"
+#include "workloads/cm1.h"
+#include "workloads/ior.h"
+
+namespace hm::cloud {
+
+enum class WorkloadKind : std::uint8_t { kNone, kIor, kAsyncWr, kCm1 };
+const char* workload_name(WorkloadKind k) noexcept;
+
+struct ExperimentConfig {
+  core::Approach approach = core::Approach::kHybrid;
+  vm::ClusterConfig cluster{};
+  vm::VmConfig vm{};
+  ApproachConfig approach_cfg{};
+
+  WorkloadKind workload = WorkloadKind::kIor;
+  workloads::IorConfig ior{};
+  workloads::AsyncWrConfig asyncwr{};
+  workloads::Cm1Config cm1{};
+
+  /// Number of source VMs (CM1 overrides this with its rank count).
+  std::size_t num_vms = 1;
+  /// Destination nodes available (sources map onto them round-robin).
+  std::size_t num_destinations = 1;
+  /// How many of the sources get migrated.
+  std::size_t num_migrations = 1;
+  double first_migration_at = 100.0;
+  /// Delay between successive migration initiations (0 = simultaneous).
+  double migration_interval_s = 0.0;
+  bool perform_migrations = true;
+
+  /// Hard stop (safety against non-converging runs); 0 = run to completion.
+  double max_sim_time = 0;
+
+  std::uint64_t seed = 42;
+
+  /// Ensure the cluster is large enough for sources + destinations and that
+  /// approach-specific settings (PVFS) are consistent.
+  void normalize();
+};
+
+struct ExperimentResult {
+  std::string approach;
+  std::string workload;
+  double sim_duration = 0;
+  bool completed = true;  // false if the max_sim_time guard hit
+
+  std::vector<core::MigrationRecord> migrations;
+  double total_migration_time = 0;
+  double avg_migration_time = 0;
+  double max_downtime = 0;
+
+  std::array<double, net::kNumTrafficClasses> traffic_bytes{};
+  double total_traffic = 0;
+  /// Total traffic minus application communication (Figure 5(b) subtracts
+  /// CM1's own halo exchange traffic).
+  double migration_traffic = 0;
+
+  // Aggregated over all VMs.
+  double bytes_written = 0, bytes_read = 0;
+  double write_Bps = 0, read_Bps = 0;
+  double cpu_seconds_total = 0;
+  double app_execution_time = 0;  // workload span (CM1: whole application)
+
+  double traffic(net::TrafficClass c) const {
+    return traffic_bytes[static_cast<std::size_t>(c)];
+  }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) { cfg_.normalize(); }
+
+  /// Run the full simulation and collect metrics.
+  ExperimentResult run();
+
+  const ExperimentConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ExperimentConfig cfg_;
+};
+
+/// Convenience: run the identical scenario without migrations (baseline for
+/// normalized throughput / performance degradation figures).
+ExperimentResult run_baseline(ExperimentConfig cfg);
+
+}  // namespace hm::cloud

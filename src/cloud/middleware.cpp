@@ -1,0 +1,85 @@
+#include "cloud/middleware.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hm::cloud {
+
+Middleware::Middleware(sim::Simulator& sim, vm::Cluster& cluster, ApproachConfig cfg)
+    : sim_(sim), cluster_(cluster), cfg_(cfg) {
+  if (cfg_.approach == core::Approach::kPvfsShared && cluster_.pvfs() == nullptr) {
+    throw std::invalid_argument(
+        "pvfs-shared approach requires a cluster with enable_pvfs=true");
+  }
+}
+
+vm::VmInstance& Middleware::deploy(net::NodeId node, vm::VmConfig vm_cfg) {
+  auto slot = std::make_unique<VmSlot>();
+  const int id = next_vm_id_++;
+  storage::BlockBackend* backend = nullptr;
+  if (cfg_.approach == core::Approach::kPvfsShared) {
+    slot->pvfs_backend = std::make_unique<storage::PvfsBackend>(
+        *cluster_.pvfs(), cluster_.config().image, node);
+    // PVFS client I/O burns host CPU on whichever node the VM runs on.
+    slot->pvfs_backend->set_cpu_load_hook(
+        [this](net::NodeId n, double delta) { cluster_.node(n).add_cpu_load(delta); });
+    backend = slot->pvfs_backend.get();
+  } else {
+    slot->mgr = std::make_unique<core::MigrationManager>(sim_, cluster_, node, id);
+    backend = slot->mgr.get();
+  }
+  slot->vm = std::make_unique<vm::VmInstance>(sim_, cluster_, node, id, *backend, vm_cfg);
+  slots_.push_back(std::move(slot));
+  return *slots_.back()->vm;
+}
+
+core::MigrationManager* Middleware::manager_of(const vm::VmInstance& vm) noexcept {
+  for (auto& s : slots_)
+    if (s->vm.get() == &vm) return s->mgr.get();
+  return nullptr;
+}
+
+std::unique_ptr<core::StorageMigrationSession> Middleware::make_session(
+    VmSlot& slot, net::NodeId dst, core::MigrationRecord& rec) {
+  switch (cfg_.approach) {
+    case core::Approach::kHybrid:
+      return std::make_unique<core::HybridSession>(sim_, cluster_, slot.mgr.get(), dst,
+                                                   rec, cfg_.hybrid);
+    case core::Approach::kPostcopy:
+      return core::make_postcopy_session(sim_, cluster_, slot.mgr.get(), dst, rec,
+                                         cfg_.postcopy);
+    case core::Approach::kPrecopy:
+      return std::make_unique<core::PrecopySession>(sim_, cluster_, slot.mgr.get(), dst,
+                                                    rec, cfg_.precopy);
+    case core::Approach::kMirror:
+      return std::make_unique<core::MirrorSession>(sim_, cluster_, slot.mgr.get(), dst,
+                                                   rec, cfg_.mirror);
+    case core::Approach::kPvfsShared:
+      return std::make_unique<core::SharedSession>(sim_, cluster_, *slot.pvfs_backend,
+                                                   dst, rec);
+  }
+  throw std::logic_error("unknown approach");
+}
+
+sim::Task Middleware::migrate(vm::VmInstance& vm, net::NodeId dst) {
+  VmSlot* slot = nullptr;
+  for (auto& s : slots_)
+    if (s->vm.get() == &vm) slot = s.get();
+  assert(slot != nullptr);
+
+  core::MigrationRecord& rec = metrics_.new_migration(vm.id());
+  rec.t_request = sim_.now();
+
+  sessions_.push_back(make_session(*slot, dst, rec));
+  core::StorageMigrationSession& session = *sessions_.back();
+
+  // MIGRATION_REQUEST on the source manager (Algorithm 1), then forward the
+  // request to the hypervisor, which migrates memory independently.
+  if (slot->mgr) slot->mgr->begin_migration(&session);
+  session.start();
+  co_await vm::Hypervisor::live_migrate(sim_, cluster_.network(), vm, dst, session,
+                                        cfg_.hypervisor, rec);
+  if (slot->mgr) slot->mgr->end_migration();
+}
+
+}  // namespace hm::cloud

@@ -1,0 +1,77 @@
+// Cloud middleware (Section 4.2): deploys VM instances from a base image
+// and orchestrates live migrations. It owns the per-VM virtual-disk stack
+// (migration manager or PVFS backend) and, per migration, constructs the
+// storage session for the configured approach, issues MIGRATION_REQUEST to
+// the source manager and drives the hypervisor.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/hybrid_migrator.h"
+#include "core/metrics.h"
+#include "core/migration_manager.h"
+#include "core/mirror_migrator.h"
+#include "core/postcopy_migrator.h"
+#include "core/precopy_migrator.h"
+#include "core/shared_migrator.h"
+#include "vm/hypervisor.h"
+#include "vm/vm_instance.h"
+
+namespace hm::cloud {
+
+struct ApproachConfig {
+  core::Approach approach = core::Approach::kHybrid;
+  core::HybridConfig hybrid{};
+  core::PostcopyConfig postcopy{};
+  core::PrecopyConfig precopy{};
+  core::MirrorConfig mirror{};
+  vm::HypervisorConfig hypervisor{};
+};
+
+class Middleware {
+ public:
+  Middleware(sim::Simulator& sim, vm::Cluster& cluster, ApproachConfig cfg = {});
+  Middleware(const Middleware&) = delete;
+  Middleware& operator=(const Middleware&) = delete;
+
+  /// Deploy a VM on `node`. For the pvfs-shared baseline the virtual disk is
+  /// a qcow2-on-PVFS backend; otherwise a migration manager over local
+  /// storage (backed by the striped repository for base content).
+  vm::VmInstance& deploy(net::NodeId node, vm::VmConfig vm_cfg = {});
+
+  /// Live-migrate `vm` to `dst`; completes when the source is released.
+  sim::Task migrate(vm::VmInstance& vm, net::NodeId dst);
+
+  core::Metrics& metrics() noexcept { return metrics_; }
+  const ApproachConfig& config() const noexcept { return cfg_; }
+  std::size_t vm_count() const noexcept { return slots_.size(); }
+  vm::VmInstance& vm(std::size_t i) noexcept { return *slots_[i]->vm; }
+  core::MigrationManager* manager_of(const vm::VmInstance& vm) noexcept;
+  /// Sessions stay alive for the whole experiment (introspection + safety
+  /// of detached background tasks).
+  const std::vector<std::unique_ptr<core::StorageMigrationSession>>& sessions() const {
+    return sessions_;
+  }
+
+ private:
+  struct VmSlot {
+    std::unique_ptr<core::MigrationManager> mgr;        // local-storage approaches
+    std::unique_ptr<storage::PvfsBackend> pvfs_backend;  // pvfs-shared
+    std::unique_ptr<vm::VmInstance> vm;
+  };
+
+  std::unique_ptr<core::StorageMigrationSession> make_session(VmSlot& slot,
+                                                              net::NodeId dst,
+                                                              core::MigrationRecord& rec);
+
+  sim::Simulator& sim_;
+  vm::Cluster& cluster_;
+  ApproachConfig cfg_;
+  core::Metrics metrics_;
+  std::vector<std::unique_ptr<VmSlot>> slots_;
+  std::vector<std::unique_ptr<core::StorageMigrationSession>> sessions_;
+  int next_vm_id_ = 0;
+};
+
+}  // namespace hm::cloud

@@ -1,0 +1,50 @@
+#include "cloud/predictor.h"
+
+namespace hm::cloud {
+
+IoActivityMonitor::IoActivityMonitor(sim::Simulator& sim, vm::VmInstance& vm,
+                                     IoMonitorConfig cfg)
+    : sim_(sim), vm_(vm), cfg_(cfg) {}
+
+void IoActivityMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  last_bytes_ = vm_.io_stats().bytes_written;
+  sim_.spawn(sampler_loop());
+}
+
+sim::Task IoActivityMonitor::sampler_loop() {
+  while (running_) {
+    co_await sim_.delay(cfg_.sample_period_s);
+    const double bytes = vm_.io_stats().bytes_written;
+    const double rate = (bytes - last_bytes_) / cfg_.sample_period_s;
+    last_bytes_ = bytes;
+    ewma_Bps_ = samples_ == 0
+                    ? rate
+                    : cfg_.ewma_alpha * rate + (1.0 - cfg_.ewma_alpha) * ewma_Bps_;
+    ++samples_;
+  }
+}
+
+sim::Task MigrationPlanner::migrate_at_lull(vm::VmInstance& vm, net::NodeId dst,
+                                            LullConfig cfg) {
+  IoActivityMonitor monitor(sim_, vm, IoMonitorConfig{cfg.check_period_s, 0.3});
+  monitor.start();
+  const double t0 = sim_.now();
+  deadline_forced_ = false;
+  // Let the EWMA settle over a couple of samples before trusting it.
+  while (monitor.samples() < 3 ||
+         monitor.write_rate_ewma_Bps() > cfg.lull_threshold_Bps) {
+    if (sim_.now() - t0 >= cfg.deadline_s) {
+      deadline_forced_ = true;
+      break;
+    }
+    co_await sim_.delay(cfg.check_period_s);
+  }
+  initiated_at_ = sim_.now();
+  observed_rate_ = monitor.write_rate_ewma_Bps();
+  monitor.stop();
+  co_await mw_.migrate(vm, dst);
+}
+
+}  // namespace hm::cloud

@@ -1,0 +1,85 @@
+// I/O activity monitoring and migration-moment prediction.
+//
+// The paper's conclusion lists this as future work: "we plan to monitor I/O
+// patterns with the purpose of predicting the best moment to initiate a live
+// migration. Such information could be leveraged by the cloud middleware to
+// better orchestrate live migrations within the datacenter."
+//
+// IoActivityMonitor keeps an exponentially weighted moving average of a VM's
+// write pressure; MigrationPlanner defers a requested migration until the
+// pressure falls below a threshold (an I/O lull) or a deadline expires, then
+// triggers it through the middleware. bench/ablation_predictor quantifies
+// the benefit.
+#pragma once
+
+#include "cloud/middleware.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "vm/vm_instance.h"
+
+namespace hm::cloud {
+
+struct IoMonitorConfig {
+  double sample_period_s = 1.0;
+  double ewma_alpha = 0.3;  // weight of the newest sample
+};
+
+/// Samples a VM's guest-level write throughput and keeps an EWMA estimate.
+class IoActivityMonitor {
+ public:
+  IoActivityMonitor(sim::Simulator& sim, vm::VmInstance& vm, IoMonitorConfig cfg = {});
+  IoActivityMonitor(const IoActivityMonitor&) = delete;
+  IoActivityMonitor& operator=(const IoActivityMonitor&) = delete;
+
+  /// Begin sampling (spawns the background sampler).
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  double write_rate_ewma_Bps() const noexcept { return ewma_Bps_; }
+  std::uint64_t samples() const noexcept { return samples_; }
+  bool running() const noexcept { return running_; }
+
+ private:
+  sim::Task sampler_loop();
+
+  sim::Simulator& sim_;
+  vm::VmInstance& vm_;
+  IoMonitorConfig cfg_;
+  double ewma_Bps_ = 0;
+  double last_bytes_ = 0;
+  std::uint64_t samples_ = 0;
+  bool running_ = false;
+};
+
+struct LullConfig {
+  /// Initiate the migration once the EWMA write rate drops below this.
+  double lull_threshold_Bps = 10e6;
+  /// Give up waiting after this long and migrate anyway.
+  double deadline_s = 120.0;
+  double check_period_s = 1.0;
+};
+
+/// Defers a migration to an I/O lull. Completes when the migration (however
+/// triggered) has fully finished.
+class MigrationPlanner {
+ public:
+  MigrationPlanner(sim::Simulator& sim, Middleware& mw) : sim_(sim), mw_(mw) {}
+
+  /// Wait for a lull on `vm` (or the deadline), then live-migrate it.
+  sim::Task migrate_at_lull(vm::VmInstance& vm, net::NodeId dst, LullConfig cfg = {});
+
+  /// Introspection: when the last planned migration was actually initiated,
+  /// and whether the deadline forced it.
+  double initiated_at() const noexcept { return initiated_at_; }
+  bool deadline_forced() const noexcept { return deadline_forced_; }
+  double observed_lull_rate_Bps() const noexcept { return observed_rate_; }
+
+ private:
+  sim::Simulator& sim_;
+  Middleware& mw_;
+  double initiated_at_ = -1;
+  bool deadline_forced_ = false;
+  double observed_rate_ = 0;
+};
+
+}  // namespace hm::cloud

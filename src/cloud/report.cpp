@@ -1,0 +1,109 @@
+#include "cloud/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/metrics.h"
+
+namespace hm::cloud {
+
+namespace {
+std::string printf_str(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string fmt_seconds(double s) { return printf_str("%.2f s", s); }
+
+std::string fmt_bytes(double bytes) {
+  constexpr double kKB = 1024.0, kMB = kKB * 1024, kGB = kMB * 1024;
+  if (bytes >= kGB) return printf_str("%.2f GB", bytes / kGB);
+  if (bytes >= kMB) return printf_str("%.1f MB", bytes / kMB);
+  if (bytes >= kKB) return printf_str("%.1f KB", bytes / kKB);
+  return printf_str("%.0f B", bytes);
+}
+
+std::string fmt_mb(double bytes) { return printf_str("%.0f MB", bytes / (1024.0 * 1024)); }
+std::string fmt_gb(double bytes) {
+  return printf_str("%.2f GB", bytes / (1024.0 * 1024 * 1024));
+}
+std::string fmt_pct(double fraction) { return printf_str("%.1f%%", fraction * 100.0); }
+std::string fmt_double(double v, int precision) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", precision);
+  return printf_str(fmt, v);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      cell.resize(widths[i], ' ');
+      os << cell << " | ";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 3, '-') << "+";
+    os << "\n";
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells, std::size_t width) {
+    for (std::size_t i = 0; i < width; ++i) {
+      if (i > 0) os << ',';
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char c : cell) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_, headers_.size());
+  for (const auto& row : rows_) emit(row, headers_.size());
+}
+
+void print_table1(std::ostream& os) {
+  Table t({"Approach", "Local storage transfer strategy"});
+  for (core::Approach a :
+       {core::Approach::kHybrid, core::Approach::kMirror, core::Approach::kPostcopy,
+        core::Approach::kPrecopy, core::Approach::kPvfsShared}) {
+    t.add_row({core::approach_name(a), core::approach_strategy_summary(a)});
+  }
+  os << "Table 1: Summary of compared approaches\n";
+  t.print(os);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace hm::cloud

@@ -1,0 +1,38 @@
+// Plain-text reporting helpers: fixed-width tables in the shape of the
+// paper's figures, unit formatting, and the Table 1 approach summary.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hm::cloud {
+
+std::string fmt_seconds(double s);
+std::string fmt_bytes(double bytes);   // auto KB/MB/GB
+std::string fmt_mb(double bytes);      // fixed MB
+std::string fmt_gb(double bytes);      // fixed GB
+std::string fmt_pct(double fraction);  // 0.42 -> "42.0%"
+std::string fmt_double(double v, int precision = 2);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  /// Machine-readable form (plotting scripts, spreadsheets). Cells
+  /// containing commas or quotes are quoted per RFC 4180.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print the paper's Table 1 (summary of compared approaches).
+void print_table1(std::ostream& os);
+
+/// Section header helper for bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace hm::cloud

@@ -1,0 +1,37 @@
+#include "cloud/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+namespace hm::cloud {
+
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepItem>& items,
+                                        unsigned threads) {
+  std::vector<ExperimentResult> results(items.size());
+  if (items.empty()) return results;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(items.size()));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size()) return;
+      Experiment exp(items[i].config);
+      results[i] = exp.run();
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace hm::cloud

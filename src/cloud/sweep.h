@@ -1,0 +1,24 @@
+// Parallel parameter-sweep runner. Each experiment owns its simulator and
+// is fully independent, so sweeps fan out over a thread pool (per the
+// hpc-parallel guidance: coarse-grained task parallelism with no shared
+// mutable state; results land in pre-sized slots, no locks on the hot path).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/experiment.h"
+
+namespace hm::cloud {
+
+struct SweepItem {
+  std::string label;
+  ExperimentConfig config;
+};
+
+/// Run all experiments, using up to `threads` worker threads (0 = hardware
+/// concurrency). Results are returned in input order.
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepItem>& items,
+                                        unsigned threads = 0);
+
+}  // namespace hm::cloud

@@ -1,0 +1,263 @@
+#include "core/hybrid_migrator.h"
+
+#include <cassert>
+
+namespace hm::core {
+
+HybridSession::HybridSession(sim::Simulator& sim, vm::Cluster& cluster,
+                             MigrationManager* mgr, net::NodeId dst_node,
+                             MigrationRecord& rec, HybridConfig cfg)
+    : StorageMigrationSession(sim, cluster, mgr, dst_node, rec),
+      cfg_(cfg),
+      write_count_(mgr->replica().num_chunks(), 0),
+      transfer_count_(mgr->replica().num_chunks(), 0),
+      in_remaining_(mgr->replica().num_chunks(), 0),
+      push_wakeup_(sim),
+      push_stopped_(sim),
+      pull_gate_(sim, /*open=*/true),
+      source_released_(sim),
+      rng_(cluster.rng().fork("hybrid-session", static_cast<std::uint64_t>(rec.vm_id))) {}
+
+HybridSession::~HybridSession() = default;
+
+void HybridSession::add_remaining(ChunkId c) {
+  if (in_remaining_[c]) return;
+  in_remaining_[c] = 1;
+  ++remaining_count_;
+}
+
+void HybridSession::remove_remaining(ChunkId c) {
+  if (!in_remaining_[c]) return;
+  in_remaining_[c] = 0;
+  --remaining_count_;
+}
+
+bool HybridSession::is_duplicate(ChunkId c) const {
+  if (!cfg_.dedup.enabled || cfg_.dedup.duplicate_fraction <= 0) return false;
+  // Deterministic per-(session, chunk) draw so repeated transfers of a
+  // chunk agree on its duplicate status.
+  const std::uint64_t h =
+      sim::splitmix64(static_cast<std::uint64_t>(rec_.vm_id) * 0x9e3779b9ULL + c);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < cfg_.dedup.duplicate_fraction;
+}
+
+double HybridSession::wire_bytes(ChunkId c) {
+  if (is_duplicate(c)) {
+    ++dedup_hits_;
+    return cfg_.dedup.fingerprint_bytes;
+  }
+  return static_cast<double>(src_store_->image().chunk_bytes);
+}
+
+// Algorithm 1: RemainingSet <- ModifiedSet, WriteCount <- 0, start push.
+void HybridSession::start() {
+  for (ChunkId c : src_store_->modified_set()) {
+    add_remaining(c);
+    if (cfg_.push_enabled) {
+      push_queue_.push_back(c);
+    }
+  }
+  in_push_queue_.assign(write_count_.size(), 0);
+  for (ChunkId c : push_queue_) in_push_queue_[c] = 1;
+  if (cfg_.push_enabled) {
+    push_running_ = true;
+    sim_.spawn(push_task());
+  } else {
+    push_stopped_.set();
+  }
+}
+
+bool HybridSession::next_pushable(ChunkId& out) {
+  while (!push_queue_.empty()) {
+    const ChunkId c = push_queue_.front();
+    push_queue_.pop_front();
+    in_push_queue_[c] = 0;
+    if (!in_remaining_[c]) continue;              // already handled
+    if (write_count_[c] >= cfg_.threshold) {      // hot chunk: defer to pull phase
+      ++push_skipped_hot_;
+      continue;
+    }
+    out = c;
+    return true;
+  }
+  return false;
+}
+
+// Algorithm 1, BACKGROUND PUSH: stream pushable chunks to the destination.
+sim::Task HybridSession::push_task() {
+  auto& net = cluster_.network();
+  for (;;) {
+    if (stop_push_) break;
+    ChunkId c;
+    if (!next_pushable(c)) {
+      co_await push_wakeup_.wait();
+      continue;
+    }
+    remove_remaining(c);
+    co_await src_store_->read_chunk(c);
+    co_await net.transfer(src_node_, dst_node_, wire_bytes(c),
+                          net::TrafficClass::kStoragePush);
+    co_await dst_store_->write_chunk(c);
+    ++chunks_pushed_;
+    ++transfer_count_[c];
+    rec_.storage_chunks_pushed += 1;
+  }
+  push_running_ = false;
+  push_stopped_.set();
+}
+
+// Algorithm 2 (WRITE), both roles.
+sim::Task HybridSession::vm_write(ChunkId c) {
+  if (!control_transferred_) {
+    // Source role: write locally, bump the write count, (re)queue for push.
+    co_await mgr_->local_write(c);
+    ++write_count_[c];
+    add_remaining(c);
+    if (cfg_.push_enabled && !stop_push_ && write_count_[c] < cfg_.threshold &&
+        !in_push_queue_[c]) {
+      push_queue_.push_back(c);
+      in_push_queue_[c] = 1;
+    }
+    push_wakeup_.notify_all();
+    co_return;
+  }
+  // Destination role: the new data supersedes whatever the source had —
+  // cancel any pull in progress and drop the chunk from RemainingSet.
+  auto it = inflight_pulls_.find(c);
+  if (it != inflight_pulls_.end()) {
+    it->second->cancelled = true;
+    ++cancelled_pulls_;
+  }
+  if (in_remaining_[c]) {
+    remove_remaining(c);
+    maybe_release_source();
+  }
+  co_await mgr_->local_write(c);
+}
+
+// Algorithm 4 (READ) on the destination.
+sim::Task HybridSession::vm_read(ChunkId c) {
+  if (control_transferred_) {
+    auto it = inflight_pulls_.find(c);
+    if (it != inflight_pulls_.end()) {
+      // Case 1: already being pulled — wait for completion.
+      auto st = it->second;
+      co_await st->done.wait();
+    } else if (in_remaining_[c]) {
+      // Case 2: scheduled but not started — suspend BACKGROUND_PULL and
+      // fetch this chunk with priority.
+      pull_gate_.close();
+      remove_remaining(c);
+      ++demand_pulls_;
+      co_await do_pull(c, /*on_demand=*/true);
+      pull_gate_.open();
+    }
+  }
+  co_await mgr_->local_read(c);
+}
+
+bool HybridSession::next_pull_candidate(ChunkId& out) {
+  switch (cfg_.pull_order) {
+    case PullOrder::kByWriteCount:
+      while (!pull_heap_.empty()) {
+        auto [count, c] = pull_heap_.top();
+        pull_heap_.pop();
+        if (!in_remaining_[c] || count != write_count_[c]) continue;  // stale entry
+        out = c;
+        return true;
+      }
+      return false;
+    case PullOrder::kFifo:
+    case PullOrder::kRandom:
+      while (!pull_fifo_.empty()) {
+        std::size_t idx = 0;
+        if (cfg_.pull_order == PullOrder::kRandom) {
+          idx = static_cast<std::size_t>(rng_.uniform(pull_fifo_.size()));
+          std::swap(pull_fifo_[idx], pull_fifo_.front());
+        }
+        const ChunkId c = pull_fifo_.front();
+        pull_fifo_.pop_front();
+        if (!in_remaining_[c]) continue;
+        out = c;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+// Algorithm 3, BACKGROUND PULL: prefetch remaining chunks, hottest first.
+sim::Task HybridSession::pull_task() {
+  for (;;) {
+    co_await pull_gate_.wait_open();
+    ChunkId c;
+    if (!next_pull_candidate(c)) break;
+    remove_remaining(c);
+    co_await do_pull(c, /*on_demand=*/false);
+  }
+  maybe_release_source();
+}
+
+sim::Task HybridSession::do_pull(ChunkId c, bool on_demand) {
+  (void)on_demand;
+  auto st = std::make_shared<PullState>(sim_);
+  inflight_pulls_.emplace(c, st);
+  ++active_pulls_;
+  auto& net = cluster_.network();
+  co_await net.transfer(dst_node_, src_node_, cfg_.pull_request_bytes,
+                        net::TrafficClass::kControl);
+  co_await src_store_->read_chunk(c);
+  co_await net.transfer(src_node_, dst_node_, wire_bytes(c),
+                        net::TrafficClass::kStoragePull);
+  if (!st->cancelled) {
+    co_await dst_store_->write_chunk(c);
+  }
+  ++chunks_pulled_;
+  ++transfer_count_[c];
+  pull_log_.push_back(c);
+  rec_.storage_chunks_pulled += 1;
+  inflight_pulls_.erase(c);
+  --active_pulls_;
+  st->done.set();
+  maybe_release_source();
+}
+
+void HybridSession::maybe_release_source() {
+  if (control_transferred_ && remaining_count_ == 0 && active_pulls_ == 0 &&
+      !source_released_.is_set()) {
+    source_released_.set();
+  }
+}
+
+// Hypervisor SYNC on the source: stop pushing, hand the destination the
+// remaining chunk list + write counts (TRANSFER_IO_CONTROL), start pulling.
+sim::Task HybridSession::pre_control_transfer() {
+  stop_push_ = true;
+  push_wakeup_.notify_all();
+  co_await push_stopped_.wait();
+
+  // Ship RemainingSet + WriteCount to the destination.
+  const double list_bytes =
+      cfg_.list_entry_bytes * static_cast<double>(remaining_count_) + 64;
+  co_await cluster_.network().transfer(src_node_, dst_node_, list_bytes,
+                                       net::TrafficClass::kControl);
+  // Seed the pull scheduler.
+  for (ChunkId c = 0; c < in_remaining_.size(); ++c) {
+    if (!in_remaining_[c]) continue;
+    if (cfg_.pull_order == PullOrder::kByWriteCount)
+      pull_heap_.emplace(write_count_[c], c);
+    else
+      pull_fifo_.push_back(c);
+  }
+  pull_started_ = true;
+  sim_.spawn(pull_task());
+}
+
+sim::Task HybridSession::wait_source_released() {
+  assert(pull_started_ && control_transferred_);
+  maybe_release_source();
+  co_await source_released_.wait();
+}
+
+}  // namespace hm::core

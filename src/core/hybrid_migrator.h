@@ -1,0 +1,150 @@
+// Hybrid active-push / prioritized-prefetch storage transfer — the paper's
+// primary contribution (Section 4.1, Algorithms 1–4).
+//
+// Active phase (source runs the VM):
+//   * BACKGROUND_PUSH streams locally modified chunks to the destination.
+//   * Every write increments WriteCount[c]; once WriteCount[c] >= Threshold
+//     the chunk is "hot" and no longer pushed (it would most likely be
+//     overwritten again), bounding per-chunk transfers by Threshold.
+// Passive phase (after control transfer):
+//   * The source sends the remaining chunk list + write counts
+//     (TRANSFER_IO_CONTROL); BACKGROUND_PULL prefetches them in decreasing
+//     WriteCount order.
+//   * On-demand reads suspend the background pull and are served with
+//     priority; writes at the destination cancel pending pulls (the old
+//     content is obsolete).
+//
+// The pure post-copy baseline of Section 5.2 is this class with the push
+// phase disabled, and the ablation benches reuse it with different pull
+// orders and thresholds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/migration_manager.h"
+#include "sim/random.h"
+
+namespace hm::core {
+
+enum class PullOrder : std::uint8_t {
+  kByWriteCount,  // paper's prioritized prefetch
+  kFifo,          // ablation: chunk-id order
+  kRandom,        // ablation: uniformly random
+};
+
+/// De-duplication extension (the paper's future work, Section 6): before
+/// moving a chunk, exchange a content fingerprint; if the destination
+/// already holds identical content (a base-image block, a zero chunk, a
+/// repeated pattern), only the fingerprint crosses the wire. Content itself
+/// is synthetic in this reproduction, so duplicate detection is modelled
+/// statistically: a deterministic per-chunk draw marks `duplicate_fraction`
+/// of the chunks as already present at the destination.
+struct DedupConfig {
+  bool enabled = false;
+  double duplicate_fraction = 0.0;
+  double fingerprint_bytes = 64;
+};
+
+struct HybridConfig {
+  /// Max times a chunk is pushed before being declared hot. The paper keeps
+  /// this a free parameter; bench/ablation_threshold sweeps it.
+  std::uint32_t threshold = 3;
+  /// Disable to obtain the pure post-copy baseline.
+  bool push_enabled = true;
+  PullOrder pull_order = PullOrder::kByWriteCount;
+  /// Wire size of one (chunk id, write count) entry in TRANSFER_IO_CONTROL.
+  double list_entry_bytes = 12;
+  /// Wire size of one pull request.
+  double pull_request_bytes = 256;
+  DedupConfig dedup{};
+
+  static constexpr std::uint32_t kUnlimitedThreshold =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+class HybridSession final : public StorageMigrationSession {
+ public:
+  HybridSession(sim::Simulator& sim, vm::Cluster& cluster, MigrationManager* mgr,
+                net::NodeId dst_node, MigrationRecord& rec, HybridConfig cfg = {});
+  ~HybridSession() override;
+
+  void start() override;
+  sim::Task pre_control_transfer() override;
+  sim::Task wait_source_released() override;
+  sim::Task vm_read(ChunkId c) override;
+  sim::Task vm_write(ChunkId c) override;
+
+  // --- introspection (tests / benches) -------------------------------------
+  std::uint32_t write_count(ChunkId c) const { return write_count_[c]; }
+  std::size_t remaining_size() const noexcept { return remaining_count_; }
+  std::uint64_t chunks_pushed() const noexcept { return chunks_pushed_; }
+  std::uint64_t chunks_pulled() const noexcept { return chunks_pulled_; }
+  std::uint64_t demand_pulls() const noexcept { return demand_pulls_; }
+  std::uint64_t cancelled_pulls() const noexcept { return cancelled_pulls_; }
+  std::uint64_t push_skipped_hot() const noexcept { return push_skipped_hot_; }
+  /// Per-chunk network transfer count (push + pull); the paper's invariant
+  /// is that this never exceeds Threshold + 1 for any chunk.
+  std::uint32_t transfer_count(ChunkId c) const { return transfer_count_[c]; }
+  /// Completed pulls in completion order (tests assert prefetch priority).
+  const std::vector<ChunkId>& pull_log() const noexcept { return pull_log_; }
+  std::uint64_t dedup_hits() const noexcept { return dedup_hits_; }
+
+ private:
+  struct PullState {
+    sim::Event done;
+    bool cancelled = false;
+    explicit PullState(sim::Simulator& s) : done(s) {}
+  };
+
+  void add_remaining(ChunkId c);
+  void remove_remaining(ChunkId c);
+  /// Deterministic content-duplicate draw for chunk `c`.
+  bool is_duplicate(ChunkId c) const;
+  double wire_bytes(ChunkId c);
+  bool next_pushable(ChunkId& out);
+  bool next_pull_candidate(ChunkId& out);
+  sim::Task push_task();
+  sim::Task pull_task();
+  sim::Task do_pull(ChunkId c, bool on_demand);
+  void maybe_release_source();
+
+  HybridConfig cfg_;
+  std::vector<std::uint32_t> write_count_;
+  std::vector<std::uint32_t> transfer_count_;
+  std::vector<std::uint8_t> in_remaining_;
+  std::size_t remaining_count_ = 0;
+
+  // push side
+  std::deque<ChunkId> push_queue_;
+  std::vector<std::uint8_t> in_push_queue_;
+  sim::Notification push_wakeup_;
+  bool push_running_ = false;
+  bool stop_push_ = false;
+  sim::Event push_stopped_;
+
+  // pull side
+  std::priority_queue<std::pair<std::uint32_t, ChunkId>> pull_heap_;
+  std::deque<ChunkId> pull_fifo_;
+  sim::Gate pull_gate_;
+  std::unordered_map<ChunkId, std::shared_ptr<PullState>> inflight_pulls_;
+  std::size_t active_pulls_ = 0;
+  bool pull_started_ = false;
+  sim::Event source_released_;
+  sim::Rng rng_;
+
+  // stats
+  std::uint64_t chunks_pushed_ = 0;
+  std::uint64_t chunks_pulled_ = 0;
+  std::uint64_t demand_pulls_ = 0;
+  std::uint64_t cancelled_pulls_ = 0;
+  std::uint64_t push_skipped_hot_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::vector<ChunkId> pull_log_;
+};
+
+}  // namespace hm::core

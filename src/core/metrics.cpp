@@ -1,0 +1,45 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace hm::core {
+
+const char* approach_name(Approach a) noexcept {
+  switch (a) {
+    case Approach::kHybrid: return "our-approach";
+    case Approach::kMirror: return "mirror";
+    case Approach::kPostcopy: return "postcopy";
+    case Approach::kPrecopy: return "precopy";
+    case Approach::kPvfsShared: return "pvfs-shared";
+  }
+  return "?";
+}
+
+const char* approach_strategy_summary(Approach a) noexcept {
+  switch (a) {
+    case Approach::kHybrid: return "Active push below Threshold + prioritized prefetch";
+    case Approach::kMirror: return "Sync writes both at src and dest";
+    case Approach::kPostcopy: return "Pull from src after transfer of control";
+    case Approach::kPrecopy: return "Push to dest before transfer of control";
+    case Approach::kPvfsShared: return "Does not apply (all writes go to PVFS)";
+  }
+  return "?";
+}
+
+double Metrics::total_migration_time() const noexcept {
+  double s = 0;
+  for (const auto& m : migrations_) s += m.migration_time();
+  return s;
+}
+
+double Metrics::avg_migration_time() const noexcept {
+  return migrations_.empty() ? 0 : total_migration_time() / migrations_.size();
+}
+
+double Metrics::max_downtime() const noexcept {
+  double d = 0;
+  for (const auto& m : migrations_) d = std::max(d, m.downtime_s);
+  return d;
+}
+
+}  // namespace hm::core

@@ -1,0 +1,140 @@
+// The migration manager (Section 4.2–4.3 of the paper).
+//
+// Stand-in for the paper's FUSE layer: every read and write the guest issues
+// to its virtual disk goes through here. Under normal operation it serves
+// I/O from the local chunk replica, fetching untouched base-image content
+// on demand from the striped repository. During a live migration it defers
+// to a StorageMigrationSession, which implements one of the five compared
+// transfer strategies (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "net/flow_network.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "storage/chunk_store.h"
+#include "storage/page_cache.h"
+#include "vm/compute_node.h"
+
+namespace hm::core {
+
+using storage::ChunkId;
+
+class StorageMigrationSession;
+
+class MigrationManager final : public storage::BlockBackend {
+ public:
+  MigrationManager(sim::Simulator& sim, vm::Cluster& cluster, net::NodeId home, int vm_id);
+  ~MigrationManager() override;
+
+  // --- hypervisor/guest facing (BlockBackend) -----------------------------
+  sim::Task backend_read_chunk(ChunkId c) override;
+  sim::Task backend_write_chunk(ChunkId c) override;
+  sim::Task backend_sync() override;
+
+  // --- state ---------------------------------------------------------------
+  net::NodeId node() const noexcept { return node_; }
+  int vm_id() const noexcept { return vm_id_; }
+  storage::ChunkStore& replica() noexcept { return *replica_; }
+  const storage::ChunkStore& replica() const noexcept { return *replica_; }
+  vm::Cluster& cluster() noexcept { return cluster_; }
+  bool migrating() const noexcept { return session_ != nullptr; }
+
+  // --- migration lifecycle (driven by the middleware / session) ------------
+  /// MIGRATION_REQUEST (the paper implements this as an ioctl).
+  void begin_migration(StorageMigrationSession* s) noexcept { session_ = s; }
+  void end_migration() noexcept { session_ = nullptr; }
+  /// Swap the active replica/node at control transfer. Returns the previous
+  /// (source) replica so the session can keep serving pulls from it.
+  std::unique_ptr<storage::ChunkStore> switch_to(
+      std::unique_ptr<storage::ChunkStore> new_replica, net::NodeId new_node);
+
+  // --- plain local I/O paths (default behaviour, reused by sessions) -------
+  sim::Task local_read(ChunkId c);
+  sim::Task local_write(ChunkId c);
+
+  std::uint64_t repo_fetches() const noexcept { return repo_fetches_; }
+
+ private:
+  sim::Simulator& sim_;
+  vm::Cluster& cluster_;
+  net::NodeId node_;
+  int vm_id_;
+  std::unique_ptr<storage::ChunkStore> replica_;
+  StorageMigrationSession* session_ = nullptr;
+  // Deduplicate concurrent on-demand fetches of the same base chunk.
+  std::unordered_map<ChunkId, std::shared_ptr<sim::Event>> inflight_fetch_;
+  std::uint64_t repo_fetches_ = 0;
+};
+
+/// Strategy interface for one live storage migration (source + destination
+/// coordination). Concrete implementations: HybridSession (our-approach and
+/// postcopy), PrecopySession, MirrorSession, SharedSession.
+class StorageMigrationSession {
+ public:
+  StorageMigrationSession(sim::Simulator& sim, vm::Cluster& cluster, MigrationManager* mgr,
+                          net::NodeId dst_node, MigrationRecord& rec);
+  virtual ~StorageMigrationSession();
+  StorageMigrationSession(const StorageMigrationSession&) = delete;
+  StorageMigrationSession& operator=(const StorageMigrationSession&) = delete;
+
+  /// Active phase begins (paper: MIGRATION_REQUEST on the source).
+  virtual void start() = 0;
+
+  /// Hypervisor invoked SYNC right before moving control: finish whatever
+  /// the strategy requires before the destination may take over (paper:
+  /// stop BACKGROUND_PUSH and invoke TRANSFER_IO_CONTROL).
+  virtual sim::Task pre_control_transfer() = 0;
+
+  /// Control moved: the VM now runs on the destination. Swaps the manager's
+  /// active replica (overridable for the shared-storage baseline).
+  virtual void transfer_control();
+
+  /// Completes when no residual dependency on the source remains (this is
+  /// the end of "migration time" for our-approach and postcopy; immediate
+  /// for precopy, mirror and pvfs-shared — Section 5.2 of the paper).
+  virtual sim::Task wait_source_released() = 0;
+
+  // --- coupling with the hypervisor's pre-copy loop ------------------------
+  /// True if storage must converge together with memory (QEMU-style
+  /// incremental block migration).
+  virtual bool converges_with_memory() const { return false; }
+  virtual double residual_storage_bytes() const { return 0; }
+  /// One storage pre-copy round (only meaningful when converging).
+  virtual sim::Task storage_round();
+  /// The hypervisor may only enter stop-and-copy once this is true; until
+  /// then it keeps iterating memory rounds (mirroring needs its bulk copy
+  /// finished before control can move).
+  virtual bool ready_to_complete() const { return true; }
+  virtual sim::Task wait_ready_to_complete();
+
+  // --- VM I/O rerouting while the session is active -------------------------
+  virtual sim::Task vm_read(ChunkId c);
+  virtual sim::Task vm_write(ChunkId c);
+
+  bool control_transferred() const noexcept { return control_transferred_; }
+  MigrationRecord& record() noexcept { return rec_; }
+
+ protected:
+  sim::Simulator& sim_;
+  vm::Cluster& cluster_;
+  MigrationManager* mgr_;  // null for the shared-storage baseline
+  net::NodeId src_node_;
+  net::NodeId dst_node_;
+  /// Destination replica, populated during the active phase; handed to the
+  /// manager at control transfer.
+  std::unique_ptr<storage::ChunkStore> dst_store_owned_;
+  storage::ChunkStore* dst_store_ = nullptr;
+  /// Source replica, retained after control transfer to serve pulls.
+  std::unique_ptr<storage::ChunkStore> src_store_owned_;
+  storage::ChunkStore* src_store_ = nullptr;
+  bool control_transferred_ = false;
+  MigrationRecord& rec_;
+};
+
+}  // namespace hm::core

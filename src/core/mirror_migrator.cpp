@@ -1,0 +1,99 @@
+#include "core/mirror_migrator.h"
+
+namespace hm::core {
+
+MirrorSession::MirrorSession(sim::Simulator& sim, vm::Cluster& cluster,
+                             MigrationManager* mgr, net::NodeId dst_node,
+                             MigrationRecord& rec, MirrorConfig cfg)
+    : StorageMigrationSession(sim, cluster, mgr, dst_node, rec),
+      cfg_(cfg),
+      mirrored_(mgr->replica().num_chunks(), 0),
+      bg_done_(sim),
+      drain_(sim) {}
+
+void MirrorSession::start() { sim_.spawn(background_copy()); }
+
+sim::Task MirrorSession::background_copy() {
+  auto& net = cluster_.network();
+  const double chunk_bytes = src_store_->image().chunk_bytes;
+  std::vector<ChunkId> snapshot;
+  if (cfg_.copy_full_image) {
+    // Device-level mirroring: stream the entire disk, present or not.
+    snapshot.resize(src_store_->num_chunks());
+    for (ChunkId c = 0; c < src_store_->num_chunks(); ++c) snapshot[c] = c;
+  } else {
+    snapshot = src_store_->modified_set();
+  }
+  std::size_t i = 0;
+  while (i < snapshot.size()) {
+    std::vector<ChunkId> batch;
+    while (i < snapshot.size() && batch.size() < cfg_.batch_chunks) {
+      const ChunkId c = snapshot[i++];
+      if (!mirrored_[c]) batch.push_back(c);  // sync writes may have covered it
+    }
+    if (batch.empty()) continue;
+    for (ChunkId c : batch) {
+      // Present chunks are read through the host path; untouched parts of a
+      // device-level mirror are raw disk reads on the source.
+      if (src_store_->present(c)) {
+        co_await src_store_->read_chunk(c);
+      } else if (cfg_.copy_full_image) {
+        co_await src_store_->disk().read(chunk_bytes);
+      }
+    }
+    co_await net.transfer(src_node_, dst_node_, chunk_bytes * static_cast<double>(batch.size()),
+                          net::TrafficClass::kStoragePush);
+    for (ChunkId c : batch) {
+      co_await dst_store_->write_chunk(c);
+      mirrored_[c] = 1;
+      ++bg_copied_;
+      rec_.storage_chunks_pushed += 1;
+    }
+  }
+  bg_done_.set();
+}
+
+sim::Task MirrorSession::mirror_remote_write(ChunkId c, sim::WaitGroup& wg) {
+  auto& net = cluster_.network();
+  co_await net.transfer(src_node_, dst_node_, src_store_->image().chunk_bytes,
+                        net::TrafficClass::kStoragePush);
+  co_await dst_store_->write_chunk(c);
+  mirrored_[c] = 1;
+  ++writes_mirrored_;
+  rec_.storage_chunks_pushed += 1;
+  wg.done();
+}
+
+// Writes complete on the source only after they also complete on the
+// destination (the defining property of this baseline).
+sim::Task MirrorSession::vm_write(ChunkId c) {
+  if (control_transferred_) {
+    co_await mgr_->local_write(c);
+    co_return;
+  }
+  ++inflight_writes_;
+  sim::WaitGroup wg(sim_);
+  wg.add(2);
+  sim_.spawn([](MirrorSession* self, ChunkId chunk, sim::WaitGroup& w) -> sim::Task {
+    co_await self->mgr_->local_write(chunk);
+    w.done();
+  }(this, c, wg));
+  sim_.spawn(mirror_remote_write(c, wg));
+  co_await wg.wait();
+  --inflight_writes_;
+  drain_.notify_all();
+}
+
+sim::Task MirrorSession::wait_ready_to_complete() { co_await bg_done_.wait(); }
+
+// Control may move only once the destination is a full replica: the
+// background copy finished before stop-and-copy (ready_to_complete), so the
+// paused-VM part only drains the last in-flight mirrored writes.
+sim::Task MirrorSession::pre_control_transfer() {
+  co_await bg_done_.wait();
+  while (inflight_writes_ > 0) co_await drain_.wait();
+}
+
+sim::Task MirrorSession::wait_source_released() { co_return; }
+
+}  // namespace hm::core

@@ -1,0 +1,19 @@
+#include "core/postcopy_migrator.h"
+
+namespace hm::core {
+
+std::unique_ptr<HybridSession> make_postcopy_session(sim::Simulator& sim,
+                                                     vm::Cluster& cluster,
+                                                     MigrationManager* mgr,
+                                                     net::NodeId dst_node,
+                                                     MigrationRecord& rec,
+                                                     PostcopyConfig cfg) {
+  HybridConfig h;
+  h.push_enabled = false;
+  h.pull_order = cfg.pull_order;
+  // Threshold is irrelevant without a push phase but kept at the default so
+  // write counts are still tracked for pull prioritization.
+  return std::make_unique<HybridSession>(sim, cluster, mgr, dst_node, rec, h);
+}
+
+}  // namespace hm::core

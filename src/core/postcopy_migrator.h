@@ -1,0 +1,27 @@
+// Pure post-copy baseline (Section 5.2.2): per the paper it "is based on our
+// approach and simply remains passive during the push phase, deferring any
+// transfer until after the moment when control is transferred to the
+// destination". Implemented as HybridSession with the push phase disabled;
+// every chunk is transferred exactly once (pulled), guaranteeing convergence
+// regardless of the write rate.
+#pragma once
+
+#include <memory>
+
+#include "core/hybrid_migrator.h"
+
+namespace hm::core {
+
+struct PostcopyConfig {
+  PullOrder pull_order = PullOrder::kByWriteCount;
+};
+
+/// Build a post-copy session (a passive HybridSession).
+std::unique_ptr<HybridSession> make_postcopy_session(sim::Simulator& sim,
+                                                     vm::Cluster& cluster,
+                                                     MigrationManager* mgr,
+                                                     net::NodeId dst_node,
+                                                     MigrationRecord& rec,
+                                                     PostcopyConfig cfg = {});
+
+}  // namespace hm::core

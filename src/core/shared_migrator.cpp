@@ -1,0 +1,3 @@
+#include "core/shared_migrator.h"
+
+// SharedSession is fully defined inline; this TU anchors the module.

@@ -1,0 +1,245 @@
+#include "net/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hm::net {
+
+namespace {
+// Rates are O(1e6..1e9) B/s and transfers O(1e3..1e10) B, so byte-scale
+// epsilons are far below anything meaningful while absorbing FP rounding.
+constexpr double kEpsBytes = 1e-3;   // flows below this are complete
+constexpr double kEpsRate = 1.0;     // rates below 1 B/s are "saturated"
+
+bool flow_is_done(double remaining, double rate) noexcept {
+  return remaining <= kEpsBytes || (rate > kEpsRate && remaining / rate < 1e-9);
+}
+}  // namespace
+
+const char* traffic_class_name(TrafficClass cls) noexcept {
+  switch (cls) {
+    case TrafficClass::kMemory: return "memory";
+    case TrafficClass::kStoragePush: return "storage-push";
+    case TrafficClass::kStoragePull: return "storage-pull";
+    case TrafficClass::kRepoRead: return "repo-read";
+    case TrafficClass::kPvfsData: return "pvfs-data";
+    case TrafficClass::kAppComm: return "app-comm";
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kCount: break;
+  }
+  return "?";
+}
+
+FlowNetwork::FlowNetwork(sim::Simulator& sim, FlowNetworkConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  groups_.push_back(Group{kUnlimitedRate});  // group 0: flat network default
+}
+
+SwitchGroupId FlowNetwork::add_switch_group(double uplink_Bps) {
+  groups_.push_back(Group{uplink_Bps});
+  return static_cast<SwitchGroupId>(groups_.size() - 1);
+}
+
+NodeId FlowNetwork::add_node(double egress_Bps, double ingress_Bps, SwitchGroupId group) {
+  assert(group < groups_.size());
+  nodes_.push_back(Node{egress_Bps, ingress_Bps, group});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+double FlowNetwork::total_traffic_bytes() const noexcept {
+  double s = 0;
+  for (double t : traffic_) s += t;
+  return s;
+}
+
+void FlowNetwork::reset_traffic() noexcept {
+  for (double& t : traffic_) t = 0;
+}
+
+double FlowNetwork::current_rate_sum() const noexcept {
+  double s = 0;
+  for (const auto& [id, f] : flows_) s += f->rate;
+  return s;
+}
+
+double FlowNetwork::flow_rate(NodeId src, NodeId dst) const noexcept {
+  double s = 0;
+  for (const auto& [id, f] : flows_)
+    if (f->src == src && f->dst == dst) s += f->rate;
+  return s;
+}
+
+sim::Task FlowNetwork::transfer(NodeId src, NodeId dst, double bytes, TrafficClass cls,
+                                double rate_cap) {
+  if (bytes <= 0) co_return;
+  if (src == dst) {
+    // Local copy: costs loopback time, never leaves the node, not counted
+    // as network traffic.
+    co_await sim_.delay(bytes / cfg_.loopback_Bps);
+    co_return;
+  }
+  assert(src < nodes_.size() && dst < nodes_.size());
+  co_await sim_.delay(cfg_.latency_s);
+
+  traffic_[static_cast<std::size_t>(cls)] += bytes;
+
+  const std::uint64_t id = next_flow_id_++;
+  auto flow = std::make_unique<Flow>();
+  flow->id = id;
+  flow->src = src;
+  flow->dst = dst;
+  flow->remaining = bytes;
+  flow->cap = rate_cap;
+  flow->cls = cls;
+  flow->done = std::make_unique<sim::Event>(sim_);
+  sim::Event& done = *flow->done;
+
+  advance_to_now();
+  flows_.emplace(id, std::move(flow));
+  recompute_rates();
+  reschedule_completion();
+
+  co_await done.wait();
+}
+
+sim::Task FlowNetwork::request_response(NodeId requester, NodeId responder,
+                                        double request_bytes, double response_bytes,
+                                        TrafficClass response_cls) {
+  co_await transfer(requester, responder, request_bytes, TrafficClass::kControl);
+  co_await transfer(responder, requester, response_bytes, response_cls);
+}
+
+void FlowNetwork::advance_to_now() {
+  const double now = sim_.now();
+  const double dt = now - last_advance_;
+  if (dt > 0) {
+    for (auto& [id, f] : flows_) {
+      f->remaining -= f->rate * dt;
+      if (f->remaining < 0) f->remaining = 0;
+    }
+  }
+  last_advance_ = now;
+}
+
+// Progressive filling: raise the rate of every unfrozen flow uniformly until
+// some constraint (NIC egress/ingress, fabric, per-flow cap) saturates;
+// freeze the flows bound by it; repeat. Yields the max-min fair allocation.
+void FlowNetwork::recompute_rates() {
+  const std::size_t n = nodes_.size();
+  const std::size_t g = groups_.size();
+  // Constraint layout: [0, n) egress, [n, 2n) ingress, [2n] fabric,
+  // [2n+1, 2n+1+g) switch uplink (up), [2n+1+g, 2n+1+2g) uplink (down).
+  const std::size_t up_base = 2 * n + 1;
+  const std::size_t down_base = up_base + g;
+  cap_rem_.assign(down_base + g, 0.0);
+  cap_users_.assign(down_base + g, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cap_rem_[i] = nodes_[i].egress_Bps;
+    cap_rem_[n + i] = nodes_[i].ingress_Bps;
+  }
+  cap_rem_[2 * n] = cfg_.fabric_Bps;
+  for (std::size_t i = 0; i < g; ++i) {
+    cap_rem_[up_base + i] = groups_[i].uplink_Bps;
+    cap_rem_[down_base + i] = groups_[i].uplink_Bps;
+  }
+
+  struct Item {
+    Flow* f;
+    double alloc = 0.0;
+    bool frozen = false;
+    std::size_t constraints[5];
+    std::size_t n_constraints = 0;
+  };
+  std::vector<Item> items;
+  items.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    Item it{f.get(), 0.0, false, {}, 0};
+    it.constraints[it.n_constraints++] = f->src;
+    it.constraints[it.n_constraints++] = n + f->dst;
+    it.constraints[it.n_constraints++] = 2 * n;
+    const SwitchGroupId gs = nodes_[f->src].group;
+    const SwitchGroupId gd = nodes_[f->dst].group;
+    if (gs != gd) {
+      it.constraints[it.n_constraints++] = up_base + gs;
+      it.constraints[it.n_constraints++] = down_base + gd;
+    }
+    for (std::size_t c = 0; c < it.n_constraints; ++c) ++cap_users_[it.constraints[c]];
+    items.push_back(it);
+  }
+
+  std::size_t unfrozen = items.size();
+  while (unfrozen > 0) {
+    // Smallest uniform increment that saturates a constraint or a flow cap.
+    double inc = kUnlimitedRate;
+    for (std::size_t c = 0; c < cap_rem_.size(); ++c) {
+      if (cap_users_[c] > 0 && std::isfinite(cap_rem_[c]))
+        inc = std::min(inc, cap_rem_[c] / cap_users_[c]);
+    }
+    for (const Item& it : items) {
+      if (!it.frozen && std::isfinite(it.f->cap))
+        inc = std::min(inc, it.f->cap - it.alloc);
+    }
+    if (!std::isfinite(inc)) break;  // no binding constraint (shouldn't happen)
+    if (inc < 0) inc = 0;
+
+    for (Item& it : items) {
+      if (it.frozen) continue;
+      it.alloc += inc;
+      for (std::size_t c = 0; c < it.n_constraints; ++c) cap_rem_[it.constraints[c]] -= inc;
+    }
+    // Freeze flows whose cap is met or that cross a saturated constraint.
+    bool froze_any = false;
+    for (Item& it : items) {
+      if (it.frozen) continue;
+      const bool cap_hit = std::isfinite(it.f->cap) && it.alloc >= it.f->cap - kEpsRate;
+      bool constraint_hit = false;
+      for (std::size_t c = 0; c < it.n_constraints; ++c) {
+        if (cap_rem_[it.constraints[c]] <= kEpsRate) {
+          constraint_hit = true;
+          break;
+        }
+      }
+      if (cap_hit || constraint_hit) {
+        it.frozen = true;
+        froze_any = true;
+        --unfrozen;
+        for (std::size_t c = 0; c < it.n_constraints; ++c) --cap_users_[it.constraints[c]];
+      }
+    }
+    if (!froze_any && inc <= kEpsRate) break;  // numerical safety
+  }
+
+  for (Item& it : items) it.f->rate = it.alloc;
+}
+
+void FlowNetwork::reschedule_completion() {
+  completion_timer_.cancel();
+  if (flows_.empty()) return;
+  double dt_min = kUnlimitedRate;
+  for (const auto& [id, f] : flows_) {
+    if (f->rate > kEpsRate) dt_min = std::min(dt_min, f->remaining / f->rate);
+  }
+  if (!std::isfinite(dt_min)) return;  // all flows stalled (rate 0)
+  completion_timer_ = sim_.schedule(std::max(dt_min, 0.0), [this] { on_completion_timer(); });
+}
+
+void FlowNetwork::on_completion_timer() {
+  advance_to_now();
+  std::vector<std::unique_ptr<sim::Event>> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (flow_is_done(it->second->remaining, it->second->rate)) {
+      finished.push_back(std::move(it->second->done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  reschedule_completion();
+  // Firing after rate recomputation: flows started by woken waiters will
+  // trigger their own recompute via transfer().
+  for (auto& done : finished) done->set();
+}
+
+}  // namespace hm::net

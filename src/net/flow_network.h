@@ -1,0 +1,143 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// Models the Grid'5000-style testbed of the paper: every node has a GbE NIC
+// (separate ingress/egress capacity) attached to a shared switch fabric with
+// a finite aggregate capacity (the paper measured 117.5 MB/s per NIC and
+// ~8 GB/s total on the Cisco Catalyst switch). Transfers are fluid flows;
+// whenever a flow starts or finishes, rates are re-assigned by progressive
+// filling (water-filling), which yields the max-min fair allocation subject
+// to per-flow rate caps (e.g. QEMU's migration speed limit).
+//
+// This level of abstraction captures exactly the effects the paper's
+// evaluation hinges on: pre-copy non-convergence when the dirty rate exceeds
+// the NIC share, fabric saturation under 30 concurrent migrations, and
+// contention between memory and storage transfer streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace hm::net {
+
+using NodeId = std::uint32_t;
+
+/// Category tags for traffic accounting; the evaluation section of the paper
+/// reports network traffic broken down by what caused it.
+enum class TrafficClass : std::uint8_t {
+  kMemory,        // hypervisor memory pre-copy stream
+  kStoragePush,   // source->destination chunk pushes (active phase)
+  kStoragePull,   // destination<-source chunk pulls (passive phase)
+  kRepoRead,      // base image chunks fetched from the repository
+  kPvfsData,      // parallel file system I/O (pvfs-shared baseline)
+  kAppComm,       // application communication (CM1 halo exchanges)
+  kControl,       // small control messages (chunk lists, pull requests)
+  kCount
+};
+
+constexpr std::size_t kNumTrafficClasses = static_cast<std::size_t>(TrafficClass::kCount);
+const char* traffic_class_name(TrafficClass cls) noexcept;
+
+constexpr double kUnlimitedRate = std::numeric_limits<double>::infinity();
+
+struct FlowNetworkConfig {
+  double fabric_Bps = 8.0e9;     // aggregate switch capacity
+  double latency_s = 100e-6;     // one-way message latency (paper: ~0.1 ms)
+  double loopback_Bps = 8.0e9;   // same-node transfers (not counted as traffic)
+};
+
+using SwitchGroupId = std::uint32_t;
+
+class FlowNetwork {
+ public:
+  FlowNetwork(sim::Simulator& sim, FlowNetworkConfig cfg = {});
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Register an edge switch with the given uplink capacity to the core
+  /// (both directions). Models cluster oversubscription: flows between
+  /// nodes on different switches consume uplink bandwidth; flows within a
+  /// switch do not. Group 0 always exists with an unlimited uplink.
+  SwitchGroupId add_switch_group(double uplink_Bps);
+  std::size_t switch_group_count() const noexcept { return groups_.size(); }
+
+  /// Register a node with the given NIC capacities (bytes/second).
+  NodeId add_node(double egress_Bps, double ingress_Bps, SwitchGroupId group = 0);
+  NodeId add_node(double nic_Bps) { return add_node(nic_Bps, nic_Bps, 0); }
+  NodeId add_node(double nic_Bps, SwitchGroupId group) {
+    return add_node(nic_Bps, nic_Bps, group);
+  }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  SwitchGroupId group_of(NodeId n) const noexcept { return nodes_[n].group; }
+
+  /// Move `bytes` from src to dst; completes after one-way latency plus the
+  /// time the (time-varying) fair-share rate needs to drain the flow.
+  /// `rate_cap` bounds this flow's rate (e.g. a migration speed limit).
+  sim::Task transfer(NodeId src, NodeId dst, double bytes, TrafficClass cls,
+                     double rate_cap = kUnlimitedRate);
+
+  /// Round trip: a small request in one direction followed by a payload in
+  /// the other. Used for pull-style chunk fetches.
+  sim::Task request_response(NodeId requester, NodeId responder, double request_bytes,
+                             double response_bytes, TrafficClass response_cls);
+
+  // --- accounting ---------------------------------------------------------
+  double traffic_bytes(TrafficClass cls) const noexcept {
+    return traffic_[static_cast<std::size_t>(cls)];
+  }
+  double total_traffic_bytes() const noexcept;
+  /// Zero all traffic counters (used to discount warm-up phases).
+  void reset_traffic() noexcept;
+
+  // --- introspection (tests) ----------------------------------------------
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+  double current_rate_sum() const noexcept;
+  double flow_rate(NodeId src, NodeId dst) const noexcept;  // sum over matching flows
+
+ private:
+  struct Flow {
+    std::uint64_t id;
+    NodeId src;
+    NodeId dst;
+    double remaining;
+    double rate = 0.0;
+    double cap;
+    TrafficClass cls;
+    std::unique_ptr<sim::Event> done;
+  };
+  struct Node {
+    double egress_Bps;
+    double ingress_Bps;
+    SwitchGroupId group;
+  };
+  struct Group {
+    double uplink_Bps;
+  };
+
+  void advance_to_now();
+  void recompute_rates();
+  void reschedule_completion();
+  void on_completion_timer();
+
+  sim::Simulator& sim_;
+  FlowNetworkConfig cfg_;
+  std::vector<Node> nodes_;
+  std::vector<Group> groups_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows_;
+  std::uint64_t next_flow_id_ = 1;
+  double last_advance_ = 0.0;
+  sim::Simulator::Timer completion_timer_;
+  double traffic_[kNumTrafficClasses] = {};
+
+  // scratch buffers for the water-filling solver (avoid per-call allocs)
+  std::vector<double> cap_rem_;
+  std::vector<std::uint32_t> cap_users_;
+};
+
+}  // namespace hm::net

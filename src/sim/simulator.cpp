@@ -1,0 +1,73 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace hm::sim {
+
+Simulator::Timer Simulator::schedule(double delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  auto entry = std::make_shared<Timer::Entry>();
+  entry->t = now_ + delay;
+  entry->seq = seq_++;
+  entry->fn = std::move(fn);
+  queue_.push(entry);
+  ++live_;
+  return Timer{entry};
+}
+
+void Simulator::spawn(Task t) {
+  Task::Handle h = t.release();
+  if (!h) return;
+  h.promise().detached = true;
+  schedule(0.0, [h] { h.resume(); });
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    EntryPtr e = queue_.top();
+    queue_.pop();
+    --live_;
+    if (e->cancelled) continue;
+    assert(e->t >= now_);
+    now_ = e->t;
+    e->fired = true;
+    ++processed_;
+    // Move the callback out so the entry can be reclaimed even if the
+    // callback re-schedules events.
+    auto fn = std::move(e->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+void Simulator::run() {
+  while (pop_and_run()) {
+  }
+}
+
+void Simulator::run_until(double t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    EntryPtr top = queue_.top();
+    if (top->cancelled) {
+      queue_.pop();
+      --live_;
+      continue;
+    }
+    if (top->t > t) break;
+    pop_and_run();
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& done_pred) {
+  while (!done_pred()) {
+    if (!pop_and_run()) return done_pred();
+  }
+  return true;
+}
+
+}  // namespace hm::sim

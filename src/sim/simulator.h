@@ -1,0 +1,115 @@
+// Discrete-event simulation core: virtual clock, timer wheel and coroutine
+// scheduling. All substrates (network, disks, hypervisor, workloads) run as
+// coroutines driven by one Simulator instance, giving fully deterministic
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace hm::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in seconds.
+  double now() const noexcept { return now_; }
+
+  /// Handle to a scheduled callback; cancellation is race-free because the
+  /// simulation is single-threaded.
+  class Timer {
+   public:
+    Timer() = default;
+    void cancel() noexcept {
+      if (auto e = entry_.lock()) e->cancelled = true;
+    }
+    bool active() const noexcept {
+      auto e = entry_.lock();
+      return e && !e->cancelled && !e->fired;
+    }
+
+   private:
+    friend class Simulator;
+    struct Entry {
+      double t = 0;
+      std::uint64_t seq = 0;
+      std::function<void()> fn;
+      bool cancelled = false;
+      bool fired = false;
+    };
+    explicit Timer(std::weak_ptr<Entry> e) : entry_(std::move(e)) {}
+    std::weak_ptr<Entry> entry_;
+  };
+
+  /// Schedule `fn` to run `delay` seconds from now (delay clamped to >= 0).
+  Timer schedule(double delay, std::function<void()> fn);
+
+  /// Detach a coroutine as a background process; it starts at the current
+  /// virtual time, once the currently running event returns to the loop.
+  void spawn(Task t);
+
+  /// Awaitable that suspends the current coroutine for `dt` seconds.
+  struct DelayAwaiter {
+    Simulator& sim;
+    double dt;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim.schedule(dt, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(double dt) noexcept { return DelayAwaiter{*this, dt}; }
+  /// Reschedule the current coroutine at the same virtual time (cooperative
+  /// yield behind already-queued events).
+  DelayAwaiter yield() noexcept { return DelayAwaiter{*this, 0.0}; }
+
+  /// Resume `h` at the current virtual time via the event queue. Using the
+  /// queue (instead of resuming inline) bounds stack depth and preserves
+  /// FIFO ordering between wakeups.
+  void resume_later(std::coroutine_handle<> h) {
+    schedule(0.0, [h] { h.resume(); });
+  }
+
+  /// Execute the next pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run all events with timestamp <= t, then advance the clock to t.
+  void run_until(double t);
+
+  /// Run until `pred()` becomes true (checked after each event) or the queue
+  /// drains. Returns the predicate value.
+  bool run_while_pending(const std::function<bool()>& done_pred);
+
+  std::size_t pending_events() const noexcept { return live_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  using EntryPtr = std::shared_ptr<Timer::Entry>;
+  struct Later {
+    bool operator()(const EntryPtr& a, const EntryPtr& b) const noexcept {
+      if (a->t != b->t) return a->t > b->t;
+      return a->seq > b->seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  std::priority_queue<EntryPtr, std::vector<EntryPtr>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;  // queued entries not yet cancelled
+};
+
+}  // namespace hm::sim

@@ -1,0 +1,56 @@
+#include "sim/sync.h"
+
+namespace hm::sim {
+
+void Event::set() {
+  if (set_) return;
+  set_ = true;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) sim_->resume_later(h);
+}
+
+void Notification::notify_all() {
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) sim_->resume_later(h);
+}
+
+void Gate::open() {
+  if (open_) return;
+  open_ = true;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) sim_->resume_later(h);
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    // The permit is handed directly to the woken waiter (count_ stays 0),
+    // which keeps the queue strictly FIFO.
+    sim_->resume_later(h);
+    return;
+  }
+  ++count_;
+}
+
+void WaitGroup::done() {
+  if (count_ > 0) --count_;
+  if (count_ == 0) {
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) sim_->resume_later(h);
+  }
+}
+
+void Barrier::release_all() {
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  // The final arriver continues synchronously (await_suspend returned
+  // false); everyone queued before it is woken through the event queue.
+  for (std::size_t i = 0; i + 1 < waiters.size(); ++i) sim_->resume_later(waiters[i]);
+}
+
+}  // namespace hm::sim

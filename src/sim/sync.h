@@ -1,0 +1,256 @@
+// Coroutine synchronization primitives for the simulator: one-shot events,
+// repeatable notifications, gates (suspend/resume), FIFO semaphores,
+// wait-groups, barriers and typed mailboxes. All wakeups are funneled
+// through the simulator's event queue so resumption order is deterministic
+// and stack depth stays bounded.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hm::sim {
+
+/// One-shot broadcast event. Waiters before set() suspend; waiters after
+/// set() continue immediately.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const noexcept { return set_; }
+  void set();
+
+  struct Awaiter {
+    Event& ev;
+    bool await_ready() const noexcept { return ev.set_; }
+    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() noexcept { return Awaiter{*this}; }
+
+ private:
+  Simulator* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Repeatable notification: every call to notify_all() wakes the waiters
+/// registered at that moment (condition-variable style, always "spurious
+/// safe" because callers re-check their predicate in a loop).
+class Notification {
+ public:
+  explicit Notification(Simulator& sim) : sim_(&sim) {}
+  Notification(const Notification&) = delete;
+  Notification& operator=(const Notification&) = delete;
+
+  void notify_all();
+
+  struct Awaiter {
+    Notification& n;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { n.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() noexcept { return Awaiter{*this}; }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Open/closed gate. wait_open() passes immediately while open and blocks
+/// while closed. Used for VM pause/resume and for suspending the
+/// BACKGROUND_PULL task (Algorithm 4 of the paper).
+class Gate {
+ public:
+  explicit Gate(Simulator& sim, bool open = true) : sim_(&sim), open_(open) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const noexcept { return open_; }
+  void open();
+  void close() noexcept { open_ = false; }
+
+  struct Awaiter {
+    Gate& g;
+    bool await_ready() const noexcept { return g.open_; }
+    void await_suspend(std::coroutine_handle<> h) { g.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait_open() noexcept { return Awaiter{*this}; }
+
+ private:
+  Simulator* sim_;
+  bool open_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with strict FIFO handoff (fair queueing — used to
+/// model disk service queues).
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::size_t count) : sim_(&sim), count_(count) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  struct Awaiter {
+    Semaphore& s;
+    bool await_ready() const noexcept {
+      if (s.count_ > 0 && s.waiters_.empty()) {
+        --s.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter acquire() noexcept { return Awaiter{*this}; }
+  void release();
+
+  std::size_t available() const noexcept { return count_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII helper for Semaphore-protected critical sections inside coroutines.
+/// Usage: co_await sem.acquire(); SemGuard g(sem); ... (guard releases).
+class SemGuard {
+ public:
+  explicit SemGuard(Semaphore& s) noexcept : s_(&s) {}
+  SemGuard(const SemGuard&) = delete;
+  SemGuard& operator=(const SemGuard&) = delete;
+  ~SemGuard() {
+    if (s_) s_->release();
+  }
+
+ private:
+  Semaphore* s_;
+};
+
+/// Go-style wait group: add() before spawning parallel work, done() when a
+/// unit finishes, wait() suspends until the count returns to zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : sim_(&sim) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void add(std::size_t n = 1) noexcept { count_ += n; }
+  void done();
+
+  struct Awaiter {
+    WaitGroup& wg;
+    bool await_ready() const noexcept { return wg.count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() noexcept { return Awaiter{*this}; }
+
+  std::size_t count() const noexcept { return count_; }
+
+ private:
+  Simulator* sim_;
+  std::size_t count_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Cyclic barrier for BSP-style workloads (the CM1 stencil ranks).
+class Barrier {
+ public:
+  Barrier(Simulator& sim, std::size_t parties) : sim_(&sim), parties_(parties) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  struct Awaiter {
+    Barrier& b;
+    bool await_ready() const noexcept { return b.parties_ <= 1; }
+    bool await_suspend(std::coroutine_handle<> h) {
+      b.waiters_.push_back(h);
+      if (b.waiters_.size() >= b.parties_) {
+        b.release_all();
+        return false;  // last arriver proceeds immediately
+      }
+      return true;
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter arrive_and_wait() noexcept { return Awaiter{*this}; }
+
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  void release_all();
+
+  Simulator* sim_;
+  std::size_t parties_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded typed mailbox (header-only): send never blocks, recv suspends
+/// while empty. FIFO on both messages and receivers.
+template <class T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator& sim) : sim_(&sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  struct Awaiter {
+    Mailbox& mb;
+    std::optional<T> slot;
+    std::coroutine_handle<> h;
+
+    bool await_ready() {
+      // Only take the fast path when no earlier receiver is queued, so
+      // message delivery stays strictly FIFO across receivers.
+      if (!mb.items_.empty() && mb.waiters_.empty()) {
+        slot = std::move(mb.items_.front());
+        mb.items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      h = handle;
+      mb.waiters_.push_back(this);
+    }
+    T await_resume() { return std::move(*slot); }
+  };
+
+  void send(T value) {
+    if (!waiters_.empty()) {
+      // Hand the item directly to the oldest receiver; this avoids a
+      // ready-path receiver stealing it before the wakeup fires.
+      Awaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot = std::move(value);
+      sim_->resume_later(w->h);
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  Awaiter recv() noexcept { return Awaiter{*this, std::nullopt, nullptr}; }
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+ private:
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<Awaiter*> waiters_;
+};
+
+}  // namespace hm::sim

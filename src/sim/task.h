@@ -1,0 +1,92 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// A Task is a lazily-started coroutine. It can either be awaited by another
+// coroutine (structured composition, exceptions propagate) or detached onto
+// the simulator with Simulator::spawn (fire-and-forget background process,
+// mirroring the paper's BACKGROUND_PUSH / BACKGROUND_PULL tasks).
+#pragma once
+
+#include <coroutine>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace hm::sim {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation = nullptr;
+    std::exception_ptr exception = nullptr;
+    bool detached = false;
+
+    Task get_return_object() noexcept { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        promise_type& p = h.promise();
+        std::coroutine_handle<> next =
+            p.continuation ? p.continuation : std::coroutine_handle<>(std::noop_coroutine());
+        if (p.detached) {
+          // A detached task owns itself; reclaim the frame on completion.
+          // Exceptions cannot propagate anywhere from a detached task.
+          if (p.exception) std::terminate();
+          h.destroy();
+        }
+        return next;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+  bool done() const noexcept { return !h_ || h_.done(); }
+
+  // Relinquish ownership (used by Simulator::spawn to detach).
+  Handle release() noexcept { return std::exchange(h_, nullptr); }
+
+  // Awaitable interface: starting the child via symmetric transfer and
+  // resuming the parent from the child's final suspend point.
+  bool await_ready() const noexcept { return !h_ || h_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() {
+    if (h_ && h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+  }
+
+ private:
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  Handle h_ = nullptr;
+};
+
+}  // namespace hm::sim

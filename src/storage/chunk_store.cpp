@@ -1,0 +1,115 @@
+#include "storage/chunk_store.h"
+
+#include <cassert>
+
+namespace hm::storage {
+
+ChunkStore::ChunkStore(sim::Simulator& sim, Disk& disk, ImageConfig img, ChunkStoreConfig cfg)
+    : sim_(sim),
+      disk_(disk),
+      img_(img),
+      cfg_(cfg),
+      num_chunks_(img.num_chunks()),
+      present_(num_chunks_, 0),
+      modified_(num_chunks_, 0),
+      cache_(static_cast<std::size_t>(cfg.host_cache_bytes / img.chunk_bytes)),
+      bus_(sim, 1),
+      flush_wakeup_(sim),
+      flush_progress_(sim) {}
+
+std::vector<ChunkId> ChunkStore::modified_set() const {
+  std::vector<ChunkId> out;
+  out.reserve(modified_count_);
+  for (ChunkId c = 0; c < num_chunks_; ++c)
+    if (modified_[c]) out.push_back(c);
+  return out;
+}
+
+sim::Task ChunkStore::bus_io(double bytes) {
+  co_await bus_.acquire();
+  sim::SemGuard guard(bus_);
+  co_await sim_.delay(bytes / cfg_.host_bus_Bps);
+}
+
+void ChunkStore::mark_host_dirty(ChunkId c) {
+  ++dirty_epoch_;
+  auto [it, inserted] = dirty_members_.try_emplace(c, dirty_epoch_);
+  it->second = dirty_epoch_;
+  if (inserted) dirty_fifo_.push_back(c);
+  if (cfg_.background_flush) {
+    if (!flusher_running_) {
+      flusher_running_ = true;
+      sim_.spawn(flusher_loop());
+    }
+    flush_wakeup_.notify_all();
+  }
+}
+
+sim::Task ChunkStore::flusher_loop() {
+  for (;;) {
+    if (dirty_fifo_.empty()) {
+      co_await flush_wakeup_.wait();
+      continue;
+    }
+    const ChunkId c = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    auto it = dirty_members_.find(c);
+    if (it == dirty_members_.end()) continue;  // already flushed/cancelled
+    const std::uint64_t epoch = it->second;
+    co_await disk_.write(img_.chunk_bytes);
+    it = dirty_members_.find(c);
+    if (it != dirty_members_.end()) {
+      if (it->second == epoch) {
+        dirty_members_.erase(it);
+      } else {
+        dirty_fifo_.push_back(c);  // re-dirtied while flushing; write again later
+      }
+    }
+    flush_progress_.notify_all();
+  }
+}
+
+sim::Task ChunkStore::write_chunk(ChunkId c) {
+  assert(c < num_chunks_);
+  co_await bus_io(img_.chunk_bytes);
+  if (!present_[c]) {
+    present_[c] = 1;
+    ++present_count_;
+  }
+  if (!modified_[c]) {
+    modified_[c] = 1;
+    ++modified_count_;
+  }
+  cache_.insert(c);
+  mark_host_dirty(c);
+}
+
+sim::Task ChunkStore::read_chunk(ChunkId c) {
+  assert(c < num_chunks_ && present_[c]);
+  if (cache_.contains(c)) {
+    ++cache_hits_;
+    cache_.insert(c);  // refresh LRU position
+    co_await bus_io(img_.chunk_bytes);
+    co_return;
+  }
+  ++cache_misses_;
+  co_await disk_.read(img_.chunk_bytes);
+  cache_.insert(c);
+}
+
+sim::Task ChunkStore::install_base_chunk(ChunkId c) {
+  assert(c < num_chunks_);
+  co_await bus_io(img_.chunk_bytes);
+  if (!present_[c]) {
+    present_[c] = 1;
+    ++present_count_;
+  }
+  cache_.insert(c);
+  mark_host_dirty(c);
+}
+
+sim::Task ChunkStore::flush() {
+  while (!dirty_members_.empty()) co_await flush_progress_.wait();
+}
+
+}  // namespace hm::storage

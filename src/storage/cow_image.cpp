@@ -1,0 +1,4 @@
+#include "storage/cow_image.h"
+
+// Header-only logic; this TU anchors the module in the library and keeps a
+// single place for future out-of-line additions.

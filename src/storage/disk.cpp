@@ -1,0 +1,19 @@
+#include "storage/disk.h"
+
+namespace hm::storage {
+
+sim::Task Disk::io(double bytes, bool is_write) {
+  if (bytes <= 0) co_return;
+  co_await gate_.acquire();
+  sim::SemGuard guard(gate_);
+  const double service = cfg_.access_latency_s + bytes / cfg_.rate_Bps;
+  co_await sim_.delay(service);
+  busy_s_ += service;
+  ++requests_;
+  if (is_write)
+    bytes_written_ += bytes;
+  else
+    bytes_read_ += bytes;
+}
+
+}  // namespace hm::storage

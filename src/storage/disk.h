@@ -1,0 +1,50 @@
+// Local disk model: a FIFO single-server queue with a fixed per-request
+// access latency plus a bandwidth term. Matches the paper's testbed disks
+// (SATA II, ~55 MB/s sequential). The queue is shared by everything on the
+// node (guest write-back, migration push reads, pull serving), which is how
+// storage migration steals I/O bandwidth from the workload.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace hm::storage {
+
+struct DiskConfig {
+  double rate_Bps = 55.0e6;      // sequential transfer rate
+  double access_latency_s = 0.5e-3;  // per-request positioning overhead
+};
+
+class Disk {
+ public:
+  Disk(sim::Simulator& sim, DiskConfig cfg = {})
+      : sim_(sim), cfg_(cfg), gate_(sim, 1) {}
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  sim::Task read(double bytes) { return io(bytes, /*is_write=*/false); }
+  sim::Task write(double bytes) { return io(bytes, /*is_write=*/true); }
+
+  const DiskConfig& config() const noexcept { return cfg_; }
+  double bytes_read() const noexcept { return bytes_read_; }
+  double bytes_written() const noexcept { return bytes_written_; }
+  double busy_seconds() const noexcept { return busy_s_; }
+  std::uint64_t requests_served() const noexcept { return requests_; }
+  std::size_t queue_length() const noexcept { return gate_.queue_length(); }
+
+ private:
+  sim::Task io(double bytes, bool is_write);
+
+  sim::Simulator& sim_;
+  DiskConfig cfg_;
+  sim::Semaphore gate_;
+  double bytes_read_ = 0;
+  double bytes_written_ = 0;
+  double busy_s_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace hm::storage

@@ -1,0 +1,117 @@
+// Guest page cache model.
+//
+// Sits between the workload's file I/O and the virtual disk (the migration
+// manager). This layer is what makes the paper's observed IOR ceilings
+// possible on a 55 MB/s disk: writes land in guest RAM at memcpy speed
+// (observed 266 MB/s), reads of resident data run at ~1 GB/s, and a
+// background write-back task drains dirty chunks to the virtual disk. When
+// the dirty set exceeds the guest's dirty limit, writers are throttled to
+// write-back speed — which is how slow storage backends (mirrored writes,
+// PVFS) degrade in-VM write throughput.
+//
+// Crucially, cache-resident file data lives in *guest memory*, so filling or
+// dirtying the cache dirties guest pages that the hypervisor's memory
+// pre-copy has to (re)transmit. The on_cache_touch hook wires that coupling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "storage/chunk_store.h"
+
+namespace hm::storage {
+
+/// Chunk-granular virtual disk interface implemented by the migration
+/// manager (local images) and by the PVFS backend (pvfs-shared baseline).
+class BlockBackend {
+ public:
+  virtual ~BlockBackend() = default;
+  virtual sim::Task backend_read_chunk(ChunkId c) = 0;
+  virtual sim::Task backend_write_chunk(ChunkId c) = 0;
+  /// fsync-style barrier; default waits for nothing extra.
+  virtual sim::Task backend_sync() { co_return; }
+};
+
+struct PageCacheConfig {
+  std::uint64_t capacity_bytes = 3 * kGiB;     // guest RAM available for page cache
+  std::uint64_t dirty_limit_bytes = 800 * kMiB;  // throttle threshold (~20% of 4 GB)
+  double write_Bps = 266.0e6;  // guest-side buffered write bandwidth
+  double read_Bps = 1.0e9;     // guest-side cached read bandwidth
+};
+
+class PageCache {
+ public:
+  PageCache(sim::Simulator& sim, BlockBackend& backend, ImageConfig img,
+            PageCacheConfig cfg = {});
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Hook invoked whenever file data enters or changes in the cache; the VM
+  /// uses it to dirty the corresponding guest memory pages.
+  void set_touch_hook(std::function<void(ChunkId)> hook) { touch_hook_ = std::move(hook); }
+
+  /// Gate the write-back task on the VM's run state: the guest kernel (and
+  /// thus its write-back) is frozen while the hypervisor pauses the VM.
+  void set_run_gate(sim::Gate* gate) noexcept { run_gate_ = gate; }
+
+  /// Hook invoked when a chunk leaves the cache (eviction / invalidate);
+  /// the VM uses it to release the backing guest memory pages.
+  void set_release_hook(std::function<void(ChunkId)> hook) {
+    release_hook_ = std::move(hook);
+  }
+
+  /// Buffered write of one full chunk.
+  sim::Task write_chunk(ChunkId c);
+  /// Buffered read of one full chunk (miss fetches through the backend).
+  sim::Task read_chunk(ChunkId c);
+  /// fsync: wait until no dirty chunk remains, then sync the backend.
+  sim::Task fsync();
+  /// Drop any clean cached copy of `c` (used by failure-injection tests).
+  void invalidate(ChunkId c);
+
+  std::uint64_t dirty_bytes() const noexcept {
+    return static_cast<std::uint64_t>(dirty_members_.size()) * img_.chunk_bytes;
+  }
+  std::size_t cached_chunks() const noexcept { return lru_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t writeback_ops() const noexcept { return writeback_ops_; }
+  std::uint64_t throttle_events() const noexcept { return throttle_events_; }
+
+ private:
+  enum class State : std::uint8_t { kAbsent, kClean, kDirty };
+
+  sim::Task writeback_loop();
+  void mark_dirty(ChunkId c);
+  sim::Task reserve_capacity();
+
+  sim::Simulator& sim_;
+  BlockBackend& backend_;
+  ImageConfig img_;
+  PageCacheConfig cfg_;
+  std::vector<State> state_;
+  LruChunkSet lru_;
+  std::deque<ChunkId> dirty_fifo_;
+  std::unordered_map<ChunkId, std::uint64_t> dirty_members_;  // chunk -> epoch
+  std::uint64_t epoch_ = 0;
+  std::size_t writeback_inflight_ = 0;
+  sim::Semaphore guest_bus_;
+  sim::Notification wb_wakeup_;
+  sim::Notification wb_progress_;
+  bool wb_running_ = false;
+  std::function<void(ChunkId)> touch_hook_;
+  std::function<void(ChunkId)> release_hook_;
+  sim::Gate* run_gate_ = nullptr;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writeback_ops_ = 0;
+  std::uint64_t throttle_events_ = 0;
+};
+
+}  // namespace hm::storage

@@ -1,0 +1,29 @@
+#include "storage/repository.h"
+
+#include <cassert>
+
+namespace hm::storage {
+
+Repository::Repository(sim::Simulator& sim, net::FlowNetwork& net, ImageConfig img,
+                       RepositoryConfig cfg)
+    : sim_(sim), net_(net), img_(img), cfg_(cfg) {}
+
+void Repository::add_storage_node(net::NodeId node, Disk* disk) {
+  servers_.push_back(Server{node, disk});
+}
+
+net::NodeId Repository::owner_of(ChunkId c) const noexcept {
+  assert(!servers_.empty());
+  return servers_[c % servers_.size()].node;
+}
+
+sim::Task Repository::fetch_chunk(net::NodeId reader, ChunkId c) {
+  assert(!servers_.empty());
+  const Server& srv = servers_[c % servers_.size()];
+  co_await net_.transfer(reader, srv.node, cfg_.request_bytes, net::TrafficClass::kControl);
+  if (srv.disk != nullptr) co_await srv.disk->read(img_.chunk_bytes);
+  co_await net_.transfer(srv.node, reader, img_.chunk_bytes, net::TrafficClass::kRepoRead);
+  ++chunks_served_;
+}
+
+}  // namespace hm::storage

@@ -1,0 +1,86 @@
+#include "vm/memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hm::vm {
+
+GuestMemory::GuestMemory(GuestMemoryConfig cfg)
+    : cfg_(cfg),
+      pages_((cfg.ram_bytes + cfg.page_bytes - 1) / cfg.page_bytes),
+      used_(pages_, 0),
+      dirty_(pages_, 0) {
+  // Pre-touch the OS/application baseline so round 0 has realistic volume.
+  touch_range(0, std::min(cfg_.base_used_bytes, cfg_.ram_bytes));
+}
+
+void GuestMemory::mark_page(std::uint64_t p) {
+  assert(p < pages_);
+  if (!used_[p]) {
+    used_[p] = 1;
+    ++used_pages_;
+  }
+  if (!dirty_[p]) {
+    dirty_[p] = 1;
+    ++dirty_pages_;
+  }
+}
+
+void GuestMemory::touch_range(std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t end = std::min(offset + len, cfg_.ram_bytes);
+  if (offset >= end) return;
+  const std::uint64_t first = offset / cfg_.page_bytes;
+  const std::uint64_t last = (end - 1) / cfg_.page_bytes;
+  for (std::uint64_t p = first; p <= last; ++p) mark_page(p);
+}
+
+void GuestMemory::release_range(std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t end = std::min(offset + len, cfg_.ram_bytes);
+  if (offset >= end) return;
+  const std::uint64_t first = offset / cfg_.page_bytes;
+  const std::uint64_t last = (end - 1) / cfg_.page_bytes;
+  for (std::uint64_t p = first; p <= last && p < pages_; ++p) {
+    if (used_[p]) {
+      used_[p] = 0;
+      --used_pages_;
+    }
+    if (dirty_[p]) {
+      dirty_[p] = 0;
+      --dirty_pages_;
+    }
+  }
+}
+
+void GuestMemory::touch_random(std::uint64_t ws_offset, std::uint64_t ws_len,
+                               std::uint64_t len, sim::Rng& rng) {
+  if (ws_len == 0 || len == 0) return;
+  const std::uint64_t ws_pages = std::max<std::uint64_t>(1, ws_len / cfg_.page_bytes);
+  const std::uint64_t first = ws_offset / cfg_.page_bytes;
+  std::uint64_t n = (len + cfg_.page_bytes - 1) / cfg_.page_bytes;
+  if (n >= ws_pages) {
+    // Dirtying at least the whole working set: deterministic full coverage.
+    for (std::uint64_t p = first; p < first + ws_pages && p < pages_; ++p) mark_page(p);
+    return;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t p = first + rng.uniform(ws_pages);
+    if (p < pages_) mark_page(p);
+  }
+}
+
+std::uint64_t GuestMemory::begin_full_round() {
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  dirty_pages_ = 0;
+  return used_bytes();
+}
+
+std::uint64_t GuestMemory::take_dirty_round() {
+  const std::uint64_t bytes = dirty_bytes();
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  dirty_pages_ = 0;
+  return bytes;
+}
+
+}  // namespace hm::vm

@@ -1,0 +1,66 @@
+// Guest memory model with page-granular dirty tracking.
+//
+// The hypervisor's pre-copy migration transfers `used` pages in round 0 and
+// the pages dirtied since the previous round afterwards. Guest memory has
+// two regions: anonymous memory (application working set) and the page-cache
+// region (file data resident in the guest page cache — filling or dirtying
+// the cache dirties these pages, which is what couples I/O intensive
+// workloads to memory migration cost in the paper's experiments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace hm::vm {
+
+struct GuestMemoryConfig {
+  std::uint64_t ram_bytes = 4ULL * 1024 * 1024 * 1024;
+  std::uint64_t page_bytes = 64 * 1024;  // tracking granularity
+  std::uint64_t base_used_bytes = 512ULL * 1024 * 1024;  // OS + application image
+};
+
+class GuestMemory {
+ public:
+  explicit GuestMemory(GuestMemoryConfig cfg);
+
+  std::uint64_t ram_bytes() const noexcept { return cfg_.ram_bytes; }
+  std::uint64_t page_bytes() const noexcept { return cfg_.page_bytes; }
+  std::uint64_t used_bytes() const noexcept { return used_pages_ * cfg_.page_bytes; }
+  std::uint64_t dirty_bytes() const noexcept { return dirty_pages_ * cfg_.page_bytes; }
+
+  /// Mark [offset, offset+len) used and dirty (clamped to RAM size).
+  void touch_range(std::uint64_t offset, std::uint64_t len);
+
+  /// Free [offset, offset+len): pages no longer used (page-cache eviction,
+  /// fadvise(DONTNEED)) and need not be migrated anymore.
+  void release_range(std::uint64_t offset, std::uint64_t len);
+
+  /// Dirty `len` bytes of anonymous memory spread uniformly over a working
+  /// set of `ws_len` bytes starting at `ws_offset`.
+  void touch_random(std::uint64_t ws_offset, std::uint64_t ws_len, std::uint64_t len,
+                    sim::Rng& rng);
+
+  /// Migration round 0: everything used must be sent. Returns used bytes and
+  /// clears the dirty map (subsequent dirtying accumulates for round 1).
+  std::uint64_t begin_full_round();
+
+  /// Migration round N: returns bytes dirtied since the last round and
+  /// clears the dirty map.
+  std::uint64_t take_dirty_round();
+
+  std::uint64_t pages() const noexcept { return pages_; }
+
+ private:
+  void mark_page(std::uint64_t p);
+
+  GuestMemoryConfig cfg_;
+  std::uint64_t pages_;
+  std::vector<std::uint8_t> used_;
+  std::vector<std::uint8_t> dirty_;
+  std::uint64_t used_pages_ = 0;
+  std::uint64_t dirty_pages_ = 0;
+};
+
+}  // namespace hm::vm

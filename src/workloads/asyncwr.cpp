@@ -1,0 +1,31 @@
+#include "workloads/asyncwr.h"
+
+#include <memory>
+
+namespace hm::workloads {
+
+sim::Task AsyncWrWorkload::async_write(vm::VmInstance& vm, std::uint64_t offset,
+                                       sim::Event& done) {
+  co_await vm.file_write(offset, cfg_.bytes_per_iter);
+  done.set();
+}
+
+sim::Task AsyncWrWorkload::run(vm::VmInstance& vm) {
+  auto& simulator = vm.cluster().sim();
+  std::unique_ptr<sim::Event> prev_write;  // at most one write in flight
+  std::uint64_t off = cfg_.file_offset;
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    // Compute while the previous iteration's buffer drains to disk.
+    co_await vm.compute(cfg_.iter_compute_s, cfg_.dirty_Bps, cfg_.ws_bytes);
+    // The alternate buffer can only be reused once its write completed.
+    if (prev_write) co_await prev_write->wait();
+    prev_write = std::make_unique<sim::Event>(simulator);
+    simulator.spawn(async_write(vm, off, *prev_write));
+    off += cfg_.bytes_per_iter;
+    ++iterations_done_;
+  }
+  if (prev_write) co_await prev_write->wait();
+  finished_at_ = simulator.now();
+}
+
+}  // namespace hm::workloads

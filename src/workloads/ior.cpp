@@ -1,0 +1,20 @@
+#include "workloads/ior.h"
+
+namespace hm::workloads {
+
+sim::Task IorWorkload::run(vm::VmInstance& vm) {
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    // Write phase: sequential 256 KB blocks over the 1 GB file.
+    for (std::uint64_t off = 0; off < cfg_.file_bytes; off += cfg_.block_bytes) {
+      co_await vm.file_write(cfg_.file_offset + off, cfg_.block_bytes);
+    }
+    // Read phase: sequential read-back of the same file.
+    for (std::uint64_t off = 0; off < cfg_.file_bytes; off += cfg_.block_bytes) {
+      co_await vm.file_read(cfg_.file_offset + off, cfg_.block_bytes);
+    }
+    ++iterations_done_;
+  }
+  finished_at_ = vm.cluster().sim().now();
+}
+
+}  // namespace hm::workloads

@@ -1,0 +1,36 @@
+// IOR benchmark model (Section 5.3): a single process performs N iterations
+// of "write a 1 GB file, then read it back" in 256 KB blocks through the
+// POSIX interface. Purely I/O bound — the paper's most aggressive disk-state
+// churn (every iteration rewrites the same 1 GB region, driving WriteCount
+// up and making pre-copy storage transfer re-send chunks over and over).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace hm::workloads {
+
+struct IorConfig {
+  int iterations = 10;
+  std::uint64_t file_bytes = 1 * storage::kGiB;
+  std::uint64_t block_bytes = 256 * storage::kKiB;
+  /// Placement of the benchmark file inside the image (past the OS data).
+  std::uint64_t file_offset = 1 * storage::kGiB;
+};
+
+class IorWorkload final : public Workload {
+ public:
+  explicit IorWorkload(IorConfig cfg = {}) : cfg_(cfg) {}
+  const char* name() const noexcept override { return "IOR"; }
+  sim::Task run(vm::VmInstance& vm) override;
+
+  const IorConfig& config() const noexcept { return cfg_; }
+  int iterations_done() const noexcept { return iterations_done_; }
+  double finished_at() const noexcept { return finished_at_; }
+
+ private:
+  IorConfig cfg_;
+  int iterations_done_ = 0;
+  double finished_at_ = 0;
+};
+
+}  // namespace hm::workloads

@@ -1,0 +1,23 @@
+// Workload interface: a workload drives one VM instance (or, for the MPI
+// style CM1 model, a set of rank VMs) through compute, memory dirtying and
+// file I/O. The experiment harness runs workloads to completion while
+// migrations happen underneath them.
+#pragma once
+
+#include <string>
+
+#include "sim/task.h"
+#include "vm/vm_instance.h"
+
+namespace hm::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual const char* name() const noexcept = 0;
+  /// Drive `vm` to completion. The coroutine must be spawned/awaited by the
+  /// experiment harness.
+  virtual sim::Task run(vm::VmInstance& vm) = 0;
+};
+
+}  // namespace hm::workloads

@@ -1,0 +1,125 @@
+#include "cloud/predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace hm::cloud {
+namespace {
+
+using storage::kMiB;
+
+struct PredictorFixture {
+  sim::Simulator s;
+  vm::Cluster cluster;
+  Middleware mw;
+  vm::VmInstance& vm;
+
+  PredictorFixture()
+      : cluster(s, make_cluster()), mw(s, cluster, ApproachConfig{}), vm(mw.deploy(0, make_vm())) {}
+
+  static vm::ClusterConfig make_cluster() {
+    vm::ClusterConfig cfg;
+    cfg.num_nodes = 6;
+    cfg.image = storage::ImageConfig{256 * kMiB, static_cast<std::uint32_t>(kMiB)};
+    return cfg;
+  }
+  static vm::VmConfig make_vm() {
+    vm::VmConfig cfg;
+    cfg.memory.ram_bytes = 256 * kMiB;
+    cfg.memory.page_bytes = kMiB;
+    cfg.memory.base_used_bytes = 16 * kMiB;
+    cfg.cache.capacity_bytes = 64 * kMiB;
+    cfg.cache.dirty_limit_bytes = 32 * kMiB;
+    cfg.cache.write_Bps = 100e6;
+    return cfg;
+  }
+};
+
+sim::Task bursty_writer(vm::VmInstance* vm, double burst_until, double quiet_until) {
+  // Heavy writes until burst_until, then silence.
+  auto& s = vm->cluster().sim();
+  while (s.now() < burst_until) {
+    co_await vm->file_write(64 * kMiB, 8 * kMiB);
+    co_await vm->compute(0.05);
+  }
+  co_await s.delay(quiet_until - s.now());
+}
+
+TEST(IoActivityMonitor, TracksWriteRate) {
+  PredictorFixture f;
+  IoActivityMonitor mon(f.s, f.vm, IoMonitorConfig{0.5, 0.5});
+  mon.start();
+  f.s.spawn(bursty_writer(&f.vm, 5.0, 6.0));
+  f.s.run_until(4.0);
+  EXPECT_GT(mon.write_rate_ewma_Bps(), 10e6);  // busy
+  f.s.run_until(10.0);
+  EXPECT_LT(mon.write_rate_ewma_Bps(), 10e6);  // quiet (EWMA decayed)
+  mon.stop();
+  f.s.run();
+}
+
+TEST(IoActivityMonitor, StartIsIdempotent) {
+  PredictorFixture f;
+  IoActivityMonitor mon(f.s, f.vm);
+  mon.start();
+  mon.start();
+  EXPECT_TRUE(mon.running());
+  f.s.run_until(3.0);
+  EXPECT_GE(mon.samples(), 2u);
+  mon.stop();
+  f.s.run();
+}
+
+TEST(MigrationPlanner, WaitsForLullThenMigrates) {
+  PredictorFixture f;
+  f.s.spawn(bursty_writer(&f.vm, 8.0, 9.0));
+  MigrationPlanner planner(f.s, f.mw);
+  bool done = false;
+  f.s.spawn([](MigrationPlanner* p, vm::VmInstance* v, bool* d) -> sim::Task {
+    LullConfig cfg;
+    cfg.lull_threshold_Bps = 5e6;
+    cfg.deadline_s = 60.0;
+    co_await p->migrate_at_lull(*v, 1, cfg);
+    *d = true;
+  }(&planner, &f.vm, &done));
+  f.s.run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(planner.deadline_forced());
+  EXPECT_GT(planner.initiated_at(), 8.0);  // waited out the burst
+  EXPECT_EQ(f.vm.node(), 1u);              // migration really happened
+}
+
+TEST(MigrationPlanner, DeadlineForcesMigrationUnderConstantPressure) {
+  PredictorFixture f;
+  f.s.spawn(bursty_writer(&f.vm, 100.0, 101.0));  // never quiet
+  MigrationPlanner planner(f.s, f.mw);
+  bool done = false;
+  f.s.spawn([](MigrationPlanner* p, vm::VmInstance* v, bool* d) -> sim::Task {
+    LullConfig cfg;
+    cfg.lull_threshold_Bps = 1e6;
+    cfg.deadline_s = 10.0;
+    co_await p->migrate_at_lull(*v, 2, cfg);
+    *d = true;
+  }(&planner, &f.vm, &done));
+  f.s.run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(planner.deadline_forced());
+  EXPECT_NEAR(planner.initiated_at(), 10.0, 1.5);
+  EXPECT_EQ(f.vm.node(), 2u);
+}
+
+TEST(MigrationPlanner, IdleVmMigratesAfterSettling) {
+  PredictorFixture f;
+  MigrationPlanner planner(f.s, f.mw);
+  bool done = false;
+  f.s.spawn([](MigrationPlanner* p, vm::VmInstance* v, bool* d) -> sim::Task {
+    co_await p->migrate_at_lull(*v, 1, LullConfig{});
+    *d = true;
+  }(&planner, &f.vm, &done));
+  f.s.run_while_pending([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(planner.deadline_forced());
+  EXPECT_LT(planner.initiated_at(), 10.0);  // settles after ~3 samples
+}
+
+}  // namespace
+}  // namespace hm::cloud

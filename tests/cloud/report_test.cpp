@@ -1,0 +1,109 @@
+#include "cloud/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hm::cloud {
+namespace {
+
+TEST(Report, FormatSeconds) { EXPECT_EQ(fmt_seconds(1.234), "1.23 s"); }
+
+TEST(Report, FormatBytesPicksUnit) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.0 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024), "3.5 MB");
+  EXPECT_EQ(fmt_bytes(2.0 * 1024 * 1024 * 1024), "2.00 GB");
+}
+
+TEST(Report, FormatPct) { EXPECT_EQ(fmt_pct(0.4265), "42.6%"); }
+
+TEST(Report, FormatFixedUnits) {
+  EXPECT_EQ(fmt_mb(10 * 1024.0 * 1024), "10 MB");
+  EXPECT_EQ(fmt_gb(1.5 * 1024.0 * 1024 * 1024), "1.50 GB");
+}
+
+TEST(Report, FormatDoublePrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+}
+
+TEST(Report, TableAlignsColumns) {
+  Table t({"A", "Long header"});
+  t.add_row({"value-that-is-long", "x"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("value-that-is-long"), std::string::npos);
+  // Separator rows top/bottom + header separator.
+  int separators = 0;
+  for (std::size_t p = out.find("+--"); p != std::string::npos; p = out.find("+--", p + 1))
+    ++separators;
+  EXPECT_GE(separators, 3);
+}
+
+TEST(Report, TableHandlesShortRows) {
+  Table t({"A", "B", "C"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Report, Table1ListsAllApproaches) {
+  std::ostringstream os;
+  print_table1(os);
+  const std::string out = os.str();
+  for (const char* name :
+       {"our-approach", "mirror", "postcopy", "precopy", "pvfs-shared"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Report, BannerContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Hello");
+  EXPECT_NE(os.str().find("=== Hello ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hm::cloud
+
+namespace hm::cloud {
+namespace {
+
+TEST(ReportCsv, PlainCellsAndHeader) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportCsv, QuotesCellsWithCommas) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"x,y\"\n");
+}
+
+TEST(ReportCsv, EscapesEmbeddedQuotes) {
+  Table t({"a"});
+  t.add_row({"say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(ReportCsv, ShortRowsPaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+}  // namespace
+}  // namespace hm::cloud

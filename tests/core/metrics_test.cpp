@@ -1,0 +1,94 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hm::core {
+namespace {
+
+TEST(Metrics, MigrationTimeIsReleaseMinusRequest) {
+  MigrationRecord m;
+  m.t_request = 10;
+  m.t_source_released = 45;
+  EXPECT_DOUBLE_EQ(m.migration_time(), 35);
+}
+
+TEST(Metrics, AggregatesOverMigrations) {
+  Metrics ms;
+  auto& a = ms.new_migration(0);
+  a.t_request = 0;
+  a.t_source_released = 10;
+  a.downtime_s = 0.02;
+  auto& b = ms.new_migration(1);
+  b.t_request = 5;
+  b.t_source_released = 35;
+  b.downtime_s = 0.05;
+  EXPECT_DOUBLE_EQ(ms.total_migration_time(), 40);
+  EXPECT_DOUBLE_EQ(ms.avg_migration_time(), 20);
+  EXPECT_DOUBLE_EQ(ms.max_downtime(), 0.05);
+  EXPECT_EQ(ms.migrations().size(), 2u);
+}
+
+TEST(Metrics, EmptyMetricsAreZero) {
+  Metrics ms;
+  EXPECT_DOUBLE_EQ(ms.total_migration_time(), 0);
+  EXPECT_DOUBLE_EQ(ms.avg_migration_time(), 0);
+  EXPECT_DOUBLE_EQ(ms.max_downtime(), 0);
+}
+
+TEST(Metrics, IoStatsThroughput) {
+  IoStats io;
+  io.bytes_written = 100e6;
+  io.write_time_s = 2;
+  io.bytes_read = 50e6;
+  io.read_time_s = 0.5;
+  EXPECT_DOUBLE_EQ(io.write_Bps(), 50e6);
+  EXPECT_DOUBLE_EQ(io.read_Bps(), 100e6);
+}
+
+TEST(Metrics, IoStatsZeroTimeGivesZeroThroughput) {
+  IoStats io;
+  io.bytes_written = 1;
+  EXPECT_DOUBLE_EQ(io.write_Bps(), 0);
+  EXPECT_DOUBLE_EQ(io.read_Bps(), 0);
+}
+
+TEST(Metrics, ApproachNamesMatchPaper) {
+  EXPECT_STREQ(approach_name(Approach::kHybrid), "our-approach");
+  EXPECT_STREQ(approach_name(Approach::kMirror), "mirror");
+  EXPECT_STREQ(approach_name(Approach::kPostcopy), "postcopy");
+  EXPECT_STREQ(approach_name(Approach::kPrecopy), "precopy");
+  EXPECT_STREQ(approach_name(Approach::kPvfsShared), "pvfs-shared");
+}
+
+TEST(Metrics, StrategySummariesNonEmpty) {
+  for (Approach a : {Approach::kHybrid, Approach::kMirror, Approach::kPostcopy,
+                     Approach::kPrecopy, Approach::kPvfsShared}) {
+    EXPECT_FALSE(std::string(approach_strategy_summary(a)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace hm::core
+
+namespace hm::core {
+namespace {
+
+TEST(Metrics, DependencyWindowIsReleaseMinusControl) {
+  MigrationRecord m;
+  m.t_request = 0;
+  m.t_control_transfer = 30;
+  m.t_source_released = 42;
+  EXPECT_DOUBLE_EQ(m.dependency_window(), 12);
+}
+
+TEST(Metrics, DependencyWindowZeroForPushBasedSchemes) {
+  MigrationRecord m;
+  m.t_control_transfer = 30;
+  m.t_source_released = 30;  // precopy/mirror release at control transfer
+  EXPECT_DOUBLE_EQ(m.dependency_window(), 0);
+}
+
+}  // namespace
+}  // namespace hm::core

@@ -1,0 +1,148 @@
+#include "core/mirror_migrator.h"
+
+#include <gtest/gtest.h>
+
+#include "session_fixture.h"
+
+namespace hm::core {
+namespace {
+
+using testing::SessionFixture;
+using storage::ChunkId;
+using storage::kMiB;
+
+MirrorConfig sparse_cfg() {
+  MirrorConfig cfg;
+  cfg.copy_full_image = false;  // unit tests exercise the sparse variant
+  return cfg;
+}
+
+std::unique_ptr<MirrorSession> make_session(SessionFixture& f,
+                                            MirrorConfig cfg = sparse_cfg()) {
+  auto s = std::make_unique<MirrorSession>(f.s, f.cluster, &f.mgr, /*dst=*/1, *f.rec, cfg);
+  f.mgr.begin_migration(s.get());
+  return s;
+}
+
+TEST(MirrorSession, FullImageModeCopiesWholeDisk) {
+  SessionFixture f;
+  f.populate(3);
+  MirrorConfig cfg;
+  cfg.copy_full_image = true;  // Haselhorst-style device-level mirroring
+  auto session = make_session(f, cfg);
+  session->start();
+  f.s.run();
+  EXPECT_EQ(session->chunks_copied_background(), f.mgr.replica().num_chunks());
+}
+
+TEST(MirrorSession, BackgroundCopyTransfersExistingChunks) {
+  SessionFixture f;
+  f.populate(6);
+  auto session = make_session(f);
+  session->start();
+  f.s.run();
+  EXPECT_EQ(session->chunks_copied_background(), 6u);
+}
+
+TEST(MirrorSession, WritesAreMirroredSynchronously) {
+  SessionFixture f;
+  auto session = make_session(f);
+  session->start();
+  f.s.run();
+  f.write_chunk_now(3);
+  EXPECT_EQ(session->writes_mirrored(), 1u);
+  // The chunk is already on the destination before control transfer.
+  f.sync_and_transfer(*session);
+  EXPECT_TRUE(f.mgr.replica().present(3));
+}
+
+TEST(MirrorSession, MirroredWriteSlowerThanLocalWrite) {
+  // The defining cost of mirroring: a write completes only after the remote
+  // copy is durable too, so per-write latency includes a network hop.
+  SessionFixture base_f;
+  const double t0 = base_f.s.now();
+  base_f.write_chunk_now(0);  // no session: local write only
+  const double local_latency = base_f.s.now() - t0;
+
+  SessionFixture f;
+  auto session = make_session(f);
+  session->start();
+  f.s.run();
+  const double t1 = f.s.now();
+  f.write_chunk_now(0);
+  const double mirrored_latency = f.s.now() - t1;
+  EXPECT_GT(mirrored_latency, local_latency);
+}
+
+TEST(MirrorSession, SyncWaitsForBackgroundCopy) {
+  SessionFixture f;
+  f.populate(20);  // 20 MiB to copy at ~100 MB/s
+  auto session = make_session(f);
+  session->start();
+  const double t0 = f.s.now();
+  f.sync_and_transfer(*session);
+  EXPECT_GT(f.s.now() - t0, 0.1);  // had to wait for the copy
+  EXPECT_EQ(session->chunks_copied_background(), 20u);
+}
+
+TEST(MirrorSession, BackgroundCopySkipsAlreadyMirroredChunks) {
+  SessionFixture f;
+  f.populate(4);
+  auto session = make_session(f);
+  session->start();
+  // Synchronous write to chunk 2 before the background copy reaches it
+  // races; after everything settles, chunk 2 must not be double-copied in
+  // the background pass.
+  f.write_chunk_now(2);
+  f.s.run();
+  EXPECT_LE(session->chunks_copied_background() + session->writes_mirrored(), 5u);
+}
+
+TEST(MirrorSession, DestinationIsFullReplicaAtControlTransfer) {
+  SessionFixture f;
+  f.populate(5);
+  auto session = make_session(f);
+  session->start();
+  f.write_chunk_now(7);
+  f.write_chunk_now(9);
+  f.sync_and_transfer(*session);
+  for (ChunkId c : {0u, 1u, 2u, 3u, 4u, 7u, 9u})
+    EXPECT_TRUE(f.mgr.replica().present(c)) << c;
+}
+
+TEST(MirrorSession, SourceReleasedImmediatelyAfterControl) {
+  SessionFixture f;
+  f.populate(2);
+  auto session = make_session(f);
+  session->start();
+  f.sync_and_transfer(*session);
+  const double t = f.s.now();
+  f.wait_release(*session);
+  EXPECT_DOUBLE_EQ(f.s.now(), t);
+}
+
+TEST(MirrorSession, WritesAfterControlStayLocal) {
+  SessionFixture f;
+  f.populate(1);
+  auto session = make_session(f);
+  session->start();
+  f.sync_and_transfer(*session);
+  const auto mirrored_before = session->writes_mirrored();
+  f.write_chunk_now(11);
+  EXPECT_EQ(session->writes_mirrored(), mirrored_before);
+  EXPECT_TRUE(f.mgr.replica().modified(11));
+}
+
+TEST(MirrorSession, TrafficAccountedAsStoragePush) {
+  SessionFixture f;
+  f.populate(3);
+  auto session = make_session(f);
+  session->start();
+  f.s.run();
+  f.write_chunk_now(8);
+  EXPECT_DOUBLE_EQ(f.cluster.network().traffic_bytes(net::TrafficClass::kStoragePush),
+                   4.0 * kMiB);
+}
+
+}  // namespace
+}  // namespace hm::core

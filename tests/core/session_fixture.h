@@ -1,0 +1,91 @@
+// Shared fixture for driving storage migration sessions directly (without
+// a hypervisor): a small cluster, one migration manager with pre-populated
+// modified chunks, and helpers to run the paper's protocol steps.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/metrics.h"
+#include "core/migration_manager.h"
+#include "sim/simulator.h"
+#include "vm/compute_node.h"
+
+namespace hm::core::testing {
+
+using storage::kMiB;
+
+inline vm::ClusterConfig small_cluster_cfg() {
+  vm::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.nic_Bps = 100e6;
+  cfg.network.latency_s = 1e-4;
+  cfg.image = storage::ImageConfig{64 * kMiB, static_cast<std::uint32_t>(kMiB)};
+  cfg.disk = storage::DiskConfig{55e6, 0.0};
+  return cfg;
+}
+
+struct SessionFixture {
+  sim::Simulator s;
+  vm::Cluster cluster;
+  MigrationManager mgr;
+  Metrics metrics;
+  MigrationRecord* rec;
+
+  explicit SessionFixture(vm::ClusterConfig ccfg = small_cluster_cfg())
+      : cluster(s, ccfg), mgr(s, cluster, /*home=*/0, /*vm_id=*/0) {
+    rec = &metrics.new_migration(0);
+  }
+
+  /// Write chunk `c` through the manager (routes through the active session
+  /// if one is attached) and drain the simulator.
+  void write_chunk_now(storage::ChunkId c) {
+    s.spawn([](MigrationManager* m, storage::ChunkId ch) -> sim::Task {
+      co_await m->backend_write_chunk(ch);
+    }(&mgr, c));
+    s.run();
+  }
+
+  /// Write without draining (lets pushes race with writes).
+  void write_chunk_async(storage::ChunkId c) {
+    s.spawn([](MigrationManager* m, storage::ChunkId ch) -> sim::Task {
+      co_await m->backend_write_chunk(ch);
+    }(&mgr, c));
+  }
+
+  void read_chunk_now(storage::ChunkId c) {
+    s.spawn([](MigrationManager* m, storage::ChunkId ch) -> sim::Task {
+      co_await m->backend_read_chunk(ch);
+    }(&mgr, c));
+    s.run();
+  }
+
+  /// Pre-populate the source replica with `n` modified chunks (no session).
+  void populate(std::uint32_t n) {
+    for (storage::ChunkId c = 0; c < n; ++c) write_chunk_now(c);
+  }
+
+  /// Run the hypervisor-side protocol: SYNC then control transfer.
+  void sync_and_transfer(StorageMigrationSession& session) {
+    bool done = false;
+    s.spawn([](StorageMigrationSession* ss, bool* d) -> sim::Task {
+      co_await ss->pre_control_transfer();
+      ss->transfer_control();
+      *d = true;
+    }(&session, &done));
+    s.run_while_pending([&] { return done; });
+  }
+
+  /// Await source release (drains everything).
+  void wait_release(StorageMigrationSession& session) {
+    bool done = false;
+    s.spawn([](StorageMigrationSession* ss, bool* d) -> sim::Task {
+      co_await ss->wait_source_released();
+      *d = true;
+    }(&session, &done));
+    s.run_while_pending([&] { return done; });
+  }
+};
+
+}  // namespace hm::core::testing

@@ -1,0 +1,86 @@
+#include "core/shared_migrator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "sim/simulator.h"
+#include "vm/compute_node.h"
+
+namespace hm::core {
+namespace {
+
+using storage::kMiB;
+
+struct SharedFixture {
+  sim::Simulator s;
+  vm::Cluster cluster;
+  std::unique_ptr<storage::PvfsBackend> backend;
+  Metrics metrics;
+  MigrationRecord* rec;
+
+  SharedFixture() : cluster(s, make_cfg()) {
+    backend = std::make_unique<storage::PvfsBackend>(*cluster.pvfs(),
+                                                     cluster.config().image, 0);
+    rec = &metrics.new_migration(0);
+  }
+  static vm::ClusterConfig make_cfg() {
+    vm::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.nic_Bps = 100e6;
+    cfg.image = storage::ImageConfig{64 * kMiB, static_cast<std::uint32_t>(kMiB)};
+    cfg.enable_pvfs = true;
+    return cfg;
+  }
+};
+
+TEST(SharedSession, NoStorageTransferAtAll) {
+  SharedFixture f;
+  SharedSession session(f.s, f.cluster, *f.backend, /*dst=*/1, *f.rec);
+  session.start();
+  bool done = false;
+  f.s.spawn([](SharedSession* ss, bool* d) -> sim::Task {
+    co_await ss->pre_control_transfer();
+    ss->transfer_control();
+    co_await ss->wait_source_released();
+    *d = true;
+  }(&session, &done));
+  f.s.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(f.cluster.network().traffic_bytes(net::TrafficClass::kStoragePush),
+                   0.0);
+  EXPECT_DOUBLE_EQ(f.cluster.network().traffic_bytes(net::TrafficClass::kStoragePull),
+                   0.0);
+}
+
+TEST(SharedSession, ClientBindingFollowsControlTransfer) {
+  SharedFixture f;
+  SharedSession session(f.s, f.cluster, *f.backend, /*dst=*/2, *f.rec);
+  session.start();
+  EXPECT_EQ(f.backend->client_node(), 0u);
+  session.transfer_control();
+  EXPECT_EQ(f.backend->client_node(), 2u);
+  EXPECT_TRUE(session.control_transferred());
+}
+
+TEST(SharedSession, IoAfterTransferComesFromNewNode) {
+  SharedFixture f;
+  SharedSession session(f.s, f.cluster, *f.backend, /*dst=*/2, *f.rec);
+  session.start();
+  session.transfer_control();
+  f.s.spawn([](storage::PvfsBackend* b) -> sim::Task {
+    co_await b->backend_write_chunk(0);
+  }(f.backend.get()));
+  f.s.run();
+  // Writes now leave node 2, not node 0 (visible as PVFS traffic).
+  EXPECT_GT(f.cluster.network().traffic_bytes(net::TrafficClass::kPvfsData), 0.0);
+}
+
+TEST(SharedSession, DoesNotConvergeWithMemory) {
+  SharedFixture f;
+  SharedSession session(f.s, f.cluster, *f.backend, 1, *f.rec);
+  EXPECT_FALSE(session.converges_with_memory());
+  EXPECT_DOUBLE_EQ(session.residual_storage_bytes(), 0.0);
+}
+
+}  // namespace
+}  // namespace hm::core

@@ -1,0 +1,156 @@
+#include "cloud/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace hm::cloud {
+namespace {
+
+using storage::kMiB;
+
+/// Scaled-down scenario so integration tests stay fast: 512 MiB image,
+/// small RAM, short IOR. Same mechanisms, smaller numbers.
+ExperimentConfig small_config(core::Approach a) {
+  ExperimentConfig cfg;
+  cfg.approach = a;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.image = storage::ImageConfig{512 * kMiB, static_cast<std::uint32_t>(kMiB)};
+  cfg.cluster.disk = storage::DiskConfig{55e6, 0.0};
+  cfg.vm.memory.ram_bytes = 512 * kMiB;
+  cfg.vm.memory.page_bytes = kMiB;
+  cfg.vm.memory.base_used_bytes = 64 * kMiB;
+  cfg.vm.cache.capacity_bytes = 128 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 64 * kMiB;
+  cfg.vm.cache.write_Bps = 200e6;
+  cfg.workload = WorkloadKind::kIor;
+  cfg.ior.iterations = 3;
+  cfg.ior.file_bytes = 96 * kMiB;
+  cfg.ior.block_bytes = kMiB;
+  cfg.ior.file_offset = 128 * kMiB;
+  cfg.first_migration_at = 2.0;
+  cfg.max_sim_time = 600.0;
+  return cfg;
+}
+
+TEST(Experiment, NormalizeGrowsClusterForDestinations) {
+  ExperimentConfig cfg = small_config(core::Approach::kHybrid);
+  cfg.cluster.num_nodes = 2;
+  cfg.num_vms = 4;
+  cfg.num_destinations = 3;
+  cfg.normalize();
+  EXPECT_GE(cfg.cluster.num_nodes, 7u);
+}
+
+TEST(Experiment, NormalizeEnablesPvfsForSharedApproach) {
+  ExperimentConfig cfg = small_config(core::Approach::kPvfsShared);
+  cfg.normalize();
+  EXPECT_TRUE(cfg.cluster.enable_pvfs);
+}
+
+TEST(Experiment, NormalizeCm1OverridesVmCount) {
+  ExperimentConfig cfg = small_config(core::Approach::kHybrid);
+  cfg.workload = WorkloadKind::kCm1;
+  cfg.cm1.grid_x = 2;
+  cfg.cm1.grid_y = 3;
+  cfg.normalize();
+  EXPECT_EQ(cfg.num_vms, 6u);
+}
+
+TEST(Experiment, RunsToCompletionWithMigration) {
+  Experiment exp(small_config(core::Approach::kHybrid));
+  ExperimentResult res = exp.run();
+  EXPECT_TRUE(res.completed);
+  ASSERT_EQ(res.migrations.size(), 1u);
+  EXPECT_GT(res.migrations[0].migration_time(), 0.0);
+  EXPECT_GT(res.total_traffic, 0.0);
+  EXPECT_GT(res.bytes_written, 0.0);
+}
+
+TEST(Experiment, BaselineRunHasNoMigrations) {
+  ExperimentResult res = run_baseline(small_config(core::Approach::kHybrid));
+  EXPECT_TRUE(res.completed);
+  EXPECT_TRUE(res.migrations.empty());
+  EXPECT_DOUBLE_EQ(res.traffic(net::TrafficClass::kMemory), 0.0);
+  EXPECT_DOUBLE_EQ(res.traffic(net::TrafficClass::kStoragePush), 0.0);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  ExperimentResult a = Experiment(small_config(core::Approach::kHybrid)).run();
+  ExperimentResult b = Experiment(small_config(core::Approach::kHybrid)).run();
+  EXPECT_DOUBLE_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_DOUBLE_EQ(a.total_traffic, b.total_traffic);
+  EXPECT_DOUBLE_EQ(a.avg_migration_time, b.avg_migration_time);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds_total, b.cpu_seconds_total);
+}
+
+TEST(Experiment, EveryApproachCompletesTheScenario) {
+  for (core::Approach a :
+       {core::Approach::kHybrid, core::Approach::kMirror, core::Approach::kPostcopy,
+        core::Approach::kPrecopy, core::Approach::kPvfsShared}) {
+    Experiment exp(small_config(a));
+    ExperimentResult res = exp.run();
+    EXPECT_TRUE(res.completed) << core::approach_name(a);
+    ASSERT_EQ(res.migrations.size(), 1u) << core::approach_name(a);
+    EXPECT_GT(res.migrations[0].t_control_transfer, 0.0) << core::approach_name(a);
+  }
+}
+
+TEST(Experiment, MultipleSimultaneousMigrations) {
+  ExperimentConfig cfg = small_config(core::Approach::kHybrid);
+  cfg.workload = WorkloadKind::kAsyncWr;
+  cfg.asyncwr.iterations = 120;
+  cfg.asyncwr.file_offset = 128 * kMiB;
+  cfg.num_vms = 4;
+  cfg.num_migrations = 4;
+  cfg.num_destinations = 2;
+  cfg.first_migration_at = 3.0;
+  ExperimentResult res = Experiment(cfg).run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.migrations.size(), 4u);
+  for (const auto& m : res.migrations) EXPECT_GT(m.t_source_released, 0.0);
+}
+
+TEST(Experiment, SuccessiveMigrationsAreSpaced) {
+  ExperimentConfig cfg = small_config(core::Approach::kHybrid);
+  cfg.workload = WorkloadKind::kAsyncWr;
+  cfg.asyncwr.iterations = 200;
+  cfg.asyncwr.file_offset = 128 * kMiB;
+  cfg.num_vms = 3;
+  cfg.num_migrations = 3;
+  cfg.num_destinations = 3;
+  cfg.first_migration_at = 2.0;
+  cfg.migration_interval_s = 5.0;
+  ExperimentResult res = Experiment(cfg).run();
+  ASSERT_EQ(res.migrations.size(), 3u);
+  EXPECT_NEAR(res.migrations[0].t_request, 2.0, 1e-6);
+  EXPECT_NEAR(res.migrations[1].t_request, 7.0, 1e-6);
+  EXPECT_NEAR(res.migrations[2].t_request, 12.0, 1e-6);
+}
+
+TEST(Experiment, GuardTripsOnImpossibleDeadline) {
+  ExperimentConfig cfg = small_config(core::Approach::kHybrid);
+  cfg.max_sim_time = 1.0;  // IOR cannot finish in 1 simulated second
+  ExperimentResult res = Experiment(cfg).run();
+  EXPECT_FALSE(res.completed);
+}
+
+TEST(Experiment, MigrationTrafficExcludesAppComm) {
+  ExperimentConfig cfg = small_config(core::Approach::kHybrid);
+  cfg.workload = WorkloadKind::kCm1;
+  cfg.cm1.grid_x = 2;
+  cfg.cm1.grid_y = 2;
+  cfg.cm1.step_compute_s = 0.25;
+  cfg.cm1.steps_per_output = 2;
+  cfg.cm1.num_outputs = 2;
+  cfg.cm1.output_bytes = 16 * kMiB;
+  cfg.cm1.file_offset = 128 * kMiB;
+  cfg.cm1.ws_bytes = 32 * kMiB;
+  cfg.first_migration_at = 0.5;
+  ExperimentResult res = Experiment(cfg).run();
+  EXPECT_TRUE(res.completed);
+  EXPECT_GT(res.traffic(net::TrafficClass::kAppComm), 0.0);
+  EXPECT_DOUBLE_EQ(res.migration_traffic,
+                   res.total_traffic - res.traffic(net::TrafficClass::kAppComm));
+}
+
+}  // namespace
+}  // namespace hm::cloud

@@ -1,0 +1,117 @@
+// Cross-approach invariants checked on the full pipeline (parameterized
+// property sweeps over approaches, seeds and chunk sizes).
+#include <gtest/gtest.h>
+
+#include "cloud/experiment.h"
+
+namespace hm::cloud {
+namespace {
+
+using storage::kMiB;
+
+ExperimentConfig tiny_config(core::Approach a, std::uint32_t chunk_kib = 1024,
+                             std::uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.approach = a;
+  cfg.seed = seed;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.image =
+      storage::ImageConfig{256 * kMiB, chunk_kib * static_cast<std::uint32_t>(1024)};
+  cfg.cluster.disk = storage::DiskConfig{55e6, 0.0};
+  cfg.vm.memory.ram_bytes = 256 * kMiB;
+  cfg.vm.memory.page_bytes = kMiB;
+  cfg.vm.memory.base_used_bytes = 32 * kMiB;
+  cfg.vm.cache.capacity_bytes = 64 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 32 * kMiB;
+  cfg.vm.cache.write_Bps = 200e6;
+  cfg.workload = WorkloadKind::kIor;
+  cfg.ior.iterations = 2;
+  cfg.ior.file_bytes = 48 * kMiB;
+  cfg.ior.block_bytes = kMiB;
+  cfg.ior.file_offset = 64 * kMiB;
+  cfg.first_migration_at = 1.0;
+  cfg.max_sim_time = 600.0;
+  return cfg;
+}
+
+class AllApproaches : public ::testing::TestWithParam<core::Approach> {};
+
+TEST_P(AllApproaches, MigrationAlwaysConvergesForFiniteWorkload) {
+  ExperimentResult res = Experiment(tiny_config(GetParam())).run();
+  EXPECT_TRUE(res.completed) << res.approach;
+  ASSERT_EQ(res.migrations.size(), 1u);
+  const auto& m = res.migrations[0];
+  EXPECT_GT(m.t_control_transfer, m.t_request);
+  EXPECT_GE(m.t_source_released, m.t_control_transfer);
+}
+
+TEST_P(AllApproaches, DowntimeIsSmallFractionOfMigrationTime) {
+  ExperimentResult res = Experiment(tiny_config(GetParam())).run();
+  ASSERT_EQ(res.migrations.size(), 1u);
+  const auto& m = res.migrations[0];
+  // "Live": the VM is paused for well under 10% of the migration.
+  EXPECT_LT(m.downtime_s, 0.1 * m.migration_time()) << res.approach;
+}
+
+TEST_P(AllApproaches, WorkloadCompletesDespiteMigration) {
+  ExperimentConfig cfg = tiny_config(GetParam());
+  ExperimentResult with = Experiment(cfg).run();
+  ExperimentResult without = run_baseline(cfg);
+  EXPECT_TRUE(with.completed);
+  EXPECT_DOUBLE_EQ(with.bytes_written, without.bytes_written);
+  EXPECT_DOUBLE_EQ(with.bytes_read, without.bytes_read);
+}
+
+TEST_P(AllApproaches, MigrationNeverSpeedsUpTheWorkload) {
+  ExperimentConfig cfg = tiny_config(GetParam());
+  ExperimentResult with = Experiment(cfg).run();
+  ExperimentResult without = run_baseline(cfg);
+  EXPECT_GE(with.app_execution_time, without.app_execution_time - 1e-6) << with.approach;
+}
+
+TEST_P(AllApproaches, MemoryTrafficAtLeastUsedMemory) {
+  ExperimentResult res = Experiment(tiny_config(GetParam())).run();
+  // Round 0 ships all used pages (>= the 32 MiB baseline).
+  EXPECT_GE(res.traffic(net::TrafficClass::kMemory), 32.0 * kMiB);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Approaches, AllApproaches,
+    ::testing::Values(core::Approach::kHybrid, core::Approach::kMirror,
+                      core::Approach::kPostcopy, core::Approach::kPrecopy,
+                      core::Approach::kPvfsShared),
+    [](const ::testing::TestParamInfo<core::Approach>& info) {
+      std::string n = core::approach_name(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+class ChunkSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChunkSizeSweep, HybridConvergesForAllChunkSizes) {
+  ExperimentResult res =
+      Experiment(tiny_config(core::Approach::kHybrid, GetParam())).run();
+  EXPECT_TRUE(res.completed);
+  ASSERT_EQ(res.migrations.size(), 1u);
+  EXPECT_GT(res.migrations[0].migration_time(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkKiB, ChunkSizeSweep,
+                         ::testing::Values(128u, 256u, 512u, 1024u, 2048u));
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, InvariantsHoldAcrossSeeds) {
+  ExperimentResult res =
+      Experiment(tiny_config(core::Approach::kHybrid, 1024, GetParam())).run();
+  EXPECT_TRUE(res.completed);
+  const auto& m = res.migrations[0];
+  EXPECT_GE(m.t_source_released, m.t_control_transfer);
+  EXPECT_GT(res.traffic(net::TrafficClass::kMemory), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace hm::cloud

@@ -1,0 +1,252 @@
+#include "net/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace hm::net {
+namespace {
+
+constexpr double kNic = 100e6;  // 100 MB/s for round numbers
+
+struct NetFixture {
+  sim::Simulator s;
+  FlowNetwork net;
+  explicit NetFixture(double fabric = 1e12, double latency = 0.0)
+      : net(s, FlowNetworkConfig{fabric, latency, 8e9}) {}
+};
+
+sim::Task xfer(FlowNetwork* net, NodeId a, NodeId b, double bytes, TrafficClass cls,
+               double* done_at, sim::Simulator* s, double cap = kUnlimitedRate) {
+  co_await net->transfer(a, b, bytes, cls, cap);
+  *done_at = s->now();
+}
+
+TEST(FlowNetwork, SingleFlowRunsAtNicSpeed) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_at, &f.s));
+  f.s.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, LatencyAddsToCompletion) {
+  NetFixture f(1e12, 0.5);
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_at, &f.s));
+  f.s.run();
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+}
+
+TEST(FlowNetwork, TwoFlowsShareEgressFairly) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic);
+  const NodeId b = f.net.add_node(kNic), c = f.net.add_node(kNic);
+  double done_b = -1, done_c = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_b, &f.s));
+  f.s.spawn(xfer(&f.net, a, c, 100e6, TrafficClass::kMemory, &done_c, &f.s));
+  f.s.run();
+  // Both share the source NIC (50 MB/s each) and finish together at t=2.
+  EXPECT_NEAR(done_b, 2.0, 1e-9);
+  EXPECT_NEAR(done_c, 2.0, 1e-9);
+}
+
+TEST(FlowNetwork, IngressIsAlsoAConstraint) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  const NodeId d = f.net.add_node(kNic);
+  double done_1 = -1, done_2 = -1;
+  f.s.spawn(xfer(&f.net, a, d, 100e6, TrafficClass::kMemory, &done_1, &f.s));
+  f.s.spawn(xfer(&f.net, b, d, 100e6, TrafficClass::kMemory, &done_2, &f.s));
+  f.s.run();
+  EXPECT_NEAR(done_1, 2.0, 1e-9);  // d's ingress shared
+  EXPECT_NEAR(done_2, 2.0, 1e-9);
+}
+
+TEST(FlowNetwork, DisjointPairsDoNotInterfere) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  const NodeId c = f.net.add_node(kNic), d = f.net.add_node(kNic);
+  double done_1 = -1, done_2 = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_1, &f.s));
+  f.s.spawn(xfer(&f.net, c, d, 100e6, TrafficClass::kMemory, &done_2, &f.s));
+  f.s.run();
+  EXPECT_NEAR(done_1, 1.0, 1e-9);
+  EXPECT_NEAR(done_2, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, FabricCapLimitsAggregate) {
+  // 4 disjoint pairs, each NIC 100 MB/s, but fabric only 200 MB/s total.
+  NetFixture f(/*fabric=*/200e6);
+  std::vector<double> done(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+    f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done[i], &f.s));
+  }
+  f.s.run();
+  for (double d : done) EXPECT_NEAR(d, 2.0, 1e-9);  // 50 MB/s each
+}
+
+TEST(FlowNetwork, PerFlowRateCapHonoured) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_at, &f.s, 25e6));
+  f.s.run();
+  EXPECT_NEAR(done_at, 4.0, 1e-9);
+}
+
+TEST(FlowNetwork, CappedFlowLeavesBandwidthToOthers) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic);
+  const NodeId b = f.net.add_node(kNic), c = f.net.add_node(kNic);
+  double done_capped = -1, done_free = -1;
+  f.s.spawn(xfer(&f.net, a, b, 25e6, TrafficClass::kMemory, &done_capped, &f.s, 25e6));
+  f.s.spawn(xfer(&f.net, a, c, 75e6, TrafficClass::kMemory, &done_free, &f.s));
+  f.s.run();
+  // Max-min: capped flow gets 25, the other picks up the remaining 75.
+  EXPECT_NEAR(done_capped, 1.0, 1e-9);
+  EXPECT_NEAR(done_free, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, RatesRecomputeWhenFlowJoins) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_1 = -1, done_2 = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_1, &f.s));
+  // Second flow joins halfway through the first.
+  f.s.schedule(0.5, [&] {
+    f.s.spawn(xfer(&f.net, a, b, 50e6, TrafficClass::kMemory, &done_2, &f.s));
+  });
+  f.s.run();
+  // First: 50 MB at full rate, then shares 50/50: remaining 50 MB takes 1s.
+  EXPECT_NEAR(done_1, 1.5, 1e-6);
+  // Second: 50 MB at 50 MB/s done at t=1.5 too.
+  EXPECT_NEAR(done_2, 1.5, 1e-6);
+}
+
+TEST(FlowNetwork, RatesRecomputeWhenFlowLeaves) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_small = -1, done_big = -1;
+  f.s.spawn(xfer(&f.net, a, b, 25e6, TrafficClass::kMemory, &done_small, &f.s));
+  f.s.spawn(xfer(&f.net, a, b, 125e6, TrafficClass::kMemory, &done_big, &f.s));
+  f.s.run();
+  // Share 50/50 until small (25MB) finishes at t=0.5; big then gets 100 MB/s
+  // for its remaining 100 MB -> 0.5 + 1.0.
+  EXPECT_NEAR(done_small, 0.5, 1e-6);
+  EXPECT_NEAR(done_big, 1.5, 1e-6);
+}
+
+TEST(FlowNetwork, LoopbackDoesNotCountAsTraffic) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(xfer(&f.net, a, a, 8e9, TrafficClass::kPvfsData, &done_at, &f.s));
+  f.s.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);  // loopback at 8 GB/s
+  EXPECT_DOUBLE_EQ(f.net.total_traffic_bytes(), 0.0);
+}
+
+TEST(FlowNetwork, TrafficAccountedByClass) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double d1 = -1, d2 = -1, d3 = -1;
+  f.s.spawn(xfer(&f.net, a, b, 10e6, TrafficClass::kMemory, &d1, &f.s));
+  f.s.spawn(xfer(&f.net, a, b, 20e6, TrafficClass::kStoragePush, &d2, &f.s));
+  f.s.spawn(xfer(&f.net, b, a, 30e6, TrafficClass::kStoragePull, &d3, &f.s));
+  f.s.run();
+  EXPECT_DOUBLE_EQ(f.net.traffic_bytes(TrafficClass::kMemory), 10e6);
+  EXPECT_DOUBLE_EQ(f.net.traffic_bytes(TrafficClass::kStoragePush), 20e6);
+  EXPECT_DOUBLE_EQ(f.net.traffic_bytes(TrafficClass::kStoragePull), 30e6);
+  EXPECT_DOUBLE_EQ(f.net.total_traffic_bytes(), 60e6);
+  f.net.reset_traffic();
+  EXPECT_DOUBLE_EQ(f.net.total_traffic_bytes(), 0.0);
+}
+
+TEST(FlowNetwork, ZeroByteTransferCompletesInstantly) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(xfer(&f.net, a, b, 0, TrafficClass::kControl, &done_at, &f.s));
+  f.s.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+  EXPECT_DOUBLE_EQ(f.net.total_traffic_bytes(), 0.0);
+}
+
+sim::Task req_resp(FlowNetwork* net, NodeId a, NodeId b, double* done_at,
+                   sim::Simulator* s) {
+  co_await net->request_response(a, b, 1e6, 10e6, TrafficClass::kRepoRead);
+  *done_at = s->now();
+}
+
+TEST(FlowNetwork, RequestResponseIsSequential) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(req_resp(&f.net, a, b, &done_at, &f.s));
+  f.s.run();
+  EXPECT_NEAR(done_at, 0.01 + 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(f.net.traffic_bytes(TrafficClass::kControl), 1e6);
+  EXPECT_DOUBLE_EQ(f.net.traffic_bytes(TrafficClass::kRepoRead), 10e6);
+}
+
+TEST(FlowNetwork, ActiveFlowIntrospection) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_at, &f.s));
+  f.s.run_until(0.5);
+  EXPECT_EQ(f.net.active_flows(), 1u);
+  EXPECT_NEAR(f.net.flow_rate(a, b), kNic, 1.0);
+  f.s.run();
+  EXPECT_EQ(f.net.active_flows(), 0u);
+}
+
+// Property-style sweep: with N equal flows through one bottleneck, each gets
+// capacity/N and total rate never exceeds capacity.
+class FairnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessSweep, EqualSharesAndConservation) {
+  const int n = GetParam();
+  NetFixture f;
+  const NodeId src = f.net.add_node(kNic);
+  std::vector<double> done(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const NodeId dst = f.net.add_node(kNic);
+    f.s.spawn(xfer(&f.net, src, dst, 10e6, TrafficClass::kMemory, &done[i], &f.s));
+  }
+  f.s.run_until(1e-3);
+  EXPECT_LE(f.net.current_rate_sum(), kNic * (1 + 1e-9));
+  EXPECT_NEAR(f.net.current_rate_sum(), kNic, kNic * 1e-6);
+  f.s.run();
+  const double expect_t = 10e6 * n / kNic;
+  for (double d : done) EXPECT_NEAR(d, expect_t, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shares, FairnessSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 37));
+
+// Max-min correctness on an asymmetric topology: one flow constrained by a
+// slow ingress must not reduce what an unconstrained flow receives.
+TEST(FlowNetwork, MaxMinNotJustEqualSplit) {
+  NetFixture f;
+  const NodeId src = f.net.add_node(kNic);
+  const NodeId slow = f.net.add_node(kNic, /*ingress=*/20e6);
+  const NodeId fast = f.net.add_node(kNic);
+  double done_slow = -1, done_fast = -1;
+  f.s.spawn(xfer(&f.net, src, slow, 20e6, TrafficClass::kMemory, &done_slow, &f.s));
+  f.s.spawn(xfer(&f.net, src, fast, 80e6, TrafficClass::kMemory, &done_fast, &f.s));
+  f.s.run();
+  // slow: 20 MB at 20 MB/s = 1s; fast: 80 MB at 80 MB/s = 1s.
+  EXPECT_NEAR(done_slow, 1.0, 1e-6);
+  EXPECT_NEAR(done_fast, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hm::net

@@ -1,0 +1,155 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hm::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, ScheduleAdvancesClock) {
+  Simulator s;
+  double fired_at = -1;
+  s.schedule(5.0, [&] { fired_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  s.schedule(3.0, [] {});
+  s.run();
+  double fired_at = -1;
+  s.schedule(-7.0, [&] { fired_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(3.0, [&] { order.push_back(3); });
+  s.schedule(1.0, [&] { order.push_back(1); });
+  s.schedule(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule(1.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, StepExecutesExactlyOneEvent) {
+  Simulator s;
+  int count = 0;
+  s.schedule(1.0, [&] { ++count; });
+  s.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  s.schedule(1.0, [&] { ++count; });
+  s.schedule(2.0, [&] { ++count; });
+  s.schedule(5.0, [&] { ++count; });
+  s.run_until(2.5);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(42.0);
+  EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+TEST(Simulator, TimerCancelPreventsFiring) {
+  Simulator s;
+  bool fired = false;
+  auto t = s.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(t.active());
+  t.cancel();
+  EXPECT_FALSE(t.active());
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, TimerInactiveAfterFiring) {
+  Simulator s;
+  auto t = s.schedule(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(t.active());
+}
+
+TEST(Simulator, CancelledEventsDoNotAdvanceClock) {
+  Simulator s;
+  auto t = s.schedule(10.0, [] {});
+  t.cancel();
+  bool fired = false;
+  s.schedule(1.0, [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);  // run() drains, clock is at last real event
+}
+
+TEST(Simulator, EventsScheduledFromCallbacksRun) {
+  Simulator s;
+  double inner_at = -1;
+  s.schedule(1.0, [&] { s.schedule(2.0, [&] { inner_at = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(inner_at, 3.0);
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(static_cast<double>(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+TEST(Simulator, RunWhilePendingStopsOnPredicate) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) s.schedule(static_cast<double>(i), [&] { ++count; });
+  const bool ok = s.run_while_pending([&] { return count >= 4; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, RunWhilePendingReturnsFalseIfQueueDrains) {
+  Simulator s;
+  s.schedule(1.0, [] {});
+  const bool ok = s.run_while_pending([] { return false; });
+  EXPECT_FALSE(ok);
+}
+
+TEST(Simulator, PendingEventsTracksQueue) {
+  Simulator s;
+  auto a = s.schedule(1.0, [] {});
+  s.schedule(2.0, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  a.cancel();
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace hm::sim

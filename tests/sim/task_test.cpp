@@ -1,0 +1,145 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/simulator.h"
+
+namespace hm::sim {
+namespace {
+
+Task set_flag(bool* flag) {
+  *flag = true;
+  co_return;
+}
+
+Task delayed_set(Simulator* s, double dt, bool* flag) {
+  co_await s->delay(dt);
+  *flag = true;
+}
+
+Task nested_outer(Simulator* s, double dt, int* stage) {
+  *stage = 1;
+  bool inner_done = false;
+  co_await delayed_set(s, dt, &inner_done);
+  EXPECT_TRUE(inner_done);
+  *stage = 2;
+}
+
+TEST(Task, SpawnedTaskRunsAtCurrentTime) {
+  Simulator s;
+  bool flag = false;
+  s.spawn(set_flag(&flag));
+  EXPECT_FALSE(flag);  // lazily started, runs once the loop turns
+  s.run();
+  EXPECT_TRUE(flag);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Task, DelayAwaiterAdvancesTime) {
+  Simulator s;
+  bool flag = false;
+  s.spawn(delayed_set(&s, 2.5, &flag));
+  s.run();
+  EXPECT_TRUE(flag);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(Task, NestedAwaitResumesParent) {
+  Simulator s;
+  int stage = 0;
+  s.spawn(nested_outer(&s, 1.0, &stage));
+  s.run();
+  EXPECT_EQ(stage, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+Task deep_chain(Simulator* s, int depth, int* sum) {
+  if (depth == 0) co_return;
+  co_await s->delay(0.001);
+  *sum += 1;
+  co_await deep_chain(s, depth - 1, sum);
+}
+
+TEST(Task, DeepAwaitChainCompletes) {
+  Simulator s;
+  int sum = 0;
+  s.spawn(deep_chain(&s, 500, &sum));
+  s.run();
+  EXPECT_EQ(sum, 500);
+}
+
+Task thrower() {
+  throw std::runtime_error("boom");
+  co_return;  // unreachable but required to make this a coroutine
+}
+
+Task catcher(bool* caught) {
+  try {
+    co_await thrower();
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Task, ExceptionsPropagateToAwaiter) {
+  Simulator s;
+  bool caught = false;
+  s.spawn(catcher(&caught));
+  s.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  Simulator s;
+  bool flag = false;
+  Task a = set_flag(&flag);
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): move contract under test
+  EXPECT_TRUE(b.valid());
+  s.spawn(std::move(b));
+  s.run();
+  EXPECT_TRUE(flag);
+}
+
+TEST(Task, DefaultConstructedIsInvalidAndDone) {
+  Task t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_TRUE(t.done());
+}
+
+Task yielder(Simulator* s, int* count) {
+  for (int i = 0; i < 5; ++i) {
+    co_await s->yield();
+    ++(*count);
+  }
+}
+
+TEST(Task, YieldReschedulesAtSameTime) {
+  Simulator s;
+  int count = 0;
+  s.spawn(yielder(&s, &count));
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Task, ManyConcurrentTasksInterleaveDeterministically) {
+  Simulator s;
+  int done = 0;
+  bool flags[50] = {};
+  for (int i = 0; i < 50; ++i) {
+    s.spawn([](Simulator* sp, double dt, bool* f, int* d) -> Task {
+      co_await sp->delay(dt);
+      *f = true;
+      ++(*d);
+    }(&s, 0.1 * (i % 7), &flags[i], &done));
+  }
+  s.run();
+  EXPECT_EQ(done, 50);
+  for (bool f : flags) EXPECT_TRUE(f);
+}
+
+}  // namespace
+}  // namespace hm::sim

@@ -1,0 +1,187 @@
+#include "storage/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace hm::storage {
+namespace {
+
+struct StoreFixture {
+  sim::Simulator s;
+  Disk disk;
+  ChunkStore store;
+  StoreFixture(ImageConfig img = {64 * kMiB, 1 * static_cast<std::uint32_t>(kMiB)},
+               ChunkStoreConfig cfg = {})
+      : disk(s, DiskConfig{100e6, 0.0}), store(s, disk, img, cfg) {}
+
+  void run_write(ChunkId c) {
+    s.spawn([](ChunkStore* st, ChunkId ch) -> sim::Task { co_await st->write_chunk(ch); }(
+        &store, c));
+    s.run();
+  }
+  void run_read(ChunkId c) {
+    s.spawn([](ChunkStore* st, ChunkId ch) -> sim::Task { co_await st->read_chunk(ch); }(
+        &store, c));
+    s.run();
+  }
+};
+
+TEST(ImageConfig, GeometryHelpers) {
+  ImageConfig img{4 * kGiB, 256 * static_cast<std::uint32_t>(kKiB)};
+  EXPECT_EQ(img.num_chunks(), 16384u);
+  EXPECT_EQ(img.chunk_of(0), 0u);
+  EXPECT_EQ(img.chunk_of(256 * kKiB - 1), 0u);
+  EXPECT_EQ(img.chunk_of(256 * kKiB), 1u);
+  EXPECT_EQ(img.chunk_of(4 * kGiB - 1), 16383u);
+}
+
+TEST(ImageConfig, RoundsUpPartialChunk) {
+  ImageConfig img{kMiB + 1, static_cast<std::uint32_t>(kMiB)};
+  EXPECT_EQ(img.num_chunks(), 2u);
+}
+
+TEST(LruChunkSet, InsertContainsErase) {
+  LruChunkSet lru(3);
+  EXPECT_FALSE(lru.contains(1));
+  lru.insert(1);
+  lru.insert(2);
+  EXPECT_TRUE(lru.contains(1));
+  lru.erase(1);
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(LruChunkSet, EvictsLeastRecentlyUsed) {
+  LruChunkSet lru(2);
+  lru.insert(1);
+  lru.insert(2);
+  lru.insert(1);               // refresh 1: now 2 is the LRU entry
+  EXPECT_TRUE(lru.insert(3));  // evicts 2
+  EXPECT_TRUE(lru.contains(1));
+  EXPECT_FALSE(lru.contains(2));
+  EXPECT_TRUE(lru.contains(3));
+}
+
+TEST(LruChunkSet, ZeroCapacityNeverEvicts) {
+  LruChunkSet lru(0);  // "unbounded" sentinel
+  for (ChunkId c = 0; c < 100; ++c) EXPECT_FALSE(lru.insert(c));
+  EXPECT_EQ(lru.size(), 100u);
+}
+
+TEST(ChunkStore, StartsEmpty) {
+  StoreFixture f;
+  EXPECT_EQ(f.store.present_count(), 0u);
+  EXPECT_EQ(f.store.modified_count(), 0u);
+  EXPECT_FALSE(f.store.present(0));
+}
+
+TEST(ChunkStore, WriteMarksPresentAndModified) {
+  StoreFixture f;
+  f.run_write(5);
+  EXPECT_TRUE(f.store.present(5));
+  EXPECT_TRUE(f.store.modified(5));
+  EXPECT_EQ(f.store.present_count(), 1u);
+  EXPECT_EQ(f.store.modified_count(), 1u);
+}
+
+TEST(ChunkStore, RepeatedWritesCountOnce) {
+  StoreFixture f;
+  f.run_write(5);
+  f.run_write(5);
+  f.run_write(5);
+  EXPECT_EQ(f.store.modified_count(), 1u);
+}
+
+TEST(ChunkStore, InstallBaseChunkIsPresentNotModified) {
+  StoreFixture f;
+  f.s.spawn([](ChunkStore* st) -> sim::Task { co_await st->install_base_chunk(7); }(
+      &f.store));
+  f.s.run();
+  EXPECT_TRUE(f.store.present(7));
+  EXPECT_FALSE(f.store.modified(7));
+  EXPECT_EQ(f.store.modified_count(), 0u);
+}
+
+TEST(ChunkStore, ModifiedSetListsExactlyModifiedChunks) {
+  StoreFixture f;
+  f.run_write(3);
+  f.run_write(9);
+  f.run_write(1);
+  auto set = f.store.modified_set();
+  EXPECT_EQ(set, (std::vector<ChunkId>{1, 3, 9}));  // ascending order
+}
+
+TEST(ChunkStore, WriteGoesToHostCacheNotStraightToDisk) {
+  StoreFixture f;
+  const double t0 = f.s.now();
+  f.s.spawn([](ChunkStore* st) -> sim::Task { co_await st->write_chunk(0); }(&f.store));
+  // Drive only until the write completes (flusher still pending).
+  f.s.run_while_pending([&] { return f.store.present(0); });
+  const double bus_time = static_cast<double>(kMiB) / ChunkStoreConfig{}.host_bus_Bps;
+  EXPECT_NEAR(f.s.now() - t0, bus_time, 1e-6);
+  EXPECT_TRUE(f.store.host_cached(0));
+}
+
+TEST(ChunkStore, BackgroundFlushReachesDisk) {
+  StoreFixture f;
+  f.run_write(0);
+  f.run_write(1);
+  EXPECT_DOUBLE_EQ(f.disk.bytes_written(), 2.0 * kMiB);
+  EXPECT_EQ(f.store.host_dirty_chunks(), 0u);
+}
+
+TEST(ChunkStore, CachedReadSkipsDisk) {
+  StoreFixture f;
+  f.run_write(4);
+  const double disk_reads_before = f.disk.bytes_read();
+  f.run_read(4);
+  EXPECT_DOUBLE_EQ(f.disk.bytes_read(), disk_reads_before);
+  EXPECT_EQ(f.store.cache_hits(), 1u);
+}
+
+TEST(ChunkStore, UncachedReadHitsDisk) {
+  // Tiny host cache: writing chunk 1 evicts chunk 0.
+  ChunkStoreConfig cfg;
+  cfg.host_cache_bytes = kMiB;  // one chunk
+  StoreFixture f({64 * kMiB, static_cast<std::uint32_t>(kMiB)}, cfg);
+  f.run_write(0);
+  f.run_write(1);
+  EXPECT_FALSE(f.store.host_cached(0));
+  f.run_read(0);
+  EXPECT_EQ(f.store.cache_misses(), 1u);
+  EXPECT_DOUBLE_EQ(f.disk.bytes_read(), 1.0 * kMiB);
+}
+
+TEST(ChunkStore, FlushWaitsForAllDirty) {
+  ChunkStoreConfig cfg;
+  cfg.background_flush = true;
+  StoreFixture f({64 * kMiB, static_cast<std::uint32_t>(kMiB)}, cfg);
+  bool flushed = false;
+  f.s.spawn([](ChunkStore* st, bool* fl) -> sim::Task {
+    co_await st->write_chunk(0);
+    co_await st->write_chunk(1);
+    co_await st->write_chunk(2);
+    co_await st->flush();
+    *fl = true;
+  }(&f.store, &flushed));
+  f.s.run();
+  EXPECT_TRUE(flushed);
+  EXPECT_DOUBLE_EQ(f.disk.bytes_written(), 3.0 * kMiB);
+}
+
+TEST(ChunkStore, RedirtyDuringFlushWritesAgain) {
+  StoreFixture f;
+  f.s.spawn([](ChunkStore* st) -> sim::Task {
+    co_await st->write_chunk(0);  // flusher starts writing chunk 0
+    co_await st->write_chunk(0);  // re-dirty while (or right after) flushing
+    co_await st->flush();
+  }(&f.store));
+  f.s.run();
+  // The chunk must have reached the disk at least once and end clean.
+  EXPECT_GE(f.disk.bytes_written(), 1.0 * kMiB);
+  EXPECT_EQ(f.store.host_dirty_chunks(), 0u);
+}
+
+}  // namespace
+}  // namespace hm::storage

@@ -1,0 +1,90 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace hm::storage {
+namespace {
+
+sim::Task do_read(Disk* d, double bytes, double* done_at, sim::Simulator* s) {
+  co_await d->read(bytes);
+  *done_at = s->now();
+}
+sim::Task do_write(Disk* d, double bytes, double* done_at, sim::Simulator* s) {
+  co_await d->write(bytes);
+  *done_at = s->now();
+}
+
+TEST(Disk, ReadTimeIsLatencyPlusBandwidth) {
+  sim::Simulator s;
+  Disk d(s, DiskConfig{100e6, 0.001});
+  double done_at = -1;
+  s.spawn(do_read(&d, 10e6, &done_at, &s));
+  s.run();
+  EXPECT_NEAR(done_at, 0.001 + 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(d.bytes_read(), 10e6);
+}
+
+TEST(Disk, WriteAccountsSeparately) {
+  sim::Simulator s;
+  Disk d(s, DiskConfig{100e6, 0.0});
+  double done_at = -1;
+  s.spawn(do_write(&d, 5e6, &done_at, &s));
+  s.run();
+  EXPECT_DOUBLE_EQ(d.bytes_written(), 5e6);
+  EXPECT_DOUBLE_EQ(d.bytes_read(), 0.0);
+}
+
+TEST(Disk, RequestsServeFifo) {
+  sim::Simulator s;
+  Disk d(s, DiskConfig{100e6, 0.0});
+  double r1 = -1, r2 = -1, r3 = -1;
+  s.spawn(do_read(&d, 100e6, &r1, &s));   // 1s
+  s.spawn(do_write(&d, 50e6, &r2, &s));   // +0.5s
+  s.spawn(do_read(&d, 50e6, &r3, &s));    // +0.5s
+  s.run();
+  EXPECT_NEAR(r1, 1.0, 1e-9);
+  EXPECT_NEAR(r2, 1.5, 1e-9);
+  EXPECT_NEAR(r3, 2.0, 1e-9);
+}
+
+TEST(Disk, BusyTimeAccumulates) {
+  sim::Simulator s;
+  Disk d(s, DiskConfig{100e6, 0.001});
+  double r1 = -1, r2 = -1;
+  s.spawn(do_read(&d, 100e6, &r1, &s));
+  s.spawn(do_read(&d, 100e6, &r2, &s));
+  s.run();
+  EXPECT_NEAR(d.busy_seconds(), 2.002, 1e-9);
+  EXPECT_EQ(d.requests_served(), 2u);
+}
+
+TEST(Disk, ZeroByteIoIsFree) {
+  sim::Simulator s;
+  Disk d(s);
+  double done_at = -1;
+  s.spawn(do_read(&d, 0, &done_at, &s));
+  s.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+  EXPECT_EQ(d.requests_served(), 0u);
+}
+
+TEST(Disk, QueueLengthVisibleUnderLoad) {
+  sim::Simulator s;
+  Disk d(s, DiskConfig{1e6, 0.0});
+  double r[4];
+  for (auto& x : r) s.spawn(do_read(&d, 1e6, &x, &s));
+  s.run_until(0.5);
+  EXPECT_EQ(d.queue_length(), 3u);
+  s.run();
+}
+
+TEST(Disk, DefaultConfigMatchesPaperTestbed) {
+  sim::Simulator s;
+  Disk d(s);
+  EXPECT_DOUBLE_EQ(d.config().rate_Bps, 55.0e6);  // graphene SATA II
+}
+
+}  // namespace
+}  // namespace hm::storage

@@ -1,0 +1,115 @@
+// Host CPU accounting: background load (migration machinery, PVFS client)
+// stretches guest compute in wall-clock time, with exact integral accounting
+// so short bursts are never aliased away.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "vm/compute_node.h"
+
+namespace hm::vm {
+namespace {
+
+struct CpuFixture {
+  sim::Simulator s;
+  ComputeNode node;
+  CpuFixture() : node(s, 0, storage::DiskConfig{}) {}
+
+  double run_consume(double dt) {
+    double done_at = -1;
+    s.spawn([](ComputeNode* n, double d, double* out, sim::Simulator* sp) -> sim::Task {
+      co_await n->consume_cpu(d);
+      *out = sp->now();
+    }(&node, dt, &done_at, &s));
+    s.run();
+    return done_at;
+  }
+};
+
+TEST(CpuAccounting, NoLoadRunsAtFullSpeed) {
+  CpuFixture f;
+  EXPECT_NEAR(f.run_consume(2.0), 2.0, 1e-9);
+}
+
+TEST(CpuAccounting, ConstantLoadStretchesWallTime) {
+  CpuFixture f;
+  f.node.add_cpu_load(0.5);
+  EXPECT_NEAR(f.run_consume(1.0), 2.0, 1e-9);  // 50% share -> 2x wall time
+}
+
+TEST(CpuAccounting, LoadIsFlooredAtTwentyPercentShare) {
+  CpuFixture f;
+  f.node.add_cpu_load(2.0);  // overload
+  EXPECT_NEAR(f.run_consume(1.0), 5.0, 1e-9);  // share floored at 0.2
+}
+
+TEST(CpuAccounting, NegativeLoadClampsToZero) {
+  CpuFixture f;
+  f.node.remove_cpu_load(0.7);
+  EXPECT_DOUBLE_EQ(f.node.background_cpu_load(), 0.0);
+  EXPECT_NEAR(f.run_consume(1.0), 1.0, 1e-9);
+}
+
+TEST(CpuAccounting, MidComputeLoadChangeIsAccounted) {
+  CpuFixture f;
+  double done_at = -1;
+  f.s.spawn([](ComputeNode* n, double* out, sim::Simulator* sp) -> sim::Task {
+    co_await n->consume_cpu(2.0);
+    *out = sp->now();
+  }(&f.node, &done_at, &f.s));
+  // Load appears 1 second in: first second at full speed (1.0 work), the
+  // remaining 1.0 of work at 50% -> 2 more wall seconds.
+  f.s.schedule(1.0, [&] { f.node.add_cpu_load(0.5); });
+  f.s.run();
+  EXPECT_NEAR(done_at, 3.0, 1e-6);
+}
+
+TEST(CpuAccounting, ShortBurstsAreNotAliased) {
+  // A 10 ms burst of 50% load inside a 1 s compute must cost exactly 10 ms
+  // of extra wall time — sampling at compute-slice boundaries would miss it.
+  CpuFixture f;
+  double done_at = -1;
+  f.s.spawn([](ComputeNode* n, double* out, sim::Simulator* sp) -> sim::Task {
+    co_await n->consume_cpu(1.0);
+    *out = sp->now();
+  }(&f.node, &done_at, &f.s));
+  f.s.schedule(0.20, [&] { f.node.add_cpu_load(0.5); });
+  f.s.schedule(0.21, [&] { f.node.remove_cpu_load(0.5); });
+  f.s.run();
+  EXPECT_NEAR(done_at, 1.005, 1e-4);
+}
+
+TEST(CpuAccounting, ManyBurstsAccumulate) {
+  CpuFixture f;
+  double done_at = -1;
+  f.s.spawn([](ComputeNode* n, double* out, sim::Simulator* sp) -> sim::Task {
+    co_await n->consume_cpu(1.0);
+    *out = sp->now();
+  }(&f.node, &done_at, &f.s));
+  // 20 bursts of 10 ms at 50% load: 0.2 s under load -> 0.1 s of lost work.
+  for (int i = 0; i < 20; ++i) {
+    f.s.schedule(0.03 * i, [&] { f.node.add_cpu_load(0.5); });
+    f.s.schedule(0.03 * i + 0.01, [&] { f.node.remove_cpu_load(0.5); });
+  }
+  f.s.run();
+  EXPECT_NEAR(done_at, 1.1, 2e-2);
+}
+
+TEST(CpuAccounting, GuardReleasesOnDestruction) {
+  CpuFixture f;
+  {
+    CpuLoadGuard g(f.node, 0.3);
+    EXPECT_DOUBLE_EQ(f.node.background_cpu_load(), 0.3);
+  }
+  EXPECT_DOUBLE_EQ(f.node.background_cpu_load(), 0.0);
+}
+
+TEST(CpuAccounting, GuardReleaseIsIdempotent) {
+  CpuFixture f;
+  CpuLoadGuard g(f.node, 0.3);
+  g.release();
+  g.release();
+  EXPECT_DOUBLE_EQ(f.node.background_cpu_load(), 0.0);
+}
+
+}  // namespace
+}  // namespace hm::vm

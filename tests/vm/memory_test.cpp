@@ -1,0 +1,126 @@
+#include "vm/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace hm::vm {
+namespace {
+
+constexpr std::uint64_t kMiB = 1024ULL * 1024;
+
+GuestMemoryConfig small_cfg() {
+  GuestMemoryConfig cfg;
+  cfg.ram_bytes = 64 * kMiB;
+  cfg.page_bytes = kMiB;
+  cfg.base_used_bytes = 8 * kMiB;
+  return cfg;
+}
+
+TEST(GuestMemory, BaselineIsUsedAndDirty) {
+  GuestMemory m(small_cfg());
+  EXPECT_EQ(m.used_bytes(), 8 * kMiB);
+  EXPECT_EQ(m.dirty_bytes(), 8 * kMiB);
+  EXPECT_EQ(m.pages(), 64u);
+}
+
+TEST(GuestMemory, TouchRangeMarksWholePages) {
+  GuestMemory m(small_cfg());
+  m.touch_range(10 * kMiB + 1, 1);  // one byte inside page 10
+  EXPECT_EQ(m.used_bytes(), 9 * kMiB);
+  m.touch_range(20 * kMiB - 1, 2);  // straddles pages 19 and 20
+  EXPECT_EQ(m.used_bytes(), 11 * kMiB);
+}
+
+TEST(GuestMemory, TouchBeyondRamIsClamped) {
+  GuestMemory m(small_cfg());
+  m.touch_range(63 * kMiB, 10 * kMiB);
+  EXPECT_EQ(m.used_bytes(), 9 * kMiB);  // only the last page added
+  m.touch_range(100 * kMiB, kMiB);      // entirely out of range: ignored
+  EXPECT_EQ(m.used_bytes(), 9 * kMiB);
+}
+
+TEST(GuestMemory, FullRoundReturnsUsedAndClearsDirty) {
+  GuestMemory m(small_cfg());
+  m.touch_range(30 * kMiB, 2 * kMiB);
+  EXPECT_EQ(m.begin_full_round(), 10 * kMiB);
+  EXPECT_EQ(m.dirty_bytes(), 0u);
+  EXPECT_EQ(m.used_bytes(), 10 * kMiB);  // used survives
+}
+
+TEST(GuestMemory, DirtyRoundsAccumulateBetweenSnapshots) {
+  GuestMemory m(small_cfg());
+  m.begin_full_round();
+  m.touch_range(0, 3 * kMiB);  // re-dirty 3 already-used pages
+  EXPECT_EQ(m.take_dirty_round(), 3 * kMiB);
+  EXPECT_EQ(m.take_dirty_round(), 0u);  // nothing new
+}
+
+TEST(GuestMemory, RewritingSamePageCountsOnce) {
+  GuestMemory m(small_cfg());
+  m.begin_full_round();
+  for (int i = 0; i < 100; ++i) m.touch_range(5 * kMiB, kMiB);
+  EXPECT_EQ(m.take_dirty_round(), kMiB);
+}
+
+TEST(GuestMemory, RandomTouchStaysInWorkingSet) {
+  GuestMemory m(small_cfg());
+  m.begin_full_round();
+  sim::Rng rng(1);
+  m.touch_random(/*ws_offset=*/16 * kMiB, /*ws_len=*/8 * kMiB, /*len=*/64 * kMiB, rng);
+  // At most the whole working set can be dirtied per call.
+  EXPECT_LE(m.take_dirty_round(), 8 * kMiB);
+  EXPECT_EQ(m.used_bytes(), 8 * kMiB + 8 * kMiB);  // base + ws fully touched
+}
+
+TEST(GuestMemory, RandomTouchSmallAmountDirtiesFewPages) {
+  GuestMemory m(small_cfg());
+  m.begin_full_round();
+  sim::Rng rng(1);
+  m.touch_random(16 * kMiB, 32 * kMiB, kMiB, rng);
+  EXPECT_EQ(m.take_dirty_round(), kMiB);  // one page worth
+}
+
+TEST(GuestMemory, DirtyNeverExceedsUsed) {
+  GuestMemory m(small_cfg());
+  sim::Rng rng(2);
+  m.touch_random(8 * kMiB, 16 * kMiB, 4 * kMiB, rng);
+  EXPECT_LE(m.dirty_bytes(), m.used_bytes());
+}
+
+}  // namespace
+}  // namespace hm::vm
+
+namespace hm::vm {
+namespace {
+
+TEST(GuestMemoryRelease, ReleaseFreesUsedAndDirty) {
+  GuestMemory m(small_cfg());
+  m.touch_range(20 * kMiB, 4 * kMiB);
+  EXPECT_EQ(m.used_bytes(), 12 * kMiB);
+  m.release_range(20 * kMiB, 4 * kMiB);
+  EXPECT_EQ(m.used_bytes(), 8 * kMiB);   // back to the baseline
+  EXPECT_EQ(m.dirty_bytes(), 8 * kMiB);  // released pages are not dirty
+}
+
+TEST(GuestMemoryRelease, ReleaseOfUntouchedRangeIsNoop) {
+  GuestMemory m(small_cfg());
+  m.release_range(40 * kMiB, 8 * kMiB);
+  EXPECT_EQ(m.used_bytes(), 8 * kMiB);
+}
+
+TEST(GuestMemoryRelease, ReleasedPagesNotMigrated) {
+  GuestMemory m(small_cfg());
+  m.touch_range(30 * kMiB, 10 * kMiB);
+  m.release_range(30 * kMiB, 10 * kMiB);
+  EXPECT_EQ(m.begin_full_round(), 8 * kMiB);  // round 0 skips freed pages
+}
+
+TEST(GuestMemoryRelease, RetouchAfterReleaseWorks) {
+  GuestMemory m(small_cfg());
+  m.touch_range(30 * kMiB, kMiB);
+  m.release_range(30 * kMiB, kMiB);
+  m.touch_range(30 * kMiB, kMiB);
+  EXPECT_EQ(m.used_bytes(), 9 * kMiB);
+}
+
+}  // namespace
+}  // namespace hm::vm

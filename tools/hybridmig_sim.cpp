@@ -1,0 +1,179 @@
+// hybridmig_sim — command-line experiment runner.
+//
+// Runs one live-migration experiment with configurable approach, workload
+// and scale, printing the paper's metrics. Examples:
+//
+//   hybridmig_sim --approach=our-approach --workload=ior
+//   hybridmig_sim --approach=precopy --workload=asyncwr --migrations=4
+//   hybridmig_sim --approach=pvfs-shared --workload=cm1 --grid=4x4
+//   hybridmig_sim --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "cloud/experiment.h"
+#include "cloud/report.h"
+
+using namespace hm;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "hybridmig_sim — hybrid local storage transfer simulation (HPDC'12)\n"
+      "\n"
+      "  --approach=NAME     our-approach | mirror | postcopy | precopy | pvfs-shared\n"
+      "  --workload=NAME     ior | asyncwr | cm1 | none\n"
+      "  --vms=N             number of source VMs (default 1; cm1 uses grid)\n"
+      "  --migrations=N      how many VMs to migrate (default 1)\n"
+      "  --destinations=N    destination nodes (default = migrations)\n"
+      "  --migrate-at=SEC    first migration initiation time (default 100)\n"
+      "  --interval=SEC      delay between successive migrations (default 0)\n"
+      "  --threshold=N       hybrid write-count threshold (default 3)\n"
+      "  --chunk-kib=N       chunk/stripe size in KiB (default 256)\n"
+      "  --grid=XxY          cm1 rank grid (default 8x8)\n"
+      "  --iterations=N      workload iterations (ior default 30, asyncwr 1800)\n"
+      "  --seed=N            RNG seed (default 42)\n"
+      "  --baseline          disable migrations (reference run)\n"
+      "  --list              print the approach summary (paper Table 1)\n";
+}
+
+std::optional<std::string> arg_value(const char* arg, const char* key) {
+  const std::size_t klen = std::strlen(key);
+  if (std::strncmp(arg, key, klen) == 0 && arg[klen] == '=')
+    return std::string(arg + klen + 1);
+  return std::nullopt;
+}
+
+std::optional<core::Approach> parse_approach(const std::string& s) {
+  for (core::Approach a :
+       {core::Approach::kHybrid, core::Approach::kMirror, core::Approach::kPostcopy,
+        core::Approach::kPrecopy, core::Approach::kPvfsShared}) {
+    if (s == core::approach_name(a)) return a;
+  }
+  if (s == "hybrid") return core::Approach::kHybrid;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cloud::ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 40;
+  cfg.workload = cloud::WorkloadKind::kIor;
+  cfg.ior.iterations = 30;
+  cfg.ior.file_offset = storage::kGiB;
+  cfg.asyncwr.file_offset = storage::kGiB;
+  cfg.max_sim_time = 7200.0;
+  bool explicit_dests = false;
+  int iterations = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage();
+      return 0;
+    }
+    if (std::strcmp(arg, "--list") == 0) {
+      cloud::print_table1(std::cout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--baseline") == 0) {
+      cfg.perform_migrations = false;
+      continue;
+    }
+    if (auto v = arg_value(arg, "--approach")) {
+      auto a = parse_approach(*v);
+      if (!a) {
+        std::cerr << "unknown approach: " << *v << "\n";
+        return 2;
+      }
+      cfg.approach = *a;
+      continue;
+    }
+    if (auto v = arg_value(arg, "--workload")) {
+      if (*v == "ior") cfg.workload = cloud::WorkloadKind::kIor;
+      else if (*v == "asyncwr") cfg.workload = cloud::WorkloadKind::kAsyncWr;
+      else if (*v == "cm1") cfg.workload = cloud::WorkloadKind::kCm1;
+      else if (*v == "none") cfg.workload = cloud::WorkloadKind::kNone;
+      else {
+        std::cerr << "unknown workload: " << *v << "\n";
+        return 2;
+      }
+      continue;
+    }
+    if (auto v = arg_value(arg, "--vms")) { cfg.num_vms = std::stoul(*v); continue; }
+    if (auto v = arg_value(arg, "--migrations")) {
+      cfg.num_migrations = std::stoul(*v);
+      if (!explicit_dests) cfg.num_destinations = cfg.num_migrations;
+      continue;
+    }
+    if (auto v = arg_value(arg, "--destinations")) {
+      cfg.num_destinations = std::stoul(*v);
+      explicit_dests = true;
+      continue;
+    }
+    if (auto v = arg_value(arg, "--migrate-at")) { cfg.first_migration_at = std::stod(*v); continue; }
+    if (auto v = arg_value(arg, "--interval")) { cfg.migration_interval_s = std::stod(*v); continue; }
+    if (auto v = arg_value(arg, "--threshold")) {
+      cfg.approach_cfg.hybrid.threshold = static_cast<std::uint32_t>(std::stoul(*v));
+      continue;
+    }
+    if (auto v = arg_value(arg, "--chunk-kib")) {
+      cfg.cluster.image.chunk_bytes = static_cast<std::uint32_t>(std::stoul(*v)) * 1024;
+      continue;
+    }
+    if (auto v = arg_value(arg, "--grid")) {
+      const auto x = v->find('x');
+      if (x == std::string::npos) {
+        std::cerr << "--grid expects XxY\n";
+        return 2;
+      }
+      cfg.cm1.grid_x = std::stoi(v->substr(0, x));
+      cfg.cm1.grid_y = std::stoi(v->substr(x + 1));
+      continue;
+    }
+    if (auto v = arg_value(arg, "--iterations")) { iterations = std::stoi(*v); continue; }
+    if (auto v = arg_value(arg, "--seed")) { cfg.seed = std::stoull(*v); continue; }
+    std::cerr << "unknown argument: " << arg << " (try --help)\n";
+    return 2;
+  }
+  if (iterations > 0) {
+    cfg.ior.iterations = iterations;
+    cfg.asyncwr.iterations = iterations;
+    cfg.cm1.num_outputs = iterations;
+  }
+  if (cfg.workload == cloud::WorkloadKind::kCm1 &&
+      cfg.cluster.num_nodes < static_cast<std::size_t>(cfg.cm1.ranks()) + 8) {
+    cfg.cluster.num_nodes = static_cast<std::size_t>(cfg.cm1.ranks()) + 8;
+  }
+
+  std::cout << "approach=" << core::approach_name(cfg.approach)
+            << " workload=" << cloud::workload_name(cfg.workload)
+            << " vms=" << cfg.num_vms << " migrations="
+            << (cfg.perform_migrations ? cfg.num_migrations : 0) << "\n";
+
+  cloud::Experiment exp(std::move(cfg));
+  cloud::ExperimentResult res = exp.run();
+
+  std::cout << "\ncompleted:          " << (res.completed ? "yes" : "NO (guard hit)")
+            << "\nsimulated time:     " << cloud::fmt_seconds(res.sim_duration)
+            << "\napp execution time: " << cloud::fmt_seconds(res.app_execution_time)
+            << "\navg migration time: " << cloud::fmt_seconds(res.avg_migration_time)
+            << "\nmax downtime:       " << cloud::fmt_double(res.max_downtime * 1e3, 1)
+            << " ms\n";
+  std::cout << "\ntraffic by class:\n";
+  for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i) {
+    const auto cls = static_cast<net::TrafficClass>(i);
+    if (res.traffic(cls) > 0)
+      std::cout << "  " << net::traffic_class_name(cls) << ": "
+                << cloud::fmt_bytes(res.traffic(cls)) << "\n";
+  }
+  std::cout << "  total: " << cloud::fmt_bytes(res.total_traffic) << "\n";
+  std::cout << "\nin-VM throughput: write " << cloud::fmt_bytes(res.write_Bps)
+            << "/s, read " << cloud::fmt_bytes(res.read_Bps) << "/s\n";
+  return res.completed ? 0 : 1;
+}

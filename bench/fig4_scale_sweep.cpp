@@ -1,0 +1,73 @@
+// Engine-perf scaling sweep: Figure 4's concurrent-migration axis pushed to
+// datacenter scale (2 -> 256 simultaneous migrations under AsyncWR I/O
+// pressure). Emits one JSON object per scenario on stdout so BENCH_*.json
+// files can track the engine-throughput trajectory (events/sec, flows/sec,
+// wall ms) across PRs, alongside the virtual-time results they must not
+// perturb.
+//
+// Usage: fig4_scale_sweep [max_concurrency]   (default 256)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+
+using namespace hm;
+using namespace hm::bench;
+
+namespace {
+
+// Paper network parameters, but a leaner per-VM footprint so the 256-way
+// point stays a seconds-scale run: the sweep stresses the engine (flow
+// churn, solver pressure), not the figure's absolute migration times.
+cloud::ExperimentConfig scale_config(std::size_t n) {
+  cloud::ExperimentConfig cfg = asyncwr_config(core::Approach::kHybrid);
+  cfg.cluster.image = storage::ImageConfig{1 * kGiB, 256 * static_cast<std::uint32_t>(kKiB)};
+  cfg.vm.memory.ram_bytes = 1 * kGiB;
+  cfg.vm.memory.base_used_bytes = 128 * kMiB;
+  cfg.vm.cache.capacity_bytes = 768 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 256 * kMiB;
+  cfg.asyncwr.iterations = 300;
+  cfg.asyncwr.file_offset = 256 * kMiB;  // must stay inside the 1 GiB image
+  cfg.first_migration_at = 20.0;
+  cfg.cluster.nodes_per_switch = 20;
+  cfg.cluster.switch_uplink_Bps = 1.25e9;
+  cfg.num_vms = n;
+  cfg.num_migrations = n;
+  cfg.num_destinations = n;
+  cfg.migration_interval_s = 0.0;  // simultaneous: worst-case churn epoch
+  cfg.cluster.num_nodes = 2 * n + 8;
+  cfg.max_sim_time = 3600.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t max_n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  std::cout << "[\n";
+  bool first = true;
+  for (std::size_t n = 2; n <= max_n; n *= 2) {
+    cloud::Experiment exp(scale_config(n));
+    const ExperimentResult r = exp.run();
+    const double wall_s = r.wall_ms / 1e3;
+    if (!first) std::cout << ",\n";
+    first = false;
+    std::cout << "  {\"concurrent_migrations\": " << n
+              << ", \"completed\": " << (r.completed ? "true" : "false")
+              << ", \"sim_s\": " << r.sim_duration
+              << ", \"wall_ms\": " << r.wall_ms
+              << ", \"events\": " << r.engine_events
+              << ", \"events_per_sec\": " << (wall_s > 0 ? r.engine_events / wall_s : 0)
+              << ", \"flows\": " << r.engine_flows
+              << ", \"flows_per_sec\": " << (wall_s > 0 ? r.engine_flows / wall_s : 0)
+              << ", \"solver_recomputes\": " << r.engine_recomputes
+              << ", \"avg_migration_s\": " << r.avg_migration_time
+              << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024)
+              << "}";
+    std::cerr << "fig4_scale: n=" << n << " wall=" << r.wall_ms << " ms, "
+              << r.engine_events << " events\n";
+  }
+  std::cout << "\n]\n";
+  return 0;
+}

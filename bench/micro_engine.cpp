@@ -14,17 +14,38 @@ using namespace hm;
 
 void BM_EventThroughput(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
   for (auto _ : state) {
     sim::Simulator s;
     int count = 0;
     for (int i = 0; i < n; ++i)
       s.schedule(static_cast<double>(i) * 1e-6, [&count] { ++count; });
     s.run();
+    events += s.events_processed();
     benchmark::DoNotOptimize(count);
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["events/sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Timer cancellation churn: schedule/cancel pairs exercise handle overhead
+// (previously weak_ptr lock, now generation-counter checks).
+void BM_TimerCancelChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < n; ++i) {
+      auto t = s.schedule(1.0, [] {});
+      t.cancel();
+      benchmark::DoNotOptimize(t.active());
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TimerCancelChurn)->Arg(100000);
 
 sim::Task ping_pong(sim::Simulator* s, int hops) {
   for (int i = 0; i < hops; ++i) co_await s->delay(1e-6);
@@ -59,6 +80,39 @@ void BM_FlowNetworkChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flows);
 }
 BENCHMARK(BM_FlowNetworkChurn)->Arg(64)->Arg(256)->Arg(1024);
+
+// Water-filling solver under chunk-burst churn: the BACKGROUND_PUSH pattern
+// of the paper — waves of equal-size chunk transfers released at the same
+// virtual instant across a shared fabric. Dominated by how many max-min
+// solves the engine runs per wave (N without epoch batching, 1 with).
+sim::Task burst_member(net::FlowNetwork* net, net::NodeId a, net::NodeId b) {
+  co_await net->transfer(a, b, 256.0 * 1024, net::TrafficClass::kStoragePush);
+}
+
+void BM_WaterFill(benchmark::State& state) {
+  const int flows_per_wave = static_cast<int>(state.range(0));
+  constexpr int kWaves = 8;
+  constexpr int kNodes = 32;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::FlowNetwork net(s, net::FlowNetworkConfig{8e9, 0.0, 8e9});
+    std::vector<net::NodeId> nodes;
+    for (int i = 0; i < kNodes; ++i) nodes.push_back(net.add_node(117.5e6));
+    for (int w = 0; w < kWaves; ++w) {
+      s.schedule(w * 0.5, [&net, &s, &nodes, flows_per_wave] {
+        for (int i = 0; i < flows_per_wave; ++i)
+          s.spawn(burst_member(&net, nodes[i % kNodes], nodes[(i + 11) % kNodes]));
+      });
+    }
+    s.run();
+    events += s.events_processed();
+  }
+  state.SetItemsProcessed(state.iterations() * flows_per_wave * kWaves);
+  state.counters["events/sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WaterFill)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 sim::Task write_chunks(storage::ChunkStore* store, int n) {
   for (int i = 0; i < n; ++i)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace hm::cloud {
 
@@ -110,6 +111,7 @@ ExperimentResult Experiment::run() {
   auto finished = [&] {
     return workload_done.count() == 0 && migrations_done.count() == 0;
   };
+  const auto wall_start = std::chrono::steady_clock::now();
   while (!finished()) {
     if (!simulator.step()) break;
     if (cfg_.max_sim_time > 0 && simulator.now() > cfg_.max_sim_time) {
@@ -117,6 +119,9 @@ ExperimentResult Experiment::run() {
       break;
     }
   }
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
 
   // --- collect ----------------------------------------------------------------
   res.approach = core::approach_name(cfg_.approach);
@@ -129,6 +134,10 @@ ExperimentResult Experiment::run() {
   res.max_downtime = mw.metrics().max_downtime();
 
   auto& network = cluster.network();
+  res.engine_events = simulator.events_processed();
+  res.engine_flows = network.flows_started();
+  res.engine_recomputes = network.recompute_count();
+
   for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
     res.traffic_bytes[i] = network.traffic_bytes(static_cast<net::TrafficClass>(i));
   res.total_traffic = network.total_traffic_bytes();

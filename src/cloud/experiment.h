@@ -76,6 +76,12 @@ struct ExperimentResult {
   double cpu_seconds_total = 0;
   double app_execution_time = 0;  // workload span (CM1: whole application)
 
+  // Engine throughput (the perf trajectory the scale sweeps track).
+  std::uint64_t engine_events = 0;      // simulator events processed
+  std::uint64_t engine_flows = 0;       // network flows started
+  std::uint64_t engine_recomputes = 0;  // max-min solver invocations
+  double wall_ms = 0;                   // host wall-clock for the run loop
+
   double traffic(net::TrafficClass c) const {
     return traffic_bytes[static_cast<std::size_t>(c)];
   }

@@ -47,7 +47,7 @@ enum class PullOrder : std::uint8_t {
 struct DedupConfig {
   bool enabled = false;
   double duplicate_fraction = 0.0;
-  double fingerprint_bytes = 64;
+  std::uint32_t fingerprint_bytes = 64;
 };
 
 struct HybridConfig {
@@ -58,9 +58,11 @@ struct HybridConfig {
   bool push_enabled = true;
   PullOrder pull_order = PullOrder::kByWriteCount;
   /// Wire size of one (chunk id, write count) entry in TRANSFER_IO_CONTROL.
-  double list_entry_bytes = 12;
+  /// Wire sizes are integral byte counts; they only become doubles at the
+  /// fluid-flow boundary (net::FlowNetwork::transfer).
+  std::uint32_t list_entry_bytes = 12;
   /// Wire size of one pull request.
-  double pull_request_bytes = 256;
+  std::uint32_t pull_request_bytes = 256;
   DedupConfig dedup{};
 
   static constexpr std::uint32_t kUnlimitedThreshold =

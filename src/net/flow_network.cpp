@@ -57,17 +57,71 @@ void FlowNetwork::reset_traffic() noexcept {
   for (double& t : traffic_) t = 0;
 }
 
-double FlowNetwork::current_rate_sum() const noexcept {
-  double s = 0;
-  for (const auto& [id, f] : flows_) s += f->rate;
-  return s;
+double FlowNetwork::flow_rate(NodeId src, NodeId dst) const noexcept {
+  const auto it = pair_rates_.find(pair_key(src, dst));
+  return it == pair_rates_.end() ? 0.0 : it->second.rate;
 }
 
-double FlowNetwork::flow_rate(NodeId src, NodeId dst) const noexcept {
-  double s = 0;
-  for (const auto& [id, f] : flows_)
-    if (f->src == src && f->dst == dst) s += f->rate;
-  return s;
+std::uint32_t FlowNetwork::alloc_flow_slot() {
+  if (free_head_ != kNilIndex) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = flow_slots_[slot].next_free;
+    return slot;
+  }
+  flow_slots_.emplace_back();
+  return static_cast<std::uint32_t>(flow_slots_.size() - 1);
+}
+
+void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
+  FlowSlot& fs = flow_slots_[slot];
+  Flow& f = fs.flow;
+  auto it = pair_rates_.find(pair_key(f.src, f.dst));
+  if (it != pair_rates_.end()) {
+    it->second.rate -= f.rate;
+    if (--it->second.count == 0) pair_rates_.erase(it);  // also resets FP dust
+  }
+  f.done.reset();
+  fs.in_use = false;
+  ++fs.gen;
+  if (fs.live_prev != kNilIndex)
+    flow_slots_[fs.live_prev].live_next = fs.live_next;
+  else
+    live_head_ = fs.live_next;
+  if (fs.live_next != kNilIndex) flow_slots_[fs.live_next].live_prev = fs.live_prev;
+  fs.live_next = fs.live_prev = kNilIndex;
+  fs.next_free = free_head_;
+  free_head_ = slot;
+  --live_flows_;
+}
+
+void FlowNetwork::apply_rate(Flow& f, double new_rate, std::uint32_t slot) {
+  if (new_rate != f.rate) {
+    auto& pr = pair_rates_[pair_key(f.src, f.dst)];
+    pr.rate += new_rate - f.rate;
+    f.rate = new_rate;
+    push_projection(f, slot);
+  }
+  rate_sum_ += new_rate;
+}
+
+void FlowNetwork::push_projection(Flow& f, std::uint32_t slot) {
+  f.proj = f.rate > kEpsRate ? sim_.now() + f.remaining / f.rate : kUnlimitedRate;
+  if (!std::isfinite(f.proj)) return;  // stalled flows carry no completion entry
+  comp_heap_.push_back(CompEntry{f.proj, slot, flow_slots_[slot].gen});
+  std::push_heap(comp_heap_.begin(), comp_heap_.end(), CompLater{});
+}
+
+void FlowNetwork::mark_dirty() {
+  if (settle_pending_) return;
+  settle_pending_ = true;
+  settle_timer_ = sim_.schedule(0.0, [this] { on_settle(); });
+}
+
+void FlowNetwork::on_settle() {
+  settle_pending_ = false;
+  advance_to_now();
+  recompute_rates();
+  schedule_completion();
 }
 
 sim::Task FlowNetwork::transfer(NodeId src, NodeId dst, double bytes, TrafficClass cls,
@@ -84,22 +138,31 @@ sim::Task FlowNetwork::transfer(NodeId src, NodeId dst, double bytes, TrafficCla
 
   traffic_[static_cast<std::size_t>(cls)] += bytes;
 
-  const std::uint64_t id = next_flow_id_++;
-  auto flow = std::make_unique<Flow>();
-  flow->id = id;
-  flow->src = src;
-  flow->dst = dst;
-  flow->remaining = bytes;
-  flow->cap = rate_cap;
-  flow->cls = cls;
-  flow->done = std::make_unique<sim::Event>(sim_);
-  sim::Event& done = *flow->done;
-
   advance_to_now();
-  flows_.emplace(id, std::move(flow));
-  recompute_rates();
-  reschedule_completion();
+  const std::uint32_t slot = alloc_flow_slot();
+  FlowSlot& fs = flow_slots_[slot];
+  fs.in_use = true;
+  fs.live_prev = kNilIndex;
+  fs.live_next = live_head_;
+  if (live_head_ != kNilIndex) flow_slots_[live_head_].live_prev = slot;
+  live_head_ = slot;
+  Flow& f = fs.flow;
+  f.src = src;
+  f.dst = dst;
+  f.remaining = bytes;
+  f.rate = 0.0;
+  f.cap = rate_cap;
+  f.proj = kUnlimitedRate;
+  f.done.emplace(sim_);
+  ++pair_rates_[pair_key(src, dst)].count;
+  ++live_flows_;
+  ++flows_started_;
+  // Epoch batching: the max-min solve is deferred to a zero-delay settle
+  // event, so every other arrival in this virtual instant shares it. The
+  // flow carries rate 0 for zero virtual time, which integrates to nothing.
+  mark_dirty();
 
+  sim::Event& done = *f.done;  // outlives the slot reference below
   co_await done.wait();
 }
 
@@ -114,9 +177,10 @@ void FlowNetwork::advance_to_now() {
   const double now = sim_.now();
   const double dt = now - last_advance_;
   if (dt > 0) {
-    for (auto& [id, f] : flows_) {
-      f->remaining -= f->rate * dt;
-      if (f->remaining < 0) f->remaining = 0;
+    for (std::uint32_t s = live_head_; s != kNilIndex; s = flow_slots_[s].live_next) {
+      Flow& f = flow_slots_[s].flow;
+      f.remaining -= f.rate * dt;
+      if (f.remaining < 0) f.remaining = 0;
     }
   }
   last_advance_ = now;
@@ -126,6 +190,7 @@ void FlowNetwork::advance_to_now() {
 // some constraint (NIC egress/ingress, fabric, per-flow cap) saturates;
 // freeze the flows bound by it; repeat. Yields the max-min fair allocation.
 void FlowNetwork::recompute_rates() {
+  ++recompute_count_;
   const std::size_t n = nodes_.size();
   const std::size_t g = groups_.size();
   // Constraint layout: [0, n) egress, [n, 2n) ingress, [2n] fabric,
@@ -144,22 +209,18 @@ void FlowNetwork::recompute_rates() {
     cap_rem_[down_base + i] = groups_[i].uplink_Bps;
   }
 
-  struct Item {
-    Flow* f;
-    double alloc = 0.0;
-    bool frozen = false;
-    std::size_t constraints[5];
-    std::size_t n_constraints = 0;
-  };
-  std::vector<Item> items;
-  items.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
-    Item it{f.get(), 0.0, false, {}, 0};
-    it.constraints[it.n_constraints++] = f->src;
-    it.constraints[it.n_constraints++] = n + f->dst;
+  std::vector<SolverItem>& items = solver_items_;
+  items.clear();
+  items.reserve(live_flows_);
+  for (std::uint32_t slot = live_head_; slot != kNilIndex;
+       slot = flow_slots_[slot].live_next) {
+    Flow& f = flow_slots_[slot].flow;
+    SolverItem it{&f, slot, 0.0, false, {}, 0};
+    it.constraints[it.n_constraints++] = f.src;
+    it.constraints[it.n_constraints++] = n + f.dst;
     it.constraints[it.n_constraints++] = 2 * n;
-    const SwitchGroupId gs = nodes_[f->src].group;
-    const SwitchGroupId gd = nodes_[f->dst].group;
+    const SwitchGroupId gs = nodes_[f.src].group;
+    const SwitchGroupId gd = nodes_[f.dst].group;
     if (gs != gd) {
       it.constraints[it.n_constraints++] = up_base + gs;
       it.constraints[it.n_constraints++] = down_base + gd;
@@ -176,21 +237,21 @@ void FlowNetwork::recompute_rates() {
       if (cap_users_[c] > 0 && std::isfinite(cap_rem_[c]))
         inc = std::min(inc, cap_rem_[c] / cap_users_[c]);
     }
-    for (const Item& it : items) {
+    for (const SolverItem& it : items) {
       if (!it.frozen && std::isfinite(it.f->cap))
         inc = std::min(inc, it.f->cap - it.alloc);
     }
     if (!std::isfinite(inc)) break;  // no binding constraint (shouldn't happen)
     if (inc < 0) inc = 0;
 
-    for (Item& it : items) {
+    for (SolverItem& it : items) {
       if (it.frozen) continue;
       it.alloc += inc;
       for (std::size_t c = 0; c < it.n_constraints; ++c) cap_rem_[it.constraints[c]] -= inc;
     }
     // Freeze flows whose cap is met or that cross a saturated constraint.
     bool froze_any = false;
-    for (Item& it : items) {
+    for (SolverItem& it : items) {
       if (it.frozen) continue;
       const bool cap_hit = std::isfinite(it.f->cap) && it.alloc >= it.f->cap - kEpsRate;
       bool constraint_hit = false;
@@ -210,36 +271,71 @@ void FlowNetwork::recompute_rates() {
     if (!froze_any && inc <= kEpsRate) break;  // numerical safety
   }
 
-  for (Item& it : items) it.f->rate = it.alloc;
+  // Publish: incremental pair-rate maintenance, fresh (drift-free) rate sum,
+  // and new completion projections only for flows whose rate changed.
+  rate_sum_ = 0.0;
+  for (SolverItem& it : items) apply_rate(*it.f, it.alloc, it.slot);
 }
 
-void FlowNetwork::reschedule_completion() {
-  completion_timer_.cancel();
-  if (flows_.empty()) return;
-  double dt_min = kUnlimitedRate;
-  for (const auto& [id, f] : flows_) {
-    if (f->rate > kEpsRate) dt_min = std::min(dt_min, f->remaining / f->rate);
+void FlowNetwork::schedule_completion() {
+  // Purge stale heads (finished flows or superseded projections), then make
+  // sure the single completion timer tracks the earliest live projection.
+  while (!comp_heap_.empty()) {
+    const CompEntry& top = comp_heap_.front();
+    const FlowSlot& fs = flow_slots_[top.slot];
+    if (fs.in_use && fs.gen == top.gen && top.t == fs.flow.proj) break;
+    std::pop_heap(comp_heap_.begin(), comp_heap_.end(), CompLater{});
+    comp_heap_.pop_back();
   }
-  if (!std::isfinite(dt_min)) return;  // all flows stalled (rate 0)
-  completion_timer_ = sim_.schedule(std::max(dt_min, 0.0), [this] { on_completion_timer(); });
+  if (comp_heap_.empty()) {
+    completion_timer_.cancel();
+    completion_timer_t_ = -1.0;
+    return;
+  }
+  const double t = comp_heap_.front().t;
+  if (completion_timer_.active() && completion_timer_t_ == t) return;
+  completion_timer_.cancel();
+  completion_timer_ = sim_.schedule_at(t, [this] { on_completion_timer(); });
+  completion_timer_t_ = t;
 }
 
 void FlowNetwork::on_completion_timer() {
   advance_to_now();
-  std::vector<std::unique_ptr<sim::Event>> finished;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (flow_is_done(it->second->remaining, it->second->rate)) {
-      finished.push_back(std::move(it->second->done));
-      it = flows_.erase(it);
+  if (settle_pending_) {
+    // This solve will cover any arrivals queued behind us in this instant.
+    settle_timer_.cancel();
+    settle_pending_ = false;
+  }
+  finished_scratch_.clear();
+  while (!comp_heap_.empty()) {
+    const CompEntry top = comp_heap_.front();
+    const FlowSlot& fs = flow_slots_[top.slot];
+    const bool stale = !fs.in_use || fs.gen != top.gen || top.t != fs.flow.proj;
+    if (!stale && top.t > sim_.now()) break;
+    std::pop_heap(comp_heap_.begin(), comp_heap_.end(), CompLater{});
+    comp_heap_.pop_back();
+    if (stale) continue;
+    Flow& f = flow_slots_[top.slot].flow;
+    if (flow_is_done(f.remaining, f.rate) ||
+        (f.rate > kEpsRate && sim_.now() + f.remaining / f.rate <= sim_.now())) {
+      // Done, or the residue is below the clock's resolution at this
+      // magnitude (re-projecting would spin on the same timestamp).
+      finished_scratch_.push_back(top.slot);
+      f.proj = -1.0;  // no entry can match: duplicates turn stale immediately
     } else {
-      ++it;
+      // Projection drifted (FP residue): re-project from current state.
+      push_projection(f, top.slot);
     }
   }
+  // set() only enqueues wakeups, so firing before the recompute is
+  // equivalent to after it — but the events must fire while their slots
+  // are still alive, and the slots must be free before the solve.
+  for (std::uint32_t slot : finished_scratch_) {
+    flow_slots_[slot].flow.done->set();
+    release_flow_slot(slot);
+  }
   recompute_rates();
-  reschedule_completion();
-  // Firing after rate recomputation: flows started by woken waiters will
-  // trigger their own recompute via transfer().
-  for (auto& done : finished) done->set();
+  schedule_completion();
 }
 
 }  // namespace hm::net

@@ -12,11 +12,27 @@
 // evaluation hinges on: pre-copy non-convergence when the dirty rate exceeds
 // the NIC share, fabric saturation under 30 concurrent migrations, and
 // contention between memory and storage transfer streams.
+//
+// Engine notes (datacenter-scale sweeps):
+//  * Epoch batching — flow arrivals at one virtual timestamp are coalesced
+//    into a single deferred max-min solve (a zero-delay "settle" event), so
+//    a burst of N chunk pushes costs one recompute instead of N. The solved
+//    rates are identical because no virtual time passes inside the epoch.
+//  * Flows live in a slab of slots recycled through a free list; the
+//    completion event is an intrusive member, so starting a flow performs
+//    no per-flow heap allocation in steady state.
+//  * Completions come from a min-heap of projected finish times that is
+//    invalidated lazily: entries are re-validated against the flow's
+//    current projection when popped instead of being rescanned (the old
+//    engine walked every flow after each event).
+//  * flow_rate()/current_rate_sum() are maintained incrementally and cost
+//    O(1) per query.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <limits>
-#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -95,21 +111,39 @@ class FlowNetwork {
   /// Zero all traffic counters (used to discount warm-up phases).
   void reset_traffic() noexcept;
 
-  // --- introspection (tests) ----------------------------------------------
-  std::size_t active_flows() const noexcept { return flows_.size(); }
-  double current_rate_sum() const noexcept;
+  // --- introspection (tests, benches) -------------------------------------
+  std::size_t active_flows() const noexcept { return live_flows_; }
+  double current_rate_sum() const noexcept { return live_flows_ ? rate_sum_ : 0.0; }
   double flow_rate(NodeId src, NodeId dst) const noexcept;  // sum over matching flows
+  /// Max-min solver invocations so far; lets tests assert that a burst of
+  /// same-timestamp arrivals settles with exactly one recompute.
+  std::uint64_t recompute_count() const noexcept { return recompute_count_; }
+  /// True while an epoch-settle event is queued (arrivals not yet solved).
+  bool settle_pending() const noexcept { return settle_pending_; }
+  /// Flows ever started (engine-throughput metric for the scale sweeps).
+  std::uint64_t flows_started() const noexcept { return flows_started_; }
 
  private:
+  static constexpr std::uint32_t kNilIndex = 0xffffffffu;
+
   struct Flow {
-    std::uint64_t id;
-    NodeId src;
-    NodeId dst;
-    double remaining;
+    NodeId src = 0;
+    NodeId dst = 0;
+    double remaining = 0;
     double rate = 0.0;
-    double cap;
-    TrafficClass cls;
-    std::unique_ptr<sim::Event> done;
+    double cap = kUnlimitedRate;
+    double proj = kUnlimitedRate;  // projected completion (absolute time)
+    std::optional<sim::Event> done;  // intrusive; emplaced per use of the slot
+  };
+  struct FlowSlot {
+    Flow flow;
+    std::uint32_t gen = 0;  // bumped on release; completion entries compare it
+    std::uint32_t next_free = kNilIndex;
+    // Intrusive doubly-linked list of live slots, so advancing and solving
+    // cost O(live flows), not O(peak slab size).
+    std::uint32_t live_next = kNilIndex;
+    std::uint32_t live_prev = kNilIndex;
+    bool in_use = false;
   };
   struct Node {
     double egress_Bps;
@@ -119,25 +153,80 @@ class FlowNetwork {
   struct Group {
     double uplink_Bps;
   };
+  /// Lazily-invalidated projected completion; stale when the generation or
+  /// the projection no longer matches the flow.
+  struct CompEntry {
+    double t;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct CompLater {
+    bool operator()(const CompEntry& a, const CompEntry& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.slot > b.slot;
+    }
+  };
+
+  std::uint32_t alloc_flow_slot();
+  void release_flow_slot(std::uint32_t slot) noexcept;
+  static std::uint64_t pair_key(NodeId src, NodeId dst) noexcept {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+  void apply_rate(Flow& f, double new_rate, std::uint32_t slot);
+  void push_projection(Flow& f, std::uint32_t slot);
+  /// Schedule the epoch-settle event if one is not already pending.
+  void mark_dirty();
+  void on_settle();
 
   void advance_to_now();
   void recompute_rates();
-  void reschedule_completion();
+  void schedule_completion();
   void on_completion_timer();
 
   sim::Simulator& sim_;
   FlowNetworkConfig cfg_;
   std::vector<Node> nodes_;
   std::vector<Group> groups_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows_;
-  std::uint64_t next_flow_id_ = 1;
+
+  // Slab of flow slots. A deque so the non-movable intrusive Event (and any
+  // outstanding references into a slot) survive slab growth.
+  std::deque<FlowSlot> flow_slots_;
+  std::uint32_t free_head_ = kNilIndex;
+  std::uint32_t live_head_ = kNilIndex;
+  std::size_t live_flows_ = 0;
+
   double last_advance_ = 0.0;
+  bool settle_pending_ = false;
+  sim::Simulator::Timer settle_timer_;
+
+  std::vector<CompEntry> comp_heap_;
   sim::Simulator::Timer completion_timer_;
+  double completion_timer_t_ = -1.0;
+
+  double rate_sum_ = 0.0;
+  struct PairRate {
+    double rate = 0.0;
+    std::uint32_t count = 0;
+  };
+  std::unordered_map<std::uint64_t, PairRate> pair_rates_;
+
+  std::uint64_t recompute_count_ = 0;
+  std::uint64_t flows_started_ = 0;
   double traffic_[kNumTrafficClasses] = {};
 
   // scratch buffers for the water-filling solver (avoid per-call allocs)
   std::vector<double> cap_rem_;
   std::vector<std::uint32_t> cap_users_;
+  struct SolverItem {
+    Flow* f;
+    std::uint32_t slot;
+    double alloc;
+    bool frozen;
+    std::size_t constraints[5];
+    std::size_t n_constraints;
+  };
+  std::vector<SolverItem> solver_items_;
+  std::vector<std::uint32_t> finished_scratch_;
 };
 
 }  // namespace hm::net

@@ -1,18 +1,29 @@
 #include "sim/simulator.h"
 
-#include <cassert>
+#include <algorithm>
 
 namespace hm::sim {
 
-Simulator::Timer Simulator::schedule(double delay, std::function<void()> fn) {
-  if (delay < 0) delay = 0;
-  auto entry = std::make_shared<Timer::Entry>();
-  entry->t = now_ + delay;
-  entry->seq = seq_++;
-  entry->fn = std::move(fn);
-  queue_.push(entry);
-  ++live_;
-  return Timer{entry};
+std::uint32_t Simulator::alloc_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+Simulator::Timer Simulator::schedule_at(double t, std::function<void()> fn) {
+  if (!(t > now_)) t = now_;
+  const std::uint32_t slot = alloc_slot();
+  assert(slot < (1u << kSlotBits));           // <= 16M concurrently pending
+  Slot& s = pool_[slot];
+  s.fn = std::move(fn);
+  s.cancelled = false;
+  assert(seq_ < (1ull << (64 - kSlotBits)));  // ~1.1e12 events per simulation
+  push_item(HeapItem{t, (seq_++ << kSlotBits) | slot});
+  return Timer{this, slot, s.gen};
 }
 
 void Simulator::spawn(Task t) {
@@ -22,19 +33,75 @@ void Simulator::spawn(Task t) {
   schedule(0.0, [h] { h.resume(); });
 }
 
+// 4-ary sift with a moving hole: half the depth of a binary heap and the
+// four children share a cache line, so ordering costs fewer misses.
+void Simulator::heap_push(HeapItem item) {
+  std::size_t i = heap_.size();
+  heap_.push_back(item);  // reserve the space; overwritten below
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+Simulator::HeapItem Simulator::pop_item() {
+  const bool have_tail = tail_head_ < tail_.size();
+  if (!heap_.empty() && (!have_tail || before(heap_.front(), tail_[tail_head_])))
+    return heap_pop();
+  const HeapItem item = tail_[tail_head_++];
+  if (tail_head_ == tail_.size()) {
+    tail_.clear();
+    tail_head_ = 0;
+  } else if (tail_head_ >= 1024 && tail_head_ * 2 >= tail_.size()) {
+    // Drop the consumed prefix so a long-lived run does not pin memory;
+    // amortized O(1) because at least half the entries left between trims.
+    tail_.erase(tail_.begin(), tail_.begin() + static_cast<std::ptrdiff_t>(tail_head_));
+    tail_head_ = 0;
+  }
+  return item;
+}
+
+Simulator::HeapItem Simulator::heap_pop() {
+  const HeapItem top = heap_.front();
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child = std::min(first_child + 4, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c)
+        if (before(heap_[c], heap_[best])) best = c;
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
 bool Simulator::pop_and_run() {
-  while (!queue_.empty()) {
-    EntryPtr e = queue_.top();
-    queue_.pop();
-    --live_;
-    if (e->cancelled) continue;
-    assert(e->t >= now_);
-    now_ = e->t;
-    e->fired = true;
+  while (pending_events() > 0) {
+    const HeapItem top = pop_item();
+    Slot& s = pool_[top.slot()];
+    if (s.cancelled) {
+      release_slot(top.slot());
+      continue;
+    }
+    assert(top.t >= now_);
+    now_ = top.t;
     ++processed_;
-    // Move the callback out so the entry can be reclaimed even if the
-    // callback re-schedules events.
-    auto fn = std::move(e->fn);
+    // Move the callback out and release the slot first, so the callback can
+    // re-schedule (and the pool recycle the slot) while it runs.
+    auto fn = std::move(s.fn);
+    release_slot(top.slot());
     fn();
     return true;
   }
@@ -49,12 +116,10 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(double t) {
-  while (!queue_.empty()) {
+  for (const HeapItem* top; (top = peek_item()) != nullptr;) {
     // Skip over cancelled entries without advancing time.
-    EntryPtr top = queue_.top();
-    if (top->cancelled) {
-      queue_.pop();
-      --live_;
+    if (pool_[top->slot()].cancelled) {
+      release_slot(pop_item().slot());
       continue;
     }
     if (top->t > t) break;

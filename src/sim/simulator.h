@@ -2,12 +2,18 @@
 // scheduling. All substrates (network, disks, hypervisor, workloads) run as
 // coroutines driven by one Simulator instance, giving fully deterministic
 // experiments.
+//
+// The event core is allocation-free in steady state: entries live in a
+// slab pool recycled through a free list, the pending set is an index-based
+// 4-ary heap whose items carry their (time, seq) sort keys inline (sifting
+// never touches the pool), and Timer handles validate against per-slot
+// generation counters instead of owning weak_ptrs.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/task.h"
@@ -24,33 +30,37 @@ class Simulator {
   double now() const noexcept { return now_; }
 
   /// Handle to a scheduled callback; cancellation is race-free because the
-  /// simulation is single-threaded.
+  /// simulation is single-threaded. A Timer is validated by a generation
+  /// counter, so handles outliving their entry (fired or cancelled) are
+  /// safely inert. Handles must not outlive the Simulator itself.
   class Timer {
    public:
     Timer() = default;
     void cancel() noexcept {
-      if (auto e = entry_.lock()) e->cancelled = true;
+      if (sim_) sim_->cancel_entry(slot_, gen_);
     }
-    bool active() const noexcept {
-      auto e = entry_.lock();
-      return e && !e->cancelled && !e->fired;
-    }
+    bool active() const noexcept { return sim_ && sim_->entry_active(slot_, gen_); }
 
    private:
     friend class Simulator;
-    struct Entry {
-      double t = 0;
-      std::uint64_t seq = 0;
-      std::function<void()> fn;
-      bool cancelled = false;
-      bool fired = false;
-    };
-    explicit Timer(std::weak_ptr<Entry> e) : entry_(std::move(e)) {}
-    std::weak_ptr<Entry> entry_;
+    Timer(Simulator* sim, std::uint32_t slot, std::uint64_t gen) noexcept
+        : sim_(sim), slot_(slot), gen_(gen) {}
+    Simulator* sim_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t gen_ = 0;
   };
 
   /// Schedule `fn` to run `delay` seconds from now (delay clamped to >= 0).
-  Timer schedule(double delay, std::function<void()> fn);
+  Timer schedule(double delay, std::function<void()> fn) {
+    double t = now_ + delay;
+    if (!(t > now_)) t = now_;  // clamps negative delays and NaN to "now"
+    return schedule_at(t, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute virtual time `t` (clamped to >= now). Used
+  /// where the caller already holds an absolute deadline (e.g. the flow
+  /// network's completion heap) and re-deriving a delay would round twice.
+  Timer schedule_at(double t, std::function<void()> fn);
 
   /// Detach a coroutine as a background process; it starts at the current
   /// virtual time, once the currently running event returns to the loop.
@@ -91,25 +101,91 @@ class Simulator {
   /// drains. Returns the predicate value.
   bool run_while_pending(const std::function<bool()>& done_pred);
 
-  std::size_t pending_events() const noexcept { return live_; }
+  std::size_t pending_events() const noexcept {
+    return heap_.size() + (tail_.size() - tail_head_);
+  }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
  private:
-  using EntryPtr = std::shared_ptr<Timer::Entry>;
-  struct Later {
-    bool operator()(const EntryPtr& a, const EntryPtr& b) const noexcept {
-      if (a->t != b->t) return a->t > b->t;
-      return a->seq > b->seq;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// Pooled entry; the sort keys live in HeapItem, not here.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint64_t gen = 0;  // bumped on release; Timer handles compare it
+    std::uint32_t next_free = kNilSlot;
+    bool cancelled = false;
+  };
+  /// Heap element with inline keys: sift operations stay within one
+  /// contiguous array, never dereferencing the pool. The 16-byte layout
+  /// packs (seq, slot) into one word so four children span one cache line;
+  /// comparing `key` directly yields FIFO order within a timestamp.
+  static constexpr unsigned kSlotBits = 24;  // <= 16M concurrently pending
+  struct HeapItem {
+    double t;
+    std::uint64_t key;  // (seq << kSlotBits) | slot
+    std::uint32_t slot() const noexcept {
+      return static_cast<std::uint32_t>(key & ((1u << kSlotBits) - 1));
     }
   };
+  static bool before(const HeapItem& a, const HeapItem& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.key < b.key;
+  }
+
+  // Two-lane pending set. DES schedules are overwhelmingly monotone (each
+  // event schedules successors at now + delay, and now only moves forward),
+  // so a push that is not earlier than the newest tail entry appends to a
+  // sorted-run FIFO in O(1); only out-of-order pushes pay the heap's
+  // O(log n). Pops take the smaller of the two lane heads.
+  void push_item(HeapItem item) {
+    if (tail_head_ == tail_.size()) {
+      tail_.clear();
+      tail_head_ = 0;
+    }
+    if (tail_.empty() || !before(item, tail_.back())) {
+      tail_.push_back(item);
+      return;
+    }
+    heap_push(item);
+  }
+  const HeapItem* peek_item() const noexcept {
+    const bool have_tail = tail_head_ < tail_.size();
+    if (heap_.empty()) return have_tail ? &tail_[tail_head_] : nullptr;
+    if (!have_tail || before(heap_.front(), tail_[tail_head_])) return &heap_.front();
+    return &tail_[tail_head_];
+  }
+  HeapItem pop_item();
+
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot) noexcept {
+    Slot& s = pool_[slot];
+    s.fn = nullptr;  // drop captured state promptly
+    s.cancelled = false;
+    ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+  void cancel_entry(std::uint32_t slot, std::uint64_t gen) noexcept {
+    if (slot < pool_.size() && pool_[slot].gen == gen) pool_[slot].cancelled = true;
+  }
+  bool entry_active(std::uint32_t slot, std::uint64_t gen) const noexcept {
+    return slot < pool_.size() && pool_[slot].gen == gen && !pool_[slot].cancelled;
+  }
+
+  void heap_push(HeapItem item);
+  HeapItem heap_pop();
 
   bool pop_and_run();
 
-  std::priority_queue<EntryPtr, std::vector<EntryPtr>, Later> queue_;
+  std::vector<HeapItem> heap_;  // out-of-order lane: implicit 4-ary min-heap
+  std::vector<HeapItem> tail_;  // monotone lane: sorted run consumed from tail_head_
+  std::size_t tail_head_ = 0;
+  std::vector<Slot> pool_;
+  std::uint32_t free_head_ = kNilSlot;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::size_t live_ = 0;  // queued entries not yet cancelled
 };
 
 }  // namespace hm::sim

@@ -1,8 +1,13 @@
 // Cross-approach invariants checked on the full pipeline (parameterized
-// property sweeps over approaches, seeds and chunk sizes).
+// property sweeps over approaches, seeds and chunk sizes), plus the
+// determinism regression guarding the epoch-batched solver and slab event
+// core: identical seeded runs must produce byte-identical virtual-time
+// results.
 #include <gtest/gtest.h>
 
 #include "cloud/experiment.h"
+#include "core/hybrid_migrator.h"
+#include "core/session_fixture.h"
 
 namespace hm::cloud {
 namespace {
@@ -86,6 +91,98 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       return n;
     });
+
+// --- Determinism regression --------------------------------------------------
+// EXPECT_EQ on doubles is exact: any reordering or FP drift introduced by the
+// engine (event pool, epoch batching, lazy completion heap) shows up here.
+
+void expect_byte_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.app_execution_time, b.app_execution_time);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.total_traffic, b.total_traffic);
+  for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
+    EXPECT_EQ(a.traffic_bytes[i], b.traffic_bytes[i]) << "class " << i;
+  ASSERT_EQ(a.migrations.size(), b.migrations.size());
+  for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+    const auto& ma = a.migrations[i];
+    const auto& mb = b.migrations[i];
+    EXPECT_EQ(ma.vm_id, mb.vm_id) << i;
+    EXPECT_EQ(ma.t_request, mb.t_request) << i;
+    EXPECT_EQ(ma.t_control_transfer, mb.t_control_transfer) << i;
+    EXPECT_EQ(ma.t_source_released, mb.t_source_released) << i;
+    EXPECT_EQ(ma.downtime_s, mb.downtime_s) << i;
+    EXPECT_EQ(ma.memory_rounds, mb.memory_rounds) << i;
+    EXPECT_EQ(ma.memory_bytes_sent, mb.memory_bytes_sent) << i;
+    EXPECT_EQ(ma.storage_chunks_pushed, mb.storage_chunks_pushed) << i;
+    EXPECT_EQ(ma.storage_chunks_pulled, mb.storage_chunks_pulled) << i;
+  }
+  // Engine work is part of the contract too: the same run must execute the
+  // same number of events, flows and solver passes.
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_EQ(a.engine_flows, b.engine_flows);
+  EXPECT_EQ(a.engine_recomputes, b.engine_recomputes);
+}
+
+class DeterminismSweep : public ::testing::TestWithParam<core::Approach> {};
+
+TEST_P(DeterminismSweep, RepeatedSeededRunIsByteIdentical) {
+  const ExperimentConfig cfg = tiny_config(GetParam());
+  expect_byte_identical(Experiment(cfg).run(), Experiment(cfg).run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Approaches, DeterminismSweep,
+    ::testing::Values(core::Approach::kHybrid, core::Approach::kMirror,
+                      core::Approach::kPostcopy, core::Approach::kPrecopy,
+                      core::Approach::kPvfsShared),
+    [](const ::testing::TestParamInfo<core::Approach>& info) {
+      std::string n = core::approach_name(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(Determinism, SimultaneousMigrationsAreByteIdentical) {
+  // Three migrations launched in the same virtual instant maximize
+  // same-epoch batching — the case most sensitive to ordering bugs.
+  ExperimentConfig cfg = tiny_config(core::Approach::kHybrid);
+  cfg.num_vms = 3;
+  cfg.num_migrations = 3;
+  cfg.num_destinations = 3;
+  cfg.migration_interval_s = 0.0;
+  cfg.cluster.num_nodes = 12;
+  expect_byte_identical(Experiment(cfg).run(), Experiment(cfg).run());
+}
+
+namespace {
+
+/// Drive one full hybrid session (passive-phase pulls only) and return its
+/// pull completion log.
+std::vector<storage::ChunkId> run_pull_scenario() {
+  core::testing::SessionFixture f;
+  f.populate(16);
+  for (storage::ChunkId c : {3u, 7u, 7u, 11u}) f.write_chunk_now(c);
+  core::HybridConfig cfg;
+  cfg.push_enabled = false;  // keep every chunk for the prioritized prefetch
+  core::HybridSession session(f.s, f.cluster, &f.mgr, /*dst=*/1, *f.rec, cfg);
+  f.mgr.begin_migration(&session);
+  session.start();
+  f.sync_and_transfer(session);
+  f.wait_release(session);
+  return session.pull_log();
+}
+
+}  // namespace
+
+TEST(Determinism, HybridPullLogIsIdenticalAcrossRuns) {
+  const auto log1 = run_pull_scenario();
+  const auto log2 = run_pull_scenario();
+  ASSERT_EQ(log1.size(), 16u);
+  EXPECT_EQ(log1, log2);
+}
 
 class ChunkSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
 

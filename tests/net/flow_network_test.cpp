@@ -232,6 +232,116 @@ TEST_P(FairnessSweep, EqualSharesAndConservation) {
 
 INSTANTIATE_TEST_SUITE_P(Shares, FairnessSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 37));
 
+// --- Epoch batching ---------------------------------------------------------
+
+TEST(FlowNetwork, BurstSettlesWithExactlyOneRecompute) {
+  NetFixture f;
+  const NodeId src = f.net.add_node(kNic);
+  std::vector<NodeId> dsts;
+  for (int i = 0; i < 32; ++i) dsts.push_back(f.net.add_node(kNic));
+  std::vector<double> done(32, -1);
+  for (int i = 0; i < 32; ++i)
+    f.s.spawn(xfer(&f.net, src, dsts[i], 1e6, TrafficClass::kStoragePush, &done[i], &f.s));
+  EXPECT_EQ(f.net.recompute_count(), 0u);
+  f.s.run_until(0.0);  // all inserts at t=0 plus the single settle event
+  EXPECT_EQ(f.net.active_flows(), 32u);
+  EXPECT_EQ(f.net.recompute_count(), 1u);
+  EXPECT_FALSE(f.net.settle_pending());
+  EXPECT_NEAR(f.net.current_rate_sum(), kNic, kNic * 1e-6);
+  f.s.run();
+  const double expect_t = 1e6 * 32 / kNic;
+  for (double d : done) EXPECT_NEAR(d, expect_t, 1e-6);
+  // Equal flows drain together: the whole epoch completes on one more solve.
+  EXPECT_EQ(f.net.recompute_count(), 2u);
+  EXPECT_EQ(f.net.active_flows(), 0u);
+}
+
+TEST(FlowNetwork, SettlePendingVisibleBetweenInsertAndSolve) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_at, &f.s));
+  f.s.step();  // coroutine start; suspends on the latency delay
+  EXPECT_EQ(f.net.active_flows(), 0u);
+  f.s.step();  // flow inserted; solve deferred to the settle event
+  EXPECT_EQ(f.net.active_flows(), 1u);
+  EXPECT_TRUE(f.net.settle_pending());
+  EXPECT_EQ(f.net.recompute_count(), 0u);
+  f.s.step();  // settle: one solve for the epoch
+  EXPECT_FALSE(f.net.settle_pending());
+  EXPECT_EQ(f.net.recompute_count(), 1u);
+  EXPECT_NEAR(f.net.flow_rate(a, b), kNic, 1.0);
+  f.s.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, SeparateTimestampsAreSeparateEpochs) {
+  NetFixture f;
+  const NodeId src = f.net.add_node(kNic);
+  std::vector<NodeId> dsts;
+  for (int i = 0; i < 8; ++i) dsts.push_back(f.net.add_node(kNic));
+  std::vector<double> done(8, -1);
+  for (int i = 0; i < 4; ++i)
+    f.s.spawn(xfer(&f.net, src, dsts[i], 100e6, TrafficClass::kMemory, &done[i], &f.s));
+  f.s.schedule(0.25, [&] {
+    for (int i = 4; i < 8; ++i)
+      f.s.spawn(xfer(&f.net, src, dsts[i], 100e6, TrafficClass::kMemory, &done[i], &f.s));
+  });
+  f.s.run_until(0.3);
+  EXPECT_EQ(f.net.active_flows(), 8u);
+  EXPECT_EQ(f.net.recompute_count(), 2u);  // one solve per arrival epoch
+}
+
+// --- Lazy completion-heap invalidation --------------------------------------
+
+TEST(FlowNetwork, StaleCompletionEntryDoesNotFireEarly) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_1 = -1, done_2 = -1;
+  // Alone, the first flow projects completion at t=1; the joiner at t=0.5
+  // halves its rate, so that heap entry is stale and must be discarded when
+  // popped instead of completing the flow at the old time.
+  f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_1, &f.s));
+  f.s.schedule(0.5, [&] {
+    f.s.spawn(xfer(&f.net, a, b, 50e6, TrafficClass::kMemory, &done_2, &f.s));
+  });
+  f.s.run_until(1.0);
+  EXPECT_EQ(f.net.active_flows(), 2u);  // the t=1 projection was invalidated
+  EXPECT_DOUBLE_EQ(done_1, -1);
+  f.s.run();
+  EXPECT_NEAR(done_1, 1.5, 1e-6);
+  EXPECT_NEAR(done_2, 1.5, 1e-6);
+}
+
+TEST(FlowNetwork, CompletionHeapSurvivesSlotReuse) {
+  // Sequential transfers recycle flow slot 0; completion entries from dead
+  // generations must never terminate the current occupant.
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double done_at = -1;
+  f.s.spawn([](FlowNetwork* net, NodeId x, NodeId y, double* d,
+               sim::Simulator* s) -> sim::Task {
+    for (int i = 0; i < 5; ++i)
+      co_await net->transfer(x, y, 10e6, TrafficClass::kMemory);
+    *d = s->now();
+  }(&f.net, a, b, &done_at, &f.s));
+  f.s.run();
+  EXPECT_NEAR(done_at, 0.5, 1e-6);
+  // Each flow is its own epoch: arrival solve + completion solve.
+  EXPECT_EQ(f.net.recompute_count(), 10u);
+  EXPECT_EQ(f.net.active_flows(), 0u);
+}
+
+TEST(FlowNetwork, FlowCountersTrackStarts) {
+  NetFixture f;
+  const NodeId a = f.net.add_node(kNic), b = f.net.add_node(kNic);
+  double d1 = -1, d2 = -1;
+  f.s.spawn(xfer(&f.net, a, b, 1e6, TrafficClass::kMemory, &d1, &f.s));
+  f.s.spawn(xfer(&f.net, b, a, 1e6, TrafficClass::kMemory, &d2, &f.s));
+  f.s.run();
+  EXPECT_EQ(f.net.flows_started(), 2u);
+}
+
 // Max-min correctness on an asymmetric topology: one flow constrained by a
 // slow ingress must not reduce what an unconstrained flow receives.
 TEST(FlowNetwork, MaxMinNotJustEqualSplit) {

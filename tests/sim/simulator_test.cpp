@@ -141,6 +141,69 @@ TEST(Simulator, RunWhilePendingReturnsFalseIfQueueDrains) {
   EXPECT_FALSE(ok);
 }
 
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  double fired_at = -1;
+  s.schedule_at(2.5, [&] { fired_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Simulator, ScheduleAtInThePastClampsToNow) {
+  Simulator s;
+  s.schedule(3.0, [] {});
+  s.run();
+  double fired_at = -1;
+  s.schedule_at(1.0, [&] { fired_at = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+// Generation counters: a handle to a fired entry stays inert even after the
+// slab recycles its slot for a new entry.
+TEST(Simulator, RecycledEntryKeepsOldHandlesInert) {
+  Simulator s;
+  bool first = false, second = false;
+  auto t1 = s.schedule(1.0, [&] { first = true; });
+  s.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(t1.active());
+  auto t2 = s.schedule(1.0, [&] { second = true; });
+  t1.cancel();  // stale handle: must not touch the recycled slot
+  EXPECT_TRUE(t2.active());
+  s.run();
+  EXPECT_TRUE(second);
+}
+
+// Mixed monotone and out-of-order scheduling exercises both pending lanes
+// (sorted-run FIFO and heap); global time order must hold regardless.
+TEST(Simulator, OutOfOrderSchedulingInterleavesLanes) {
+  Simulator s;
+  std::vector<double> order;
+  for (double t : {5.0, 6.0, 1.0, 5.5, 7.0, 0.5, 6.5})
+    s.schedule(t, [&order, &s] { order.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<double>{0.5, 1.0, 5.0, 5.5, 6.0, 6.5, 7.0}));
+}
+
+// Long self-rescheduling chain: the slab must recycle entries instead of
+// growing, and the clock must stay monotone across lane switches.
+TEST(Simulator, PoolRecyclingUnderChainedScheduling) {
+  Simulator s;
+  int remaining = 10000;
+  double last = -1;
+  std::function<void()> hop = [&] {
+    EXPECT_GE(s.now(), last);
+    last = s.now();
+    if (--remaining > 0) s.schedule(static_cast<double>(remaining % 7) * 1e-3, hop);
+  };
+  s.schedule(0.0, hop);
+  s.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(s.events_processed(), 10000u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
 TEST(Simulator, PendingEventsTracksQueue) {
   Simulator s;
   auto a = s.schedule(1.0, [] {});

@@ -5,8 +5,32 @@
 // wall ms) across PRs, alongside the virtual-time results they must not
 // perturb.
 //
-// Usage: fig4_scale_sweep [max_concurrency]   (default 256)
+// Since the component-scoped incremental solver the sweep also reports
+// solver-work counters: component water-fills, flow re-solves (total and
+// per epoch) and escalations (epochs where a saturated shared constraint
+// forced a global solve). Two core topologies:
+//  * oversub      — the historical graphene-style config: 20-node edge
+//    switches on 1.25 GB/s uplinks and an 8 GB/s fabric. At high
+//    concurrency the shared constraints saturate continuously, so nearly
+//    every epoch escalates: this is the incremental solver's worst case and
+//    pins down its overhead vs. the always-global seed solver.
+//  * nonblocking  — a modern full-bisection Clos core (no finite fabric or
+//    uplink constraint binds). Migrations decompose into per-NIC-pair
+//    components, which is where component-scoped solving pays: an epoch's
+//    chunk churn re-solves only the touched migration's flows.
+//
+// The third argument staggers migration starts. The default burst
+// (stagger 0) launches every migration at the same virtual instant; because
+// the sweep's VMs are homogeneous the migrations then run in lockstep and
+// every epoch legitimately churns every component — epoch batching's best
+// case and the incremental solver's worst. A non-zero stagger desyncs the
+// chunk streams the way any real fleet is desynced, so each settle epoch
+// carries churn from O(1) migrations and component caching pays off.
+//
+// Usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking] [stagger_s]
+//        (defaults: 256 oversub 0)
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -20,7 +44,7 @@ namespace {
 // Paper network parameters, but a leaner per-VM footprint so the 256-way
 // point stays a seconds-scale run: the sweep stresses the engine (flow
 // churn, solver pressure), not the figure's absolute migration times.
-cloud::ExperimentConfig scale_config(std::size_t n) {
+cloud::ExperimentConfig scale_config(std::size_t n, bool nonblocking, double stagger_s) {
   cloud::ExperimentConfig cfg = asyncwr_config(core::Approach::kHybrid);
   cfg.cluster.image = storage::ImageConfig{1 * kGiB, 256 * static_cast<std::uint32_t>(kKiB)};
   cfg.vm.memory.ram_bytes = 1 * kGiB;
@@ -30,12 +54,17 @@ cloud::ExperimentConfig scale_config(std::size_t n) {
   cfg.asyncwr.iterations = 300;
   cfg.asyncwr.file_offset = 256 * kMiB;  // must stay inside the 1 GiB image
   cfg.first_migration_at = 20.0;
-  cfg.cluster.nodes_per_switch = 20;
-  cfg.cluster.switch_uplink_Bps = 1.25e9;
+  if (nonblocking) {
+    cfg.cluster.network.fabric_Bps = net::kUnlimitedRate;
+    cfg.cluster.nodes_per_switch = 0;  // flat full-bisection core
+  } else {
+    cfg.cluster.nodes_per_switch = 20;
+    cfg.cluster.switch_uplink_Bps = 1.25e9;
+  }
   cfg.num_vms = n;
   cfg.num_migrations = n;
   cfg.num_destinations = n;
-  cfg.migration_interval_s = 0.0;  // simultaneous: worst-case churn epoch
+  cfg.migration_interval_s = stagger_s;  // 0 = simultaneous burst
   cfg.cluster.num_nodes = 2 * n + 8;
   cfg.max_sim_time = 3600.0;
   return cfg;
@@ -45,15 +74,29 @@ cloud::ExperimentConfig scale_config(std::size_t n) {
 
 int main(int argc, char** argv) {
   const std::size_t max_n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  bool nonblocking = false;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "nonblocking") == 0) {
+      nonblocking = true;
+    } else if (std::strcmp(argv[2], "oversub") != 0) {
+      std::cerr << "usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking]"
+                   " [stagger_s]\n";
+      return 2;
+    }
+  }
+  const double stagger_s = argc > 3 ? std::strtod(argv[3], nullptr) : 0.0;
   std::cout << "[\n";
   bool first = true;
   for (std::size_t n = 2; n <= max_n; n *= 2) {
-    cloud::Experiment exp(scale_config(n));
+    cloud::Experiment exp(scale_config(n, nonblocking, stagger_s));
     const ExperimentResult r = exp.run();
     const double wall_s = r.wall_ms / 1e3;
+    const double epochs = r.engine_recomputes ? static_cast<double>(r.engine_recomputes) : 1.0;
     if (!first) std::cout << ",\n";
     first = false;
     std::cout << "  {\"concurrent_migrations\": " << n
+              << ", \"core\": \"" << (nonblocking ? "nonblocking" : "oversub") << "\""
+              << ", \"stagger_s\": " << stagger_s
               << ", \"completed\": " << (r.completed ? "true" : "false")
               << ", \"sim_s\": " << r.sim_duration
               << ", \"wall_ms\": " << r.wall_ms
@@ -61,12 +104,17 @@ int main(int argc, char** argv) {
               << ", \"events_per_sec\": " << (wall_s > 0 ? r.engine_events / wall_s : 0)
               << ", \"flows\": " << r.engine_flows
               << ", \"flows_per_sec\": " << (wall_s > 0 ? r.engine_flows / wall_s : 0)
-              << ", \"solver_recomputes\": " << r.engine_recomputes
+              << ", \"solver_epochs\": " << r.engine_recomputes
+              << ", \"solver_components\": " << r.engine_components
+              << ", \"flows_resolved\": " << r.engine_flows_resolved
+              << ", \"flows_resolved_per_epoch\": " << (r.engine_flows_resolved / epochs)
+              << ", \"escalations\": " << r.engine_escalations
               << ", \"avg_migration_s\": " << r.avg_migration_time
               << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024)
               << "}";
     std::cerr << "fig4_scale: n=" << n << " wall=" << r.wall_ms << " ms, "
-              << r.engine_events << " events\n";
+              << r.engine_events << " events, "
+              << (r.engine_flows_resolved / epochs) << " flows-resolved/epoch\n";
   }
   std::cout << "\n]\n";
   return 0;

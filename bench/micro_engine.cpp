@@ -4,9 +4,11 @@
 #include <benchmark/benchmark.h>
 
 #include "net/flow_network.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "storage/chunk_store.h"
+#include "vm/memory.h"
 
 namespace {
 
@@ -113,6 +115,73 @@ void BM_WaterFill(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_WaterFill)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// Incremental-solver churn: 1000 long-lived background flows over disjoint
+// NIC pairs while short flows join and leave one pair at a time. With
+// component-scoped solving (arg 1) each churn epoch re-solves only the
+// touched pair; the full-solve ablation (arg 0) re-derives every rate each
+// epoch. The spread between the two arms is the incremental win.
+void BM_IncrementalSolveChurn(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  constexpr int kPairs = 500;  // 2 background flows per pair = 1000 flows
+  constexpr int kChurn = 256;
+  std::uint64_t resolved = 0, epochs = 0;
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::FlowNetwork net(s, net::FlowNetworkConfig{net::kUnlimitedRate, 0.0, 8e9});
+    net.set_incremental(incremental);
+    std::vector<net::NodeId> src, dst;
+    for (int p = 0; p < kPairs; ++p) {
+      src.push_back(net.add_node(117.5e6));
+      dst.push_back(net.add_node(117.5e6));
+    }
+    for (int p = 0; p < kPairs; ++p)
+      for (int k = 0; k < 2; ++k)
+        s.spawn([](net::FlowNetwork* n, net::NodeId a, net::NodeId b) -> sim::Task {
+          co_await n->transfer(a, b, 1e18, net::TrafficClass::kMemory);
+        }(&net, src[p], dst[p]));
+    for (int i = 0; i < kChurn; ++i) {
+      s.schedule(1.0 + i, [&net, &s, &src, &dst, i] {
+        s.spawn([](net::FlowNetwork* n, net::NodeId a, net::NodeId b) -> sim::Task {
+          co_await n->transfer(a, b, 1e6, net::TrafficClass::kStoragePush);
+        }(&net, src[i % kPairs], dst[i % kPairs]));
+      });
+    }
+    s.run_until(kChurn + 10.0);
+    resolved += net.touched_flow_count();
+    epochs += net.recompute_count();
+  }
+  state.SetItemsProcessed(state.iterations() * kChurn);
+  state.counters["flows_resolved_per_epoch"] =
+      epochs ? static_cast<double>(resolved) / static_cast<double>(epochs) : 0.0;
+}
+BENCHMARK(BM_IncrementalSolveChurn)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Dirty-bitmap round scan: one pre-copy round = touch a working set, then
+// snapshot-and-clear the dirty map. Sparse (1% of pages) exercises the
+// word-skip path; dense (every page) the popcount/memset path. The seed's
+// byte-per-page vector walked all pages in both cases.
+void BM_DirtyRoundScan(benchmark::State& state) {
+  const bool dense = state.range(0) != 0;
+  vm::GuestMemoryConfig cfg;  // 4 GiB / 64 KiB pages = 65536 pages
+  vm::GuestMemory mem(cfg);
+  sim::Rng rng(42);
+  const std::uint64_t page = cfg.page_bytes;
+  const std::uint64_t pages = mem.pages();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    if (dense) {
+      mem.touch_range(0, cfg.ram_bytes);
+    } else {
+      for (std::uint64_t i = 0; i < pages / 100; ++i)
+        mem.touch_range(rng.uniform(pages) * page, 1);
+    }
+    bytes += mem.take_dirty_round();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * pages));
+}
+BENCHMARK(BM_DirtyRoundScan)->Arg(0)->Arg(1);
 
 sim::Task write_chunks(storage::ChunkStore* store, int n) {
   for (int i = 0; i < n; ++i)

@@ -137,6 +137,9 @@ ExperimentResult Experiment::run() {
   res.engine_events = simulator.events_processed();
   res.engine_flows = network.flows_started();
   res.engine_recomputes = network.recompute_count();
+  res.engine_components = network.solved_component_count();
+  res.engine_flows_resolved = network.touched_flow_count();
+  res.engine_escalations = network.escalation_count();
 
   for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
     res.traffic_bytes[i] = network.traffic_bytes(static_cast<net::TrafficClass>(i));

@@ -79,7 +79,12 @@ struct ExperimentResult {
   // Engine throughput (the perf trajectory the scale sweeps track).
   std::uint64_t engine_events = 0;      // simulator events processed
   std::uint64_t engine_flows = 0;       // network flows started
-  std::uint64_t engine_recomputes = 0;  // max-min solver invocations
+  std::uint64_t engine_recomputes = 0;  // max-min solve epochs
+  // Incremental-solver work counters (cumulative; divide by
+  // engine_recomputes for per-epoch figures).
+  std::uint64_t engine_components = 0;   // component water-fills run
+  std::uint64_t engine_flows_resolved = 0;  // flow rate re-derivations
+  std::uint64_t engine_escalations = 0;  // epochs forced to a global solve
   double wall_ms = 0;                   // host wall-clock for the run loop
 
   double traffic(net::TrafficClass c) const {

@@ -11,26 +11,38 @@ HybridSession::HybridSession(sim::Simulator& sim, vm::Cluster& cluster,
       cfg_(cfg),
       write_count_(mgr->replica().num_chunks(), 0),
       transfer_count_(mgr->replica().num_chunks(), 0),
-      in_remaining_(mgr->replica().num_chunks(), 0),
+      in_remaining_(mgr->replica().num_chunks()),
+      in_push_queue_(mgr->replica().num_chunks()),
       push_wakeup_(sim),
       push_stopped_(sim),
       pull_gate_(sim, /*open=*/true),
+      inflight_slot_(mgr->replica().num_chunks(), kNilSlot),
       source_released_(sim),
       rng_(cluster.rng().fork("hybrid-session", static_cast<std::uint64_t>(rec.vm_id))) {}
 
 HybridSession::~HybridSession() = default;
 
-void HybridSession::add_remaining(ChunkId c) {
-  if (in_remaining_[c]) return;
-  in_remaining_[c] = 1;
-  ++remaining_count_;
+std::uint32_t HybridSession::alloc_pull_slot() {
+  if (pull_free_ != kNilSlot) {
+    const std::uint32_t slot = pull_free_;
+    pull_free_ = pull_slab_[slot].next_free;
+    return slot;
+  }
+  pull_slab_.emplace_back();
+  return static_cast<std::uint32_t>(pull_slab_.size() - 1);
 }
 
-void HybridSession::remove_remaining(ChunkId c) {
-  if (!in_remaining_[c]) return;
-  in_remaining_[c] = 0;
-  --remaining_count_;
+void HybridSession::release_pull_slot(std::uint32_t slot) noexcept {
+  PullState& st = pull_slab_[slot];
+  st.done.reset();  // waiters were already enqueued by set()
+  st.cancelled = false;
+  st.next_free = pull_free_;
+  pull_free_ = slot;
 }
+
+void HybridSession::add_remaining(ChunkId c) { in_remaining_.set(c); }
+
+void HybridSession::remove_remaining(ChunkId c) { in_remaining_.reset(c); }
 
 bool HybridSession::is_duplicate(ChunkId c) const {
   if (!cfg_.dedup.enabled || cfg_.dedup.duplicate_fraction <= 0) return false;
@@ -52,14 +64,13 @@ double HybridSession::wire_bytes(ChunkId c) {
 
 // Algorithm 1: RemainingSet <- ModifiedSet, WriteCount <- 0, start push.
 void HybridSession::start() {
-  for (ChunkId c : src_store_->modified_set()) {
+  src_store_->for_each_modified([this](ChunkId c) {
     add_remaining(c);
     if (cfg_.push_enabled) {
       push_queue_.push_back(c);
+      in_push_queue_.set(c);
     }
-  }
-  in_push_queue_.assign(write_count_.size(), 0);
-  for (ChunkId c : push_queue_) in_push_queue_[c] = 1;
+  });
   if (cfg_.push_enabled) {
     push_running_ = true;
     sim_.spawn(push_task());
@@ -72,8 +83,8 @@ bool HybridSession::next_pushable(ChunkId& out) {
   while (!push_queue_.empty()) {
     const ChunkId c = push_queue_.front();
     push_queue_.pop_front();
-    in_push_queue_[c] = 0;
-    if (!in_remaining_[c]) continue;              // already handled
+    in_push_queue_.reset(c);
+    if (!in_remaining_.test(c)) continue;         // already handled
     if (write_count_[c] >= cfg_.threshold) {      // hot chunk: defer to pull phase
       ++push_skipped_hot_;
       continue;
@@ -115,21 +126,21 @@ sim::Task HybridSession::vm_write(ChunkId c) {
     ++write_count_[c];
     add_remaining(c);
     if (cfg_.push_enabled && !stop_push_ && write_count_[c] < cfg_.threshold &&
-        !in_push_queue_[c]) {
+        !in_push_queue_.test(c)) {
       push_queue_.push_back(c);
-      in_push_queue_[c] = 1;
+      in_push_queue_.set(c);
     }
     push_wakeup_.notify_all();
     co_return;
   }
   // Destination role: the new data supersedes whatever the source had —
   // cancel any pull in progress and drop the chunk from RemainingSet.
-  auto it = inflight_pulls_.find(c);
-  if (it != inflight_pulls_.end()) {
-    it->second->cancelled = true;
+  const std::uint32_t slot = inflight_slot_[c];
+  if (slot != kNilSlot) {
+    pull_slab_[slot].cancelled = true;
     ++cancelled_pulls_;
   }
-  if (in_remaining_[c]) {
+  if (in_remaining_.test(c)) {
     remove_remaining(c);
     maybe_release_source();
   }
@@ -139,12 +150,15 @@ sim::Task HybridSession::vm_write(ChunkId c) {
 // Algorithm 4 (READ) on the destination.
 sim::Task HybridSession::vm_read(ChunkId c) {
   if (control_transferred_) {
-    auto it = inflight_pulls_.find(c);
-    if (it != inflight_pulls_.end()) {
-      // Case 1: already being pulled — wait for completion.
-      auto st = it->second;
-      co_await st->done.wait();
-    } else if (in_remaining_[c]) {
+    const std::uint32_t slot = inflight_slot_[c];
+    if (slot != kNilSlot) {
+      // Case 1: already being pulled — wait for completion. The slot's
+      // event is registered with synchronously here; the slot itself may
+      // be recycled before we resume, which is fine (set() has already
+      // enqueued the wakeup by then).
+      sim::Event& done = *pull_slab_[slot].done;
+      co_await done.wait();
+    } else if (in_remaining_.test(c)) {
       // Case 2: scheduled but not started — suspend BACKGROUND_PULL and
       // fetch this chunk with priority.
       pull_gate_.close();
@@ -163,7 +177,7 @@ bool HybridSession::next_pull_candidate(ChunkId& out) {
       while (!pull_heap_.empty()) {
         auto [count, c] = pull_heap_.top();
         pull_heap_.pop();
-        if (!in_remaining_[c] || count != write_count_[c]) continue;  // stale entry
+        if (!in_remaining_.test(c) || count != write_count_[c]) continue;  // stale
         out = c;
         return true;
       }
@@ -178,7 +192,7 @@ bool HybridSession::next_pull_candidate(ChunkId& out) {
         }
         const ChunkId c = pull_fifo_.front();
         pull_fifo_.pop_front();
-        if (!in_remaining_[c]) continue;
+        if (!in_remaining_.test(c)) continue;
         out = c;
         return true;
       }
@@ -201,8 +215,10 @@ sim::Task HybridSession::pull_task() {
 
 sim::Task HybridSession::do_pull(ChunkId c, bool on_demand) {
   (void)on_demand;
-  auto st = std::make_shared<PullState>(sim_);
-  inflight_pulls_.emplace(c, st);
+  const std::uint32_t slot = alloc_pull_slot();
+  pull_slab_[slot].done.emplace(sim_);
+  pull_slab_[slot].cancelled = false;
+  inflight_slot_[c] = slot;
   ++active_pulls_;
   auto& net = cluster_.network();
   co_await net.transfer(dst_node_, src_node_, cfg_.pull_request_bytes,
@@ -210,21 +226,22 @@ sim::Task HybridSession::do_pull(ChunkId c, bool on_demand) {
   co_await src_store_->read_chunk(c);
   co_await net.transfer(src_node_, dst_node_, wire_bytes(c),
                         net::TrafficClass::kStoragePull);
-  if (!st->cancelled) {
+  if (!pull_slab_[slot].cancelled) {
     co_await dst_store_->write_chunk(c);
   }
   ++chunks_pulled_;
   ++transfer_count_[c];
   pull_log_.push_back(c);
   rec_.storage_chunks_pulled += 1;
-  inflight_pulls_.erase(c);
+  inflight_slot_[c] = kNilSlot;
   --active_pulls_;
-  st->done.set();
+  pull_slab_[slot].done->set();
+  release_pull_slot(slot);
   maybe_release_source();
 }
 
 void HybridSession::maybe_release_source() {
-  if (control_transferred_ && remaining_count_ == 0 && active_pulls_ == 0 &&
+  if (control_transferred_ && in_remaining_.count() == 0 && active_pulls_ == 0 &&
       !source_released_.is_set()) {
     source_released_.set();
   }
@@ -239,17 +256,17 @@ sim::Task HybridSession::pre_control_transfer() {
 
   // Ship RemainingSet + WriteCount to the destination.
   const double list_bytes =
-      cfg_.list_entry_bytes * static_cast<double>(remaining_count_) + 64;
+      cfg_.list_entry_bytes * static_cast<double>(in_remaining_.count()) + 64;
   co_await cluster_.network().transfer(src_node_, dst_node_, list_bytes,
                                        net::TrafficClass::kControl);
-  // Seed the pull scheduler.
-  for (ChunkId c = 0; c < in_remaining_.size(); ++c) {
-    if (!in_remaining_[c]) continue;
+  // Seed the pull scheduler (word-scan of the packed RemainingSet).
+  in_remaining_.for_each_set([this](std::uint64_t c64) {
+    const ChunkId c = static_cast<ChunkId>(c64);
     if (cfg_.pull_order == PullOrder::kByWriteCount)
       pull_heap_.emplace(write_count_[c], c);
     else
       pull_fifo_.push_back(c);
-  }
+  });
   pull_started_ = true;
   sim_.spawn(pull_task());
 }

@@ -22,12 +22,13 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "core/migration_manager.h"
 #include "sim/random.h"
+#include "util/bitmap.h"
 
 namespace hm::core {
 
@@ -83,7 +84,9 @@ class HybridSession final : public StorageMigrationSession {
 
   // --- introspection (tests / benches) -------------------------------------
   std::uint32_t write_count(ChunkId c) const { return write_count_[c]; }
-  std::size_t remaining_size() const noexcept { return remaining_count_; }
+  std::size_t remaining_size() const noexcept {
+    return static_cast<std::size_t>(in_remaining_.count());
+  }
   std::uint64_t chunks_pushed() const noexcept { return chunks_pushed_; }
   std::uint64_t chunks_pulled() const noexcept { return chunks_pulled_; }
   std::uint64_t demand_pulls() const noexcept { return demand_pulls_; }
@@ -97,12 +100,20 @@ class HybridSession final : public StorageMigrationSession {
   std::uint64_t dedup_hits() const noexcept { return dedup_hits_; }
 
  private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// In-flight pull bookkeeping lives in a slab of value slots recycled
+  /// through a free list (one steady-state shared_ptr allocation per pull in
+  /// the seed); the per-chunk index replaces the hash map on the pull path.
+  /// A deque keeps the non-movable intrusive Event stable across growth.
   struct PullState {
-    sim::Event done;
+    std::optional<sim::Event> done;  // emplaced per use of the slot
     bool cancelled = false;
-    explicit PullState(sim::Simulator& s) : done(s) {}
+    std::uint32_t next_free = kNilSlot;
   };
 
+  std::uint32_t alloc_pull_slot();
+  void release_pull_slot(std::uint32_t slot) noexcept;
   void add_remaining(ChunkId c);
   void remove_remaining(ChunkId c);
   /// Deterministic content-duplicate draw for chunk `c`.
@@ -118,12 +129,11 @@ class HybridSession final : public StorageMigrationSession {
   HybridConfig cfg_;
   std::vector<std::uint32_t> write_count_;
   std::vector<std::uint32_t> transfer_count_;
-  std::vector<std::uint8_t> in_remaining_;
-  std::size_t remaining_count_ = 0;
+  util::DirtyBitmap in_remaining_;  // the paper's RemainingSet, packed
 
   // push side
   std::deque<ChunkId> push_queue_;
-  std::vector<std::uint8_t> in_push_queue_;
+  util::DirtyBitmap in_push_queue_;
   sim::Notification push_wakeup_;
   bool push_running_ = false;
   bool stop_push_ = false;
@@ -133,7 +143,9 @@ class HybridSession final : public StorageMigrationSession {
   std::priority_queue<std::pair<std::uint32_t, ChunkId>> pull_heap_;
   std::deque<ChunkId> pull_fifo_;
   sim::Gate pull_gate_;
-  std::unordered_map<ChunkId, std::shared_ptr<PullState>> inflight_pulls_;
+  std::deque<PullState> pull_slab_;
+  std::uint32_t pull_free_ = kNilSlot;
+  std::vector<std::uint32_t> inflight_slot_;  // chunk -> pull slab slot
   std::size_t active_pulls_ = 0;
   bool pull_started_ = false;
   sim::Event source_released_;

@@ -10,23 +10,20 @@ PrecopySession::PrecopySession(sim::Simulator& sim, vm::Cluster& cluster,
     : StorageMigrationSession(sim, cluster, mgr, dst_node, rec),
       cfg_(cfg),
       cow_(mgr->replica().image()),
-      dirty_(mgr->replica().num_chunks(), 0),
+      dirty_(mgr->replica().num_chunks()),
       send_count_(mgr->replica().num_chunks(), 0) {}
 
 void PrecopySession::start() {
   // Bulk phase: every chunk of the qcow2 snapshot (= every modified chunk)
   // is queued for the first round.
-  for (ChunkId c : src_store_->modified_set()) {
+  mgr_->replica().for_each_modified([this](ChunkId c) {
     cow_.on_write(c);
-    if (!dirty_[c]) {
-      dirty_[c] = 1;
-      ++dirty_count_;
-    }
-  }
+    dirty_.set(c);
+  });
 }
 
 double PrecopySession::residual_storage_bytes() const {
-  return static_cast<double>(dirty_count_) *
+  return static_cast<double>(dirty_.count()) *
          static_cast<double>(src_store_->image().chunk_bytes);
 }
 
@@ -34,10 +31,7 @@ sim::Task PrecopySession::vm_write(ChunkId c) {
   co_await mgr_->local_write(c);
   if (!control_transferred_) {
     cow_.on_write(c);
-    if (!dirty_[c]) {
-      dirty_[c] = 1;
-      ++dirty_count_;
-    }
+    dirty_.set(c);
   }
 }
 
@@ -60,19 +54,14 @@ sim::Task PrecopySession::send_chunks(const std::vector<ChunkId>& chunks) {
   }
 }
 
-// One block-migration round: snapshot the dirty set and stream it. Chunks
-// re-dirtied while streaming are picked up by the next round.
+// One block-migration round: snapshot the dirty set (word-granular drain)
+// and stream it. Chunks re-dirtied while streaming are picked up by the
+// next round.
 sim::Task PrecopySession::storage_round() {
   ++rounds_;
   std::vector<ChunkId> batch;
-  batch.reserve(dirty_count_);
-  for (ChunkId c = 0; c < dirty_.size(); ++c) {
-    if (dirty_[c]) {
-      batch.push_back(c);
-      dirty_[c] = 0;
-    }
-  }
-  dirty_count_ = 0;
+  batch.reserve(dirty_.count());
+  dirty_.drain([&](std::uint64_t c) { batch.push_back(static_cast<ChunkId>(c)); });
   co_await send_chunks(batch);
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/migration_manager.h"
 #include "storage/cow_image.h"
+#include "util/bitmap.h"
 
 namespace hm::core {
 
@@ -49,8 +50,8 @@ class PrecopySession final : public StorageMigrationSession {
 
   PrecopyConfig cfg_;
   storage::CowImage cow_;
-  std::vector<std::uint8_t> dirty_;
-  std::size_t dirty_count_ = 0;
+  // Packed dirty-chunk map; rounds snapshot it with a word-granular drain.
+  util::DirtyBitmap dirty_;
   std::vector<std::uint32_t> send_count_;
   std::uint64_t chunks_sent_ = 0;
   std::uint64_t rounds_ = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace hm::net {
 
@@ -14,6 +17,13 @@ constexpr double kEpsRate = 1.0;     // rates below 1 B/s are "saturated"
 
 bool flow_is_done(double remaining, double rate) noexcept {
   return remaining <= kEpsBytes || (rate > kEpsRate && remaining / rate < 1e-9);
+}
+
+bool incremental_default() noexcept {
+  const char* env = std::getenv("ABLATE_INCREMENTAL");
+  if (!env) return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+           std::strcmp(env, "false") == 0);
 }
 }  // namespace
 
@@ -32,18 +42,24 @@ const char* traffic_class_name(TrafficClass cls) noexcept {
 }
 
 FlowNetwork::FlowNetwork(sim::Simulator& sim, FlowNetworkConfig cfg)
-    : sim_(sim), cfg_(cfg) {
+    : sim_(sim),
+      cfg_(cfg),
+      incremental_(incremental_default()),
+      trace_solver_(std::getenv("HM_TRACE_SOLVER") != nullptr) {
   groups_.push_back(Group{kUnlimitedRate});  // group 0: flat network default
+  pair_rates_.reserve(64);
 }
 
 SwitchGroupId FlowNetwork::add_switch_group(double uplink_Bps) {
   groups_.push_back(Group{uplink_Bps});
+  ++topology_gen_;
   return static_cast<SwitchGroupId>(groups_.size() - 1);
 }
 
 NodeId FlowNetwork::add_node(double egress_Bps, double ingress_Bps, SwitchGroupId group) {
   assert(group < groups_.size());
   nodes_.push_back(Node{egress_Bps, ingress_Bps, group});
+  ++topology_gen_;
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -72,6 +88,71 @@ std::uint32_t FlowNetwork::alloc_flow_slot() {
   return static_cast<std::uint32_t>(flow_slots_.size() - 1);
 }
 
+// --- constraint incidence ----------------------------------------------------
+
+double FlowNetwork::constraint_cap(std::uint32_t c) const noexcept {
+  const std::size_t n = nodes_.size();
+  if (c < n) return nodes_[c].egress_Bps;
+  if (c < 2 * n) return nodes_[c - n].ingress_Bps;
+  if (c == 2 * n) return cfg_.fabric_Bps;
+  const std::size_t g = groups_.size();
+  const std::size_t up_base = 2 * n + 1;
+  if (c < up_base + g) return groups_[c - up_base].uplink_Bps;
+  return groups_[c - up_base - g].uplink_Bps;
+}
+
+void FlowNetwork::compute_incidence(FlowSlot& fs) noexcept {
+  const std::size_t n = nodes_.size();
+  const std::size_t g = groups_.size();
+  const Flow& f = fs.flow;
+  // Local constraints first (component partitioning only looks at [0], [1]).
+  fs.n_constraints = 0;
+  fs.constraints[fs.n_constraints++] = f.src;
+  fs.constraints[fs.n_constraints++] = static_cast<std::uint32_t>(n + f.dst);
+  fs.constraints[fs.n_constraints++] = static_cast<std::uint32_t>(2 * n);
+  const SwitchGroupId gs = nodes_[f.src].group;
+  const SwitchGroupId gd = nodes_[f.dst].group;
+  if (gs != gd) {
+    fs.constraints[fs.n_constraints++] = static_cast<std::uint32_t>(2 * n + 1 + gs);
+    fs.constraints[fs.n_constraints++] = static_cast<std::uint32_t>(2 * n + 1 + g + gd);
+  }
+  if (shared_users_.size() < constraint_space()) shared_users_.resize(constraint_space(), 0);
+}
+
+std::uint32_t FlowNetwork::alloc_component() {
+  std::uint32_t id;
+  if (comp_free_ != kNilIndex) {
+    id = comp_free_;
+    comp_free_ = comps_[id].next_free;
+  } else {
+    comps_.emplace_back();
+    id = static_cast<std::uint32_t>(comps_.size() - 1);
+  }
+  Component& c = comps_[id];
+  c.count = 0;
+  c.next_free = kNilIndex;
+  ++c.gen;  // invalidates NIC-owner entries from previous occupants
+  c.dirty = false;
+  c.in_use = true;
+  ++live_components_;
+  return id;
+}
+
+void FlowNetwork::release_component(std::uint32_t id) noexcept {
+  comps_[id].in_use = false;
+  comps_[id].next_free = comp_free_;
+  comp_free_ = id;
+  --live_components_;
+}
+
+void FlowNetwork::detach_from_component(FlowSlot& fs) noexcept {
+  if (fs.comp == kNilIndex) return;
+  Component& c = comps_[fs.comp];
+  c.dirty = true;
+  if (--c.count == 0) release_component(fs.comp);
+  fs.comp = kNilIndex;
+}
+
 void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
   FlowSlot& fs = flow_slots_[slot];
   Flow& f = fs.flow;
@@ -79,6 +160,11 @@ void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
   if (it != pair_rates_.end()) {
     it->second.rate -= f.rate;
     if (--it->second.count == 0) pair_rates_.erase(it);  // also resets FP dust
+  }
+  // The departure dirties its component so the survivors get re-solved.
+  detach_from_component(fs);
+  for (std::uint8_t k = 2; k < fs.n_constraints; ++k) {
+    if (fs.constraints[k] < shared_users_.size()) --shared_users_[fs.constraints[k]];
   }
   f.done.reset();
   fs.in_use = false;
@@ -101,7 +187,6 @@ void FlowNetwork::apply_rate(Flow& f, double new_rate, std::uint32_t slot) {
     f.rate = new_rate;
     push_projection(f, slot);
   }
-  rate_sum_ += new_rate;
 }
 
 void FlowNetwork::push_projection(Flow& f, std::uint32_t slot) {
@@ -120,7 +205,7 @@ void FlowNetwork::mark_dirty() {
 void FlowNetwork::on_settle() {
   settle_pending_ = false;
   advance_to_now();
-  recompute_rates();
+  solve_epoch();
   schedule_completion();
 }
 
@@ -154,6 +239,26 @@ sim::Task FlowNetwork::transfer(NodeId src, NodeId dst, double bytes, TrafficCla
   f.cap = rate_cap;
   f.proj = kUnlimitedRate;
   f.done.emplace(sim_);
+  fs.comp = kNilIndex;  // affected at the next settle (comp == nil)
+  compute_incidence(fs);
+  for (std::uint8_t k = 2; k < fs.n_constraints; ++k) ++shared_users_[fs.constraints[k]];
+  // The arrival can merge with any component reachable through its
+  // endpoints: dirty whatever currently owns those NIC constraints. The
+  // generation check rejects entries whose owner has dissolved — a live
+  // clean component always has fresh entries for all its NIC constraints
+  // (its last publish wrote them and nothing else may touch them).
+  const std::size_t nn = nodes_.size();
+  if (nic_owner_.size() < 2 * nn) {
+    nic_owner_.resize(2 * nn, kNilIndex);
+    nic_owner_gen_.resize(2 * nn, 0);
+  }
+  for (int k = 0; k < 2; ++k) {
+    const std::uint32_t c = fs.constraints[k];
+    const std::uint32_t owner = nic_owner_[c];
+    if (owner != kNilIndex && comps_[owner].in_use &&
+        comps_[owner].gen == nic_owner_gen_[c])
+      comps_[owner].dirty = true;
+  }
   ++pair_rates_[pair_key(src, dst)].count;
   ++live_flows_;
   ++flows_started_;
@@ -186,77 +291,103 @@ void FlowNetwork::advance_to_now() {
   last_advance_ = now;
 }
 
-// Progressive filling: raise the rate of every unfrozen flow uniformly until
-// some constraint (NIC egress/ingress, fabric, per-flow cap) saturates;
-// freeze the flows bound by it; repeat. Yields the max-min fair allocation.
-void FlowNetwork::recompute_rates() {
-  ++recompute_count_;
-  const std::size_t n = nodes_.size();
-  const std::size_t g = groups_.size();
-  // Constraint layout: [0, n) egress, [n, 2n) ingress, [2n] fabric,
-  // [2n+1, 2n+1+g) switch uplink (up), [2n+1+g, 2n+1+2g) uplink (down).
-  const std::size_t up_base = 2 * n + 1;
-  const std::size_t down_base = up_base + g;
-  cap_rem_.assign(down_base + g, 0.0);
-  cap_users_.assign(down_base + g, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    cap_rem_[i] = nodes_[i].egress_Bps;
-    cap_rem_[n + i] = nodes_[i].ingress_Bps;
-  }
-  cap_rem_[2 * n] = cfg_.fabric_Bps;
-  for (std::size_t i = 0; i < g; ++i) {
-    cap_rem_[up_base + i] = groups_[i].uplink_Bps;
-    cap_rem_[down_base + i] = groups_[i].uplink_Bps;
-  }
+// Progressive filling over one already-partitioned component (items_
+// [first_item, first_item + n_items)): raise the rate of every unfrozen flow
+// uniformly until some constraint or flow cap saturates; freeze the flows it
+// binds; repeat. Constraints are compacted per call; non-contained shared
+// constraints are skipped unless all_constraints is set (escalated solve).
+void FlowNetwork::water_fill(std::size_t first_item, std::size_t n_items,
+                             bool all_constraints) {
+  const std::size_t cspace = constraint_space();
+  const std::uint32_t n_local = static_cast<std::uint32_t>(2 * nodes_.size());
+  if (cmap_epoch_.size() < cspace) cmap_epoch_.resize(cspace, 0);
+  if (cmap_.size() < cspace) cmap_.resize(cspace, 0);
 
-  std::vector<SolverItem>& items = solver_items_;
-  items.clear();
-  items.reserve(live_flows_);
-  for (std::uint32_t slot = live_head_; slot != kNilIndex;
-       slot = flow_slots_[slot].live_next) {
-    Flow& f = flow_slots_[slot].flow;
-    SolverItem it{&f, slot, 0.0, false, {}, 0};
-    it.constraints[it.n_constraints++] = f.src;
-    it.constraints[it.n_constraints++] = n + f.dst;
-    it.constraints[it.n_constraints++] = 2 * n;
-    const SwitchGroupId gs = nodes_[f.src].group;
-    const SwitchGroupId gd = nodes_[f.dst].group;
-    if (gs != gd) {
-      it.constraints[it.n_constraints++] = up_base + gs;
-      it.constraints[it.n_constraints++] = down_base + gd;
+  // Containment pre-pass: count this component's users per shared
+  // constraint (stamped; no clearing).
+  if (!all_constraints) {
+    ++cmap_gen_;
+    for (std::size_t i = first_item; i < first_item + n_items; ++i) {
+      const FlowSlot& fs = flow_slots_[items_[i].slot];
+      for (std::uint8_t k = 2; k < fs.n_constraints; ++k) {
+        const std::uint32_t c = fs.constraints[k];
+        if (cmap_epoch_[c] != cmap_gen_) {
+          cmap_epoch_[c] = cmap_gen_;
+          cmap_[c] = 1;
+        } else {
+          ++cmap_[c];
+        }
+      }
     }
-    for (std::size_t c = 0; c < it.n_constraints; ++c) ++cap_users_[it.constraints[c]];
-    items.push_back(it);
+  }
+  if (citem_epoch_.size() < cspace) citem_epoch_.resize(cspace, 0);
+  if (citem_.size() < cspace) citem_.resize(cspace, kNilIndex);
+
+  // Compact the participating constraints and seed capacities/user counts.
+  // The containment counts above stay readable under cmap_gen_; the compact
+  // index uses the second stamp array.
+  ++citem_gen_used_;
+  const std::uint64_t cgen = citem_gen_used_;
+  wf_cap_.clear();
+  wf_users_.clear();
+  for (std::size_t i = first_item; i < first_item + n_items; ++i) {
+    SolverItem& it = items_[i];
+    FlowSlot& fs = flow_slots_[it.slot];
+    it.n_cidx = 0;
+    for (std::uint8_t k = 0; k < fs.n_constraints; ++k) {
+      const std::uint32_t c = fs.constraints[k];
+      const bool contained =
+          c < n_local || all_constraints ||
+          (cmap_epoch_[c] == cmap_gen_ && cmap_[c] == shared_users_[c]);
+      if (!contained) continue;
+      std::uint32_t idx;
+      if (citem_epoch_[c] != cgen) {
+        citem_epoch_[c] = cgen;
+        idx = static_cast<std::uint32_t>(wf_cap_.size());
+        citem_[c] = idx;
+        wf_cap_.push_back(constraint_cap(c));
+        wf_users_.push_back(0);
+      } else {
+        idx = citem_[c];
+      }
+      it.cidx[it.n_cidx++] = idx;
+      ++wf_users_[idx];
+    }
+    it.alloc = 0.0;
+    it.frozen = false;
   }
 
-  std::size_t unfrozen = items.size();
+  std::size_t unfrozen = n_items;
   while (unfrozen > 0) {
     // Smallest uniform increment that saturates a constraint or a flow cap.
     double inc = kUnlimitedRate;
-    for (std::size_t c = 0; c < cap_rem_.size(); ++c) {
-      if (cap_users_[c] > 0 && std::isfinite(cap_rem_[c]))
-        inc = std::min(inc, cap_rem_[c] / cap_users_[c]);
+    for (std::size_t c = 0; c < wf_cap_.size(); ++c) {
+      if (wf_users_[c] > 0 && std::isfinite(wf_cap_[c]))
+        inc = std::min(inc, wf_cap_[c] / wf_users_[c]);
     }
-    for (const SolverItem& it : items) {
+    for (std::size_t i = first_item; i < first_item + n_items; ++i) {
+      const SolverItem& it = items_[i];
       if (!it.frozen && std::isfinite(it.f->cap))
         inc = std::min(inc, it.f->cap - it.alloc);
     }
     if (!std::isfinite(inc)) break;  // no binding constraint (shouldn't happen)
     if (inc < 0) inc = 0;
 
-    for (SolverItem& it : items) {
+    for (std::size_t i = first_item; i < first_item + n_items; ++i) {
+      SolverItem& it = items_[i];
       if (it.frozen) continue;
       it.alloc += inc;
-      for (std::size_t c = 0; c < it.n_constraints; ++c) cap_rem_[it.constraints[c]] -= inc;
+      for (std::uint8_t c = 0; c < it.n_cidx; ++c) wf_cap_[it.cidx[c]] -= inc;
     }
     // Freeze flows whose cap is met or that cross a saturated constraint.
     bool froze_any = false;
-    for (SolverItem& it : items) {
+    for (std::size_t i = first_item; i < first_item + n_items; ++i) {
+      SolverItem& it = items_[i];
       if (it.frozen) continue;
       const bool cap_hit = std::isfinite(it.f->cap) && it.alloc >= it.f->cap - kEpsRate;
       bool constraint_hit = false;
-      for (std::size_t c = 0; c < it.n_constraints; ++c) {
-        if (cap_rem_[it.constraints[c]] <= kEpsRate) {
+      for (std::uint8_t c = 0; c < it.n_cidx; ++c) {
+        if (wf_cap_[it.cidx[c]] <= kEpsRate) {
           constraint_hit = true;
           break;
         }
@@ -265,16 +396,196 @@ void FlowNetwork::recompute_rates() {
         it.frozen = true;
         froze_any = true;
         --unfrozen;
-        for (std::size_t c = 0; c < it.n_constraints; ++c) --cap_users_[it.constraints[c]];
+        for (std::uint8_t c = 0; c < it.n_cidx; ++c) --wf_users_[it.cidx[c]];
       }
     }
     if (!froze_any && inc <= kEpsRate) break;  // numerical safety
   }
+}
 
-  // Publish: incremental pair-rate maintenance, fresh (drift-free) rate sum,
-  // and new completion projections only for flows whose rate changed.
-  rate_sum_ = 0.0;
-  for (SolverItem& it : items) apply_rate(*it.f, it.alloc, it.slot);
+// One settle epoch: re-solve only the dirty region (see the header's
+// "Incremental solver invariants"), validate shared constraints, escalate to
+// a global solve when one is violated, publish rates and components.
+void FlowNetwork::solve_epoch() {
+  ++recompute_count_;
+  const bool topo_changed = solved_topology_gen_ != topology_gen_;
+  solved_topology_gen_ = topology_gen_;
+  const std::size_t cspace = constraint_space();
+  const std::uint32_t n_local = static_cast<std::uint32_t>(2 * nodes_.size());
+  if (shared_users_.size() < cspace) shared_users_.resize(cspace, 0);
+  if (usage_.size() < cspace) usage_.resize(cspace, 0.0);
+  if (topo_changed) std::fill(shared_users_.begin(), shared_users_.end(), 0u);
+
+  // Phase 1 — canonical slab scan: collect affected flows (slot order).
+  // Affected = new arrival, member of a dirty component, ablated-off, or
+  // any flow after a topology change (incidence ids shift with node count).
+  items_.clear();
+  const std::size_t slab = flow_slots_.size();
+  for (std::uint32_t slot = 0; slot < slab; ++slot) {
+    FlowSlot& fs = flow_slots_[slot];
+    if (!fs.in_use) continue;
+    if (topo_changed) {
+      compute_incidence(fs);
+      for (std::uint8_t k = 2; k < fs.n_constraints; ++k) ++shared_users_[fs.constraints[k]];
+    }
+    const bool affected = !incremental_ || topo_changed || fs.comp == kNilIndex ||
+                          comps_[fs.comp].dirty;
+    if (!affected) continue;
+    detach_from_component(fs);
+    items_.push_back(SolverItem{&fs.flow, slot, 0.0, false, 0, {}, 0});
+  }
+
+  bool escalated = false;
+  std::size_t n_groups = 0;
+  if (!items_.empty()) {
+    // Phase 2 — partition the affected flows into connected components via
+    // union-find over their NIC constraints (roots are minimal indices, so
+    // first-seen group order and in-group slot order are both canonical).
+    if (citem_epoch_.size() < cspace) citem_epoch_.resize(cspace, 0);
+    if (citem_.size() < cspace) citem_.resize(cspace, kNilIndex);
+    ++citem_gen_used_;
+    const std::uint64_t pgen = citem_gen_used_;
+    const auto find_root = [&](std::uint32_t i) {
+      while (items_[i].uf_parent != i) {
+        items_[i].uf_parent = items_[items_[i].uf_parent].uf_parent;
+        i = items_[i].uf_parent;
+      }
+      return i;
+    };
+    for (std::uint32_t i = 0; i < items_.size(); ++i) items_[i].uf_parent = i;
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      const FlowSlot& fs = flow_slots_[items_[i].slot];
+      for (int k = 0; k < 2; ++k) {
+        const std::uint32_t c = fs.constraints[k];
+        if (citem_epoch_[c] != pgen) {
+          citem_epoch_[c] = pgen;
+          citem_[c] = i;
+        } else {
+          std::uint32_t ra = find_root(i), rb = find_root(citem_[c]);
+          if (ra != rb) items_[std::max(ra, rb)].uf_parent = std::min(ra, rb);
+        }
+      }
+    }
+    // Dense group ids in first-seen (= ascending root) order, then a stable
+    // counting-sort so each group's items are contiguous in slot order.
+    group_of_item_.resize(items_.size());
+    group_start_.clear();
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      const std::uint32_t r = find_root(i);
+      if (r == i) {
+        group_of_item_[i] = static_cast<std::uint32_t>(n_groups++);
+        group_start_.push_back(0);
+      } else {
+        group_of_item_[i] = group_of_item_[r];
+      }
+      ++group_start_[group_of_item_[i]];
+    }
+    std::uint32_t acc = 0;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      const std::uint32_t sz = group_start_[g];
+      group_start_[g] = acc;
+      acc += sz;
+    }
+    group_start_.push_back(acc);
+    item_order_.resize(items_.size());
+    {
+      scatter_pos_.assign(group_start_.begin(), group_start_.end() - 1);
+      for (std::uint32_t i = 0; i < items_.size(); ++i)
+        item_order_[scatter_pos_[group_of_item_[i]]++] = i;
+    }
+    // The water-fill operates on contiguous runs of items_, so permute
+    // items_ itself into group order (stable: ascending within a group).
+    items_scratch_.resize(items_.size());
+    for (std::uint32_t i = 0; i < items_.size(); ++i)
+      items_scratch_[i] = items_[item_order_[i]];
+    items_.swap(items_scratch_);
+
+    // Phase 3 — solve each dirty component independently.
+    for (std::size_t g = 0; g < n_groups; ++g)
+      water_fill(group_start_[g], group_start_[g + 1] - group_start_[g],
+                 /*all_constraints=*/false);
+
+    // Phase 4 — validate shared constraints against total usage, accumulated
+    // in one canonical slab-order pass over cached + fresh rates (identical
+    // accumulation order whichever components were re-solved, so the
+    // escalation decision cannot diverge between ablation modes).
+    for (std::uint32_t c = n_local; c < cspace; ++c) usage_[c] = 0.0;
+    {
+      sorted_item_of_slot_.clear();
+      sorted_item_of_slot_.resize(slab, kNilIndex);
+      for (std::size_t i = 0; i < items_.size(); ++i)
+        sorted_item_of_slot_[items_[i].slot] = static_cast<std::uint32_t>(i);
+      for (std::uint32_t slot = 0; slot < slab; ++slot) {
+        const FlowSlot& fs = flow_slots_[slot];
+        if (!fs.in_use) continue;
+        const std::uint32_t it = sorted_item_of_slot_[slot];
+        const double r = it == kNilIndex ? fs.flow.rate : items_[it].alloc;
+        for (std::uint8_t k = 2; k < fs.n_constraints; ++k) usage_[fs.constraints[k]] += r;
+      }
+    }
+    for (std::uint32_t c = n_local; c < cspace && !escalated; ++c) {
+      const double cap = constraint_cap(c);
+      if (std::isfinite(cap) && usage_[c] > cap + kEpsRate) escalated = true;
+    }
+
+    // Phase 5 — escalation: a shared constraint binds across components, so
+    // the decomposition is invalid this epoch. Solve every live flow as one
+    // component with the full constraint set (the pre-incremental global
+    // algorithm) and merge them, so later churn re-solves — and re-attempts
+    // splitting — the whole coupled region.
+    if (escalated) {
+      ++escalations_;
+      items_.clear();
+      for (std::uint32_t slot = 0; slot < slab; ++slot) {
+        FlowSlot& fs = flow_slots_[slot];
+        if (!fs.in_use) continue;
+        detach_from_component(fs);  // clean components join the mega solve
+        items_.push_back(SolverItem{&fs.flow, slot, 0.0, false, 0, {}, 0});
+      }
+      water_fill(0, items_.size(), /*all_constraints=*/true);
+      n_groups = 1;
+      group_start_.clear();
+      group_start_.push_back(0);
+      group_start_.push_back(static_cast<std::uint32_t>(items_.size()));
+      group_of_item_.assign(items_.size(), 0);
+    }
+  }
+
+  // Phase 6 — publish: assign (re)built components, record NIC-constraint
+  // ownership for arrival dirtying, apply rates (projections push only for
+  // flows whose rate actually changed), refresh the drift-free rate sum.
+  if (nic_owner_.size() < 2 * nodes_.size()) {
+    nic_owner_.resize(2 * nodes_.size(), kNilIndex);
+    nic_owner_gen_.resize(2 * nodes_.size(), 0);
+  }
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const std::uint32_t comp = alloc_component();
+    comps_[comp].count = group_start_[g + 1] - group_start_[g];
+    for (std::uint32_t i = group_start_[g]; i < group_start_[g + 1]; ++i) {
+      FlowSlot& fs = flow_slots_[items_[i].slot];
+      fs.comp = comp;
+      for (int k = 0; k < 2; ++k) {
+        nic_owner_[fs.constraints[k]] = comp;
+        nic_owner_gen_[fs.constraints[k]] = comps_[comp].gen;
+      }
+    }
+  }
+  solved_components_ += n_groups;
+  touched_flows_ += items_.size();
+  if (trace_solver_) {
+    std::fprintf(stderr, "epoch %llu: live=%zu items=%zu groups=%zu esc=%d\n",
+                 static_cast<unsigned long long>(recompute_count_), live_flows_,
+                 items_.size(), n_groups, static_cast<int>(escalated));
+  }
+  for (SolverItem& it : items_) apply_rate(*it.f, it.alloc, it.slot);
+  {
+    double sum = 0.0;
+    for (std::uint32_t slot = 0; slot < slab; ++slot) {
+      const FlowSlot& fs = flow_slots_[slot];
+      if (fs.in_use) sum += fs.flow.rate;
+    }
+    rate_sum_ = sum;
+  }
 }
 
 void FlowNetwork::schedule_completion() {
@@ -334,7 +645,7 @@ void FlowNetwork::on_completion_timer() {
     flow_slots_[slot].flow.done->set();
     release_flow_slot(slot);
   }
-  recompute_rates();
+  solve_epoch();
   schedule_completion();
 }
 

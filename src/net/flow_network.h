@@ -18,15 +18,65 @@
 //    into a single deferred max-min solve (a zero-delay "settle" event), so
 //    a burst of N chunk pushes costs one recompute instead of N. The solved
 //    rates are identical because no virtual time passes inside the epoch.
+//  * Component-scoped incremental solving — see "Incremental solver
+//    invariants" below: each settle re-runs water-filling only for the
+//    connected components containing arrived/departed flows; every other
+//    component keeps its cached rates and its completion-heap entries.
 //  * Flows live in a slab of slots recycled through a free list; the
 //    completion event is an intrusive member, so starting a flow performs
 //    no per-flow heap allocation in steady state.
 //  * Completions come from a min-heap of projected finish times that is
 //    invalidated lazily: entries are re-validated against the flow's
-//    current projection when popped instead of being rescanned (the old
-//    engine walked every flow after each event).
+//    current projection when popped instead of being rescanned.
 //  * flow_rate()/current_rate_sum() are maintained incrementally and cost
 //    O(1) per query.
+//
+// Incremental solver invariants
+// -----------------------------
+// Constraints split into two classes:
+//  * LOCAL: per-node NIC egress/ingress. Each is touched only by flows with
+//    that endpoint. Connected components are computed over local constraints
+//    alone (two flows are in one component iff they are linked by a chain of
+//    shared endpoints).
+//  * SHARED: the fabric aggregate and the per-switch-group uplinks. These
+//    can span components. A shared constraint is *contained* in a component
+//    when every live flow using it belongs to that component; contained
+//    constraints participate in the component's water-fill like local ones.
+//
+// Per settle epoch:
+//  1. A component is DIRTY iff a flow arrived into it, departed from it, or
+//     the topology changed (which dirties everything). Arrivals dirty every
+//     existing component reachable through their endpoints' local
+//     constraints (arrivals can merge components; departures can split them
+//     — membership is rebuilt from scratch for the dirty region only).
+//  2. Dirty components are re-partitioned and water-filled ignoring
+//     non-contained shared constraints; clean components keep their CACHED
+//     rates, projections and completion-heap entries untouched.
+//  3. Every finite shared constraint is then validated against the total
+//     usage (cached + freshly solved rates). If none is violated the
+//     allocation is the exact global max-min: it is feasible and it is
+//     max-min fair for the relaxation, whose feasible set contains the full
+//     problem's. A shared constraint that is not binding never determines a
+//     water-fill increment, so the per-component solution is bit-identical
+//     to the full solve's.
+//  4. If a shared constraint IS violated, the epoch escalates: one global
+//     water-fill over all live flows with every constraint (exactly the
+//     pre-incremental algorithm, in canonical slot order), and all flows
+//     merge into a single component so any later change re-solves it (and
+//     re-attempts decomposition, which is how the mega-component splits
+//     back once pressure drops).
+//
+// Cached rates are reusable because a component's solution is a pure
+// function of (member flows in slot order, their caps, endpoint capacities,
+// contained shared capacities) — none of which change while the component
+// stays clean. This is what makes ABLATE_INCREMENTAL=off (re-solve every
+// component each epoch) byte-identical to the incremental mode, which the
+// randomized equivalence suite asserts.
+//
+// Introspection: solved_component_count() counts component water-fills,
+// touched_flow_count() counts flow re-solves (both cumulative), so benches
+// can report flows-re-solved-per-epoch; escalation_count() says how often
+// the shared-constraint check forced a global solve.
 #pragma once
 
 #include <cstdint>
@@ -115,13 +165,27 @@ class FlowNetwork {
   std::size_t active_flows() const noexcept { return live_flows_; }
   double current_rate_sum() const noexcept { return live_flows_ ? rate_sum_ : 0.0; }
   double flow_rate(NodeId src, NodeId dst) const noexcept;  // sum over matching flows
-  /// Max-min solver invocations so far; lets tests assert that a burst of
+  /// Max-min solve epochs so far; lets tests assert that a burst of
   /// same-timestamp arrivals settles with exactly one recompute.
   std::uint64_t recompute_count() const noexcept { return recompute_count_; }
   /// True while an epoch-settle event is queued (arrivals not yet solved).
   bool settle_pending() const noexcept { return settle_pending_; }
   /// Flows ever started (engine-throughput metric for the scale sweeps).
   std::uint64_t flows_started() const noexcept { return flows_started_; }
+  /// Cumulative component water-fills (escalated global solves count as 1).
+  std::uint64_t solved_component_count() const noexcept { return solved_components_; }
+  /// Cumulative flow re-solves; touched/recompute_count() is the average
+  /// flows-re-solved-per-epoch the incremental solver is judged on.
+  std::uint64_t touched_flow_count() const noexcept { return touched_flows_; }
+  /// Epochs where a violated shared constraint forced a global solve.
+  std::uint64_t escalation_count() const noexcept { return escalations_; }
+  /// Live connected components right now (0 when idle).
+  std::size_t component_count() const noexcept { return live_components_; }
+  bool incremental_enabled() const noexcept { return incremental_; }
+  /// Ablation toggle (also honoured from the ABLATE_INCREMENTAL env var at
+  /// construction): off re-solves every component each epoch. Rates are
+  /// byte-identical either way; only the work counters differ.
+  void set_incremental(bool on) noexcept { incremental_ = on; }
 
  private:
   static constexpr std::uint32_t kNilIndex = 0xffffffffu;
@@ -139,11 +203,16 @@ class FlowNetwork {
     Flow flow;
     std::uint32_t gen = 0;  // bumped on release; completion entries compare it
     std::uint32_t next_free = kNilIndex;
-    // Intrusive doubly-linked list of live slots, so advancing and solving
-    // cost O(live flows), not O(peak slab size).
+    // Intrusive doubly-linked list of live slots, so advancing costs
+    // O(live flows), not O(peak slab size).
     std::uint32_t live_next = kNilIndex;
     std::uint32_t live_prev = kNilIndex;
     bool in_use = false;
+    // Constraint incidence, computed at arrival (rebuilt on topology
+    // change): [egress(src), ingress(dst), fabric, uplink-up, uplink-down].
+    std::uint32_t constraints[5] = {};
+    std::uint8_t n_constraints = 0;
+    std::uint32_t comp = kNilIndex;  // owning component; kNil until solved
   };
   struct Node {
     double egress_Bps;
@@ -152,6 +221,18 @@ class FlowNetwork {
   };
   struct Group {
     double uplink_Bps;
+  };
+  /// Component of the flows<->constraints incidence graph. Membership is
+  /// implicit (flows point at components); only the live count and the
+  /// dirty flag persist between epochs. `gen` survives slot reuse so stale
+  /// NIC-owner entries can be detected instead of dirtying an innocent
+  /// component that recycled the id.
+  struct Component {
+    std::uint32_t count = 0;     // live member flows
+    std::uint32_t next_free = kNilIndex;
+    std::uint32_t gen = 0;
+    bool dirty = false;
+    bool in_use = false;
   };
   /// Lazily-invalidated projected completion; stale when the generation or
   /// the projection no longer matches the flow.
@@ -178,8 +259,18 @@ class FlowNetwork {
   void mark_dirty();
   void on_settle();
 
+  std::size_t constraint_space() const noexcept {
+    return 2 * nodes_.size() + 1 + 2 * groups_.size();
+  }
+  void compute_incidence(FlowSlot& fs) noexcept;
+  double constraint_cap(std::uint32_t c) const noexcept;
+  std::uint32_t alloc_component();
+  void release_component(std::uint32_t id) noexcept;
+  void detach_from_component(FlowSlot& fs) noexcept;
+
   void advance_to_now();
-  void recompute_rates();
+  void solve_epoch();
+  void water_fill(std::size_t first_item, std::size_t n_items, bool all_constraints);
   void schedule_completion();
   void on_completion_timer();
 
@@ -194,6 +285,21 @@ class FlowNetwork {
   std::uint32_t free_head_ = kNilIndex;
   std::uint32_t live_head_ = kNilIndex;
   std::size_t live_flows_ = 0;
+
+  // Component slab (free-listed; see struct Component).
+  std::vector<Component> comps_;
+  std::uint32_t comp_free_ = kNilIndex;
+  std::size_t live_components_ = 0;
+  // NIC constraint -> (component, generation) that last owned it; arrivals
+  // use it to dirty the components they may merge with. Entries whose
+  // generation no longer matches are stale (owner dissolved) and ignored.
+  std::vector<std::uint32_t> nic_owner_;
+  std::vector<std::uint32_t> nic_owner_gen_;
+  // Shared-constraint live user counts (containment test); indexed by
+  // constraint id, only entries >= 2*nodes are maintained.
+  std::vector<std::uint32_t> shared_users_;
+  std::uint64_t topology_gen_ = 0;   // bumped by add_node/add_switch_group
+  std::uint64_t solved_topology_gen_ = 0;
 
   double last_advance_ = 0.0;
   bool settle_pending_ = false;
@@ -210,22 +316,44 @@ class FlowNetwork {
   };
   std::unordered_map<std::uint64_t, PairRate> pair_rates_;
 
+  bool incremental_ = true;
+  bool trace_solver_ = false;  // HM_TRACE_SOLVER: per-epoch work to stderr
   std::uint64_t recompute_count_ = 0;
   std::uint64_t flows_started_ = 0;
+  std::uint64_t solved_components_ = 0;
+  std::uint64_t touched_flows_ = 0;
+  std::uint64_t escalations_ = 0;
   double traffic_[kNumTrafficClasses] = {};
 
-  // scratch buffers for the water-filling solver (avoid per-call allocs)
-  std::vector<double> cap_rem_;
-  std::vector<std::uint32_t> cap_users_;
+  // scratch buffers for the solver (avoid per-epoch allocations)
   struct SolverItem {
     Flow* f;
     std::uint32_t slot;
     double alloc;
     bool frozen;
-    std::size_t constraints[5];
-    std::size_t n_constraints;
+    std::uint32_t uf_parent;   // union-find over affected items
+    std::uint32_t cidx[5];     // compact constraint indices for one water-fill
+    std::uint8_t n_cidx;
   };
-  std::vector<SolverItem> solver_items_;
+  std::vector<SolverItem> items_;             // affected flows, slot order
+  std::vector<SolverItem> items_scratch_;     // group-order permutation buffer
+  std::vector<std::uint32_t> group_of_item_;  // dense component id per item
+  std::vector<std::uint32_t> group_start_;    // group -> first index (+ total)
+  std::vector<std::uint32_t> item_order_;     // counting-sort permutation
+  std::vector<std::uint32_t> scatter_pos_;
+  std::vector<std::uint32_t> sorted_item_of_slot_;  // slot -> item (usage pass)
+  std::vector<double> usage_;              // per shared constraint: total rate
+  std::vector<double> wf_cap_;             // water-fill: remaining capacity
+  std::vector<std::uint32_t> wf_users_;    //   and unfrozen users, per constraint
+  // Epoch-stamped constraint-id maps (never cleared, O(1) reuse). cmap_
+  // holds per-component shared-user counts during a water-fill; citem_
+  // doubles as union-find seed and compaction index.
+  std::vector<std::uint32_t> cmap_;
+  std::vector<std::uint64_t> cmap_epoch_;
+  std::uint64_t cmap_gen_ = 0;
+  std::vector<std::uint32_t> citem_;
+  std::vector<std::uint64_t> citem_epoch_;
+  std::uint64_t citem_gen_used_ = 0;
   std::vector<std::uint32_t> finished_scratch_;
 };
 

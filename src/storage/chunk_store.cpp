@@ -10,18 +10,19 @@ ChunkStore::ChunkStore(sim::Simulator& sim, Disk& disk, ImageConfig img, ChunkSt
       img_(img),
       cfg_(cfg),
       num_chunks_(img.num_chunks()),
-      present_(num_chunks_, 0),
-      modified_(num_chunks_, 0),
-      cache_(static_cast<std::size_t>(cfg.host_cache_bytes / img.chunk_bytes)),
+      present_(num_chunks_),
+      modified_(num_chunks_),
+      cache_(static_cast<std::size_t>(cfg.host_cache_bytes / img.chunk_bytes), num_chunks_),
       bus_(sim, 1),
+      host_dirty_(num_chunks_),
+      dirty_stamp_(num_chunks_, 0),
       flush_wakeup_(sim),
       flush_progress_(sim) {}
 
 std::vector<ChunkId> ChunkStore::modified_set() const {
   std::vector<ChunkId> out;
-  out.reserve(modified_count_);
-  for (ChunkId c = 0; c < num_chunks_; ++c)
-    if (modified_[c]) out.push_back(c);
+  out.reserve(modified_.count());
+  for_each_modified([&](ChunkId c) { out.push_back(c); });
   return out;
 }
 
@@ -32,10 +33,8 @@ sim::Task ChunkStore::bus_io(double bytes) {
 }
 
 void ChunkStore::mark_host_dirty(ChunkId c) {
-  ++dirty_epoch_;
-  auto [it, inserted] = dirty_members_.try_emplace(c, dirty_epoch_);
-  it->second = dirty_epoch_;
-  if (inserted) dirty_fifo_.push_back(c);
+  dirty_stamp_[c] = ++dirty_epoch_;
+  host_dirty_.set(c);
   if (cfg_.background_flush) {
     if (!flusher_running_) {
       flusher_running_ = true;
@@ -47,24 +46,21 @@ void ChunkStore::mark_host_dirty(ChunkId c) {
 
 sim::Task ChunkStore::flusher_loop() {
   for (;;) {
-    if (dirty_fifo_.empty()) {
+    if (!host_dirty_.any()) {
       co_await flush_wakeup_.wait();
       continue;
     }
-    const ChunkId c = dirty_fifo_.front();
-    dirty_fifo_.pop_front();
-    auto it = dirty_members_.find(c);
-    if (it == dirty_members_.end()) continue;  // already flushed/cancelled
-    const std::uint64_t epoch = it->second;
+    // Round-robin over the dirty bitmap: resume after the last flushed
+    // chunk, wrap at the end. Clean regions are skipped 64 chunks per word.
+    std::uint64_t next = host_dirty_.find_next(flush_cursor_);
+    if (next == util::DirtyBitmap::npos) next = host_dirty_.find_next(0);
+    const ChunkId c = static_cast<ChunkId>(next);
+    flush_cursor_ = (c + 1 < num_chunks_) ? c + 1 : 0;
+    const std::uint64_t stamp = dirty_stamp_[c];
     co_await disk_.write(img_.chunk_bytes);
-    it = dirty_members_.find(c);
-    if (it != dirty_members_.end()) {
-      if (it->second == epoch) {
-        dirty_members_.erase(it);
-      } else {
-        dirty_fifo_.push_back(c);  // re-dirtied while flushing; write again later
-      }
-    }
+    // Only clean the bit if the chunk was not re-dirtied while the write
+    // was in flight; otherwise leave it set and the cursor revisits it.
+    if (dirty_stamp_[c] == stamp) host_dirty_.reset(c);
     flush_progress_.notify_all();
   }
 }
@@ -72,20 +68,14 @@ sim::Task ChunkStore::flusher_loop() {
 sim::Task ChunkStore::write_chunk(ChunkId c) {
   assert(c < num_chunks_);
   co_await bus_io(img_.chunk_bytes);
-  if (!present_[c]) {
-    present_[c] = 1;
-    ++present_count_;
-  }
-  if (!modified_[c]) {
-    modified_[c] = 1;
-    ++modified_count_;
-  }
+  present_.set(c);
+  modified_.set(c);
   cache_.insert(c);
   mark_host_dirty(c);
 }
 
 sim::Task ChunkStore::read_chunk(ChunkId c) {
-  assert(c < num_chunks_ && present_[c]);
+  assert(c < num_chunks_ && present_.test(c));
   if (cache_.contains(c)) {
     ++cache_hits_;
     cache_.insert(c);  // refresh LRU position
@@ -100,16 +90,13 @@ sim::Task ChunkStore::read_chunk(ChunkId c) {
 sim::Task ChunkStore::install_base_chunk(ChunkId c) {
   assert(c < num_chunks_);
   co_await bus_io(img_.chunk_bytes);
-  if (!present_[c]) {
-    present_[c] = 1;
-    ++present_count_;
-  }
+  present_.set(c);
   cache_.insert(c);
   mark_host_dirty(c);
 }
 
 sim::Task ChunkStore::flush() {
-  while (!dirty_members_.empty()) co_await flush_progress_.wait();
+  while (host_dirty_.any()) co_await flush_progress_.wait();
 }
 
 }  // namespace hm::storage

@@ -7,18 +7,22 @@
 // writes issued by the migration manager land in host cache at memory speed
 // and are flushed to disk in the background; reads of recently written
 // chunks (the common case when pushing fresh data) are served from host RAM.
+//
+// Host-dirty bookkeeping is an epoch-stamped slot bitmap: mark_host_dirty
+// sets the chunk's bit and stamps it, the background flusher scans the
+// bitmap with a round-robin cursor (word-skip over clean regions), and a
+// re-dirty during the disk write is detected by a stamp mismatch — no
+// deque, no hash probes on the write path.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/disk.h"
+#include "util/bitmap.h"
 
 namespace hm::storage {
 
@@ -42,42 +46,94 @@ struct ImageConfig {
 };
 
 /// LRU set of chunk ids (host page cache residency).
+///
+/// Intrusive doubly-linked list threaded through a flat slot vector indexed
+/// by chunk id: membership is one flag load, insert/refresh/erase are
+/// pointer splices with zero allocation (the old std::list +
+/// unordered_map<ChunkId, iterator> paid a hash probe plus a node
+/// allocation per operation). Slots grow lazily to the largest id seen, so
+/// the default constructor stays cheap for sparsely-used sets.
 class LruChunkSet {
  public:
-  explicit LruChunkSet(std::size_t capacity) : capacity_(capacity) {}
+  explicit LruChunkSet(std::size_t capacity, std::size_t universe = 0)
+      : capacity_(capacity) {
+    slots_.reserve(universe);
+  }
 
-  bool contains(ChunkId c) const noexcept { return index_.count(c) != 0; }
-  std::size_t size() const noexcept { return index_.size(); }
+  bool contains(ChunkId c) const noexcept {
+    return c < slots_.size() && slots_[c].in;
+  }
+  std::size_t size() const noexcept { return size_; }
   std::size_t capacity() const noexcept { return capacity_; }
 
   /// Insert or refresh c; returns true if an old entry was evicted.
   bool insert(ChunkId c) {
-    auto it = index_.find(c);
-    if (it != index_.end()) {
-      order_.splice(order_.begin(), order_, it->second);
+    if (c >= slots_.size()) slots_.resize(c + 1);
+    Slot& s = slots_[c];
+    if (s.in) {
+      if (head_ != c) {
+        unlink(c);
+        link_front(c);
+      }
       return false;
     }
-    order_.push_front(c);
-    index_[c] = order_.begin();
-    if (capacity_ > 0 && index_.size() > capacity_) {
-      index_.erase(order_.back());
-      order_.pop_back();
+    s.in = true;
+    ++size_;
+    link_front(c);
+    if (capacity_ > 0 && size_ > capacity_) {
+      erase(static_cast<ChunkId>(tail_));
       return true;
     }
     return false;
   }
 
   void erase(ChunkId c) {
-    auto it = index_.find(c);
-    if (it == index_.end()) return;
-    order_.erase(it->second);
-    index_.erase(it);
+    if (!contains(c)) return;
+    unlink(c);
+    slots_[c].in = false;
+    --size_;
   }
 
+  /// Least-recently-used member (kNil when empty); exposed so eviction
+  /// policies can scan from the cold end instead of by id.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  std::uint32_t least_recent() const noexcept { return tail_; }
+  /// Next-more-recent member after c (walks cold -> hot).
+  std::uint32_t more_recent(ChunkId c) const noexcept { return slots_[c].prev; }
+
  private:
+  struct Slot {
+    std::uint32_t prev = kNil;  // toward MRU
+    std::uint32_t next = kNil;  // toward LRU
+    bool in = false;
+  };
+
+  void link_front(ChunkId c) noexcept {
+    Slot& s = slots_[c];
+    s.prev = kNil;
+    s.next = head_;
+    if (head_ != kNil) slots_[head_].prev = c;
+    head_ = c;
+    if (tail_ == kNil) tail_ = c;
+  }
+  void unlink(ChunkId c) noexcept {
+    Slot& s = slots_[c];
+    if (s.prev != kNil)
+      slots_[s.prev].next = s.next;
+    else
+      head_ = s.next;
+    if (s.next != kNil)
+      slots_[s.next].prev = s.prev;
+    else
+      tail_ = s.prev;
+    s.prev = s.next = kNil;
+  }
+
   std::size_t capacity_;
-  std::list<ChunkId> order_;
-  std::unordered_map<ChunkId, std::list<ChunkId>::iterator> index_;
+  std::size_t size_ = 0;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  std::vector<Slot> slots_;
 };
 
 struct ChunkStoreConfig {
@@ -104,11 +160,21 @@ class ChunkStore {
   const ImageConfig& image() const noexcept { return img_; }
   std::uint32_t num_chunks() const noexcept { return num_chunks_; }
 
-  bool present(ChunkId c) const noexcept { return present_[c] != 0; }
-  bool modified(ChunkId c) const noexcept { return modified_[c] != 0; }
-  std::uint32_t present_count() const noexcept { return present_count_; }
-  std::uint32_t modified_count() const noexcept { return modified_count_; }
+  bool present(ChunkId c) const noexcept { return present_.test(c); }
+  bool modified(ChunkId c) const noexcept { return modified_.test(c); }
+  std::uint32_t present_count() const noexcept {
+    return static_cast<std::uint32_t>(present_.count());
+  }
+  std::uint32_t modified_count() const noexcept {
+    return static_cast<std::uint32_t>(modified_.count());
+  }
   std::vector<ChunkId> modified_set() const;
+  /// Word-scan the ModifiedSet without materializing a vector (migrators'
+  /// round seeding).
+  template <class F>
+  void for_each_modified(F&& fn) const {
+    modified_.for_each_set([&](std::uint64_t c) { fn(static_cast<ChunkId>(c)); });
+  }
 
   /// Write a full chunk to the local image (host cache write; background
   /// flush drains it to disk). Marks the chunk modified w.r.t. the base.
@@ -123,7 +189,9 @@ class ChunkStore {
   sim::Task flush();
 
   bool host_cached(ChunkId c) const noexcept { return cache_.contains(c); }
-  std::size_t host_dirty_chunks() const noexcept { return dirty_members_.size(); }
+  std::size_t host_dirty_chunks() const noexcept {
+    return static_cast<std::size_t>(host_dirty_.count());
+  }
   std::uint64_t cache_hits() const noexcept { return cache_hits_; }
   std::uint64_t cache_misses() const noexcept { return cache_misses_; }
   Disk& disk() noexcept { return disk_; }
@@ -138,16 +206,16 @@ class ChunkStore {
   ImageConfig img_;
   ChunkStoreConfig cfg_;
   std::uint32_t num_chunks_;
-  std::vector<std::uint8_t> present_;
-  std::vector<std::uint8_t> modified_;
-  std::uint32_t present_count_ = 0;
-  std::uint32_t modified_count_ = 0;
+  util::DirtyBitmap present_;
+  util::DirtyBitmap modified_;
   LruChunkSet cache_;
   sim::Semaphore bus_;
-  // host-dirty bookkeeping (chunks cached but not yet flushed to disk)
-  std::deque<ChunkId> dirty_fifo_;
-  std::unordered_map<ChunkId, std::uint64_t> dirty_members_;  // chunk -> epoch
+  // Host-dirty bookkeeping: bit set while a chunk is cached but not yet on
+  // disk; the stamp detects re-dirtying during the in-flight disk write.
+  util::DirtyBitmap host_dirty_;
+  std::vector<std::uint64_t> dirty_stamp_;
   std::uint64_t dirty_epoch_ = 0;
+  std::uint32_t flush_cursor_ = 0;
   sim::Notification flush_wakeup_;
   sim::Notification flush_progress_;
   bool flusher_running_ = false;

@@ -11,7 +11,8 @@ PageCache::PageCache(sim::Simulator& sim, BlockBackend& backend, ImageConfig img
       img_(img),
       cfg_(cfg),
       state_(img.num_chunks(), State::kAbsent),
-      lru_(static_cast<std::size_t>(cfg.capacity_bytes / img.chunk_bytes)),
+      lru_(static_cast<std::size_t>(cfg.capacity_bytes / img.chunk_bytes),
+           img.num_chunks()),
       guest_bus_(sim, 1),
       wb_wakeup_(sim),
       wb_progress_(sim) {}
@@ -63,14 +64,14 @@ sim::Task PageCache::reserve_capacity() {
   // write-back to clean something.
   while (lru_.size() >= lru_.capacity() && lru_.capacity() > 0) {
     bool evicted = false;
-    // LruChunkSet does not expose iteration; scan states for a clean victim.
-    // The capacity is only ever hit when a workload's file set outgrows the
-    // cache, so this linear fallback is rare and bounded.
-    for (ChunkId c = 0; c < state_.size(); ++c) {
-      if (state_[c] == State::kClean && lru_.contains(c)) {
-        lru_.erase(c);
+    // Walk the intrusive LRU list from the cold end for a clean victim
+    // (dirty entries must survive until write-back cleans them).
+    for (std::uint32_t c = lru_.least_recent(); c != LruChunkSet::kNil;
+         c = lru_.more_recent(static_cast<ChunkId>(c))) {
+      if (state_[c] == State::kClean) {
+        lru_.erase(static_cast<ChunkId>(c));
         state_[c] = State::kAbsent;
-        if (release_hook_) release_hook_(c);
+        if (release_hook_) release_hook_(static_cast<ChunkId>(c));
         evicted = true;
         break;
       }

@@ -1,0 +1,150 @@
+// Packed dirty-bitmap: one bit per page/chunk slot, 64 slots per word.
+//
+// Dirty-state tracking is the inner loop of every migration round: the
+// hypervisor snapshots the guest dirty map once per pre-copy iteration, the
+// block migrators scan the chunk dirty set per storage round, and the chunk
+// store's background flusher continuously looks for the next host-dirty
+// chunk. A byte-per-slot vector (the seed representation) makes each of
+// those an O(slots) byte walk; packed words make them O(slots/64) with
+// popcount for counting and countr_zero for iteration, i.e. the scan runs at
+// memory bandwidth and skips clean regions 64 slots at a time.
+//
+// The population count is maintained incrementally by set/reset, so count()
+// is O(1) — that is what GuestMemory::dirty_bytes() and
+// ChunkStore::host_dirty_chunks() turn into.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace hm::util {
+
+class DirtyBitmap {
+ public:
+  static constexpr std::uint64_t npos = ~std::uint64_t{0};
+
+  DirtyBitmap() = default;
+  explicit DirtyBitmap(std::uint64_t bits) { resize(bits); }
+
+  /// Resize to `bits` slots, all clear.
+  void resize(std::uint64_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  std::uint64_t size() const noexcept { return bits_; }
+  std::uint64_t count() const noexcept { return count_; }
+  bool any() const noexcept { return count_ != 0; }
+
+  bool test(std::uint64_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Set bit i; returns true if it was previously clear.
+  bool set(std::uint64_t i) noexcept {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (i & 63);
+    if (w & m) return false;
+    w |= m;
+    ++count_;
+    return true;
+  }
+
+  /// Clear bit i; returns true if it was previously set.
+  bool reset(std::uint64_t i) noexcept {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (i & 63);
+    if (!(w & m)) return false;
+    w &= ~m;
+    --count_;
+    return true;
+  }
+
+  /// Set [first, last): word-granular masking, popcount for the count delta.
+  void set_range(std::uint64_t first, std::uint64_t last) noexcept {
+    if (first >= last) return;
+    apply_range(first, last, /*set=*/true);
+  }
+
+  /// Clear [first, last).
+  void reset_range(std::uint64_t first, std::uint64_t last) noexcept {
+    if (first >= last) return;
+    apply_range(first, last, /*set=*/false);
+  }
+
+  /// Clear everything (memset-speed; the end of a migration round).
+  void clear() noexcept {
+    if (count_ == 0) return;
+    std::fill(words_.begin(), words_.end(), std::uint64_t{0});
+    count_ = 0;
+  }
+
+  /// Index of the first set bit at or after `from`; npos when none.
+  std::uint64_t find_next(std::uint64_t from) const noexcept {
+    if (from >= bits_) return npos;
+    std::uint64_t wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (w) return (wi << 6) + static_cast<std::uint64_t>(std::countr_zero(w));
+      if (++wi >= words_.size()) return npos;
+      w = words_[wi];
+    }
+  }
+
+  /// Invoke fn(index) for every set bit, ascending. Clean words cost one
+  /// load+test each.
+  template <class F>
+  void for_each_set(F&& fn) const {
+    for (std::uint64_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int b = std::countr_zero(w);
+        fn((wi << 6) + static_cast<std::uint64_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// for_each_set + clear in one pass (a migration round's take-and-reset).
+  template <class F>
+  void drain(F&& fn) {
+    for (std::uint64_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      if (!w) continue;
+      words_[wi] = 0;
+      while (w) {
+        const int b = std::countr_zero(w);
+        fn((wi << 6) + static_cast<std::uint64_t>(b));
+        w &= w - 1;
+      }
+    }
+    count_ = 0;
+  }
+
+ private:
+  void apply_range(std::uint64_t first, std::uint64_t last, bool set) noexcept {
+    const std::uint64_t wf = first >> 6, wl = (last - 1) >> 6;
+    for (std::uint64_t wi = wf; wi <= wl; ++wi) {
+      std::uint64_t m = ~std::uint64_t{0};
+      if (wi == wf) m &= ~std::uint64_t{0} << (first & 63);
+      if (wi == wl && (last & 63)) m &= (std::uint64_t{1} << (last & 63)) - 1;
+      std::uint64_t& w = words_[wi];
+      if (set) {
+        count_ += static_cast<std::uint64_t>(std::popcount(m & ~w));
+        w |= m;
+      } else {
+        count_ -= static_cast<std::uint64_t>(std::popcount(m & w));
+        w &= ~m;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t bits_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace hm::util

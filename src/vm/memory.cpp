@@ -2,28 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace hm::vm {
 
 GuestMemory::GuestMemory(GuestMemoryConfig cfg)
     : cfg_(cfg),
       pages_((cfg.ram_bytes + cfg.page_bytes - 1) / cfg.page_bytes),
-      used_(pages_, 0),
-      dirty_(pages_, 0) {
+      used_(pages_),
+      dirty_(pages_) {
   // Pre-touch the OS/application baseline so round 0 has realistic volume.
   touch_range(0, std::min(cfg_.base_used_bytes, cfg_.ram_bytes));
-}
-
-void GuestMemory::mark_page(std::uint64_t p) {
-  assert(p < pages_);
-  if (!used_[p]) {
-    used_[p] = 1;
-    ++used_pages_;
-  }
-  if (!dirty_[p]) {
-    dirty_[p] = 1;
-    ++dirty_pages_;
-  }
 }
 
 void GuestMemory::touch_range(std::uint64_t offset, std::uint64_t len) {
@@ -31,8 +20,9 @@ void GuestMemory::touch_range(std::uint64_t offset, std::uint64_t len) {
   const std::uint64_t end = std::min(offset + len, cfg_.ram_bytes);
   if (offset >= end) return;
   const std::uint64_t first = offset / cfg_.page_bytes;
-  const std::uint64_t last = (end - 1) / cfg_.page_bytes;
-  for (std::uint64_t p = first; p <= last; ++p) mark_page(p);
+  const std::uint64_t last = (end - 1) / cfg_.page_bytes + 1;  // exclusive
+  used_.set_range(first, last);
+  dirty_.set_range(first, last);
 }
 
 void GuestMemory::release_range(std::uint64_t offset, std::uint64_t len) {
@@ -40,17 +30,9 @@ void GuestMemory::release_range(std::uint64_t offset, std::uint64_t len) {
   const std::uint64_t end = std::min(offset + len, cfg_.ram_bytes);
   if (offset >= end) return;
   const std::uint64_t first = offset / cfg_.page_bytes;
-  const std::uint64_t last = (end - 1) / cfg_.page_bytes;
-  for (std::uint64_t p = first; p <= last && p < pages_; ++p) {
-    if (used_[p]) {
-      used_[p] = 0;
-      --used_pages_;
-    }
-    if (dirty_[p]) {
-      dirty_[p] = 0;
-      --dirty_pages_;
-    }
-  }
+  const std::uint64_t last = std::min((end - 1) / cfg_.page_bytes + 1, pages_);
+  used_.reset_range(first, last);
+  dirty_.reset_range(first, last);
 }
 
 void GuestMemory::touch_random(std::uint64_t ws_offset, std::uint64_t ws_len,
@@ -61,25 +43,30 @@ void GuestMemory::touch_random(std::uint64_t ws_offset, std::uint64_t ws_len,
   std::uint64_t n = (len + cfg_.page_bytes - 1) / cfg_.page_bytes;
   if (n >= ws_pages) {
     // Dirtying at least the whole working set: deterministic full coverage.
-    for (std::uint64_t p = first; p < first + ws_pages && p < pages_; ++p) mark_page(p);
+    const std::uint64_t last = std::min(first + ws_pages, pages_);
+    if (first < last) {
+      used_.set_range(first, last);
+      dirty_.set_range(first, last);
+    }
     return;
   }
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t p = first + rng.uniform(ws_pages);
-    if (p < pages_) mark_page(p);
+    if (p < pages_) {
+      used_.set(p);
+      dirty_.set(p);
+    }
   }
 }
 
 std::uint64_t GuestMemory::begin_full_round() {
-  std::fill(dirty_.begin(), dirty_.end(), 0);
-  dirty_pages_ = 0;
+  dirty_.clear();
   return used_bytes();
 }
 
 std::uint64_t GuestMemory::take_dirty_round() {
   const std::uint64_t bytes = dirty_bytes();
-  std::fill(dirty_.begin(), dirty_.end(), 0);
-  dirty_pages_ = 0;
+  dirty_.clear();
   return bytes;
 }
 

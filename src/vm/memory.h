@@ -6,12 +6,18 @@
 // region (file data resident in the guest page cache — filling or dirtying
 // the cache dirties these pages, which is what couples I/O intensive
 // workloads to memory migration cost in the paper's experiments).
+//
+// Dirty state is a packed word bitmap (util::DirtyBitmap): touch_range runs
+// word-masked, counts come from an incrementally-maintained popcount, and a
+// migration round clears the map at memset speed instead of walking a
+// byte-per-page vector. for_each_dirty_page exposes word-granular iteration
+// for trace-driven consumers.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "sim/random.h"
+#include "util/bitmap.h"
 
 namespace hm::vm {
 
@@ -27,8 +33,9 @@ class GuestMemory {
 
   std::uint64_t ram_bytes() const noexcept { return cfg_.ram_bytes; }
   std::uint64_t page_bytes() const noexcept { return cfg_.page_bytes; }
-  std::uint64_t used_bytes() const noexcept { return used_pages_ * cfg_.page_bytes; }
-  std::uint64_t dirty_bytes() const noexcept { return dirty_pages_ * cfg_.page_bytes; }
+  std::uint64_t used_bytes() const noexcept { return used_.count() * cfg_.page_bytes; }
+  std::uint64_t dirty_bytes() const noexcept { return dirty_.count() * cfg_.page_bytes; }
+  std::uint64_t dirty_page_count() const noexcept { return dirty_.count(); }
 
   /// Mark [offset, offset+len) used and dirty (clamped to RAM size).
   void touch_range(std::uint64_t offset, std::uint64_t len);
@@ -50,17 +57,20 @@ class GuestMemory {
   /// clears the dirty map.
   std::uint64_t take_dirty_round();
 
+  /// Word-scan the current dirty set (ascending page index) without
+  /// clearing it — the hook for trace-driven dirty-pattern replay.
+  template <class F>
+  void for_each_dirty_page(F&& fn) const {
+    dirty_.for_each_set(std::forward<F>(fn));
+  }
+
   std::uint64_t pages() const noexcept { return pages_; }
 
  private:
-  void mark_page(std::uint64_t p);
-
   GuestMemoryConfig cfg_;
   std::uint64_t pages_;
-  std::vector<std::uint8_t> used_;
-  std::vector<std::uint8_t> dirty_;
-  std::uint64_t used_pages_ = 0;
-  std::uint64_t dirty_pages_ = 0;
+  util::DirtyBitmap used_;
+  util::DirtyBitmap dirty_;
 };
 
 }  // namespace hm::vm

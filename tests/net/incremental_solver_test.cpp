@@ -1,0 +1,274 @@
+// Incremental-vs-full solver equivalence: the component-scoped solver must
+// produce byte-identical rate streams and completion times to re-solving
+// every component each epoch (ABLATE_INCREMENTAL=off), across randomized
+// flow churn on several topology shapes — flat, fabric-bound (escalation),
+// oversubscribed switch groups, per-flow caps. Also covers the component
+// introspection hooks the benches report.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/flow_network.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace hm::net {
+namespace {
+
+struct FlowSpec {
+  double start;
+  NodeId src;
+  NodeId dst;
+  double bytes;
+  double cap;
+};
+
+struct Topology {
+  double fabric = 1e12;
+  std::vector<double> uplinks;          // one switch group per entry
+  std::vector<SwitchGroupId> node_group;  // group index per node (0 = flat)
+  std::vector<double> nic;              // per-node NIC
+};
+
+struct RunLog {
+  std::vector<double> completions;       // completion time per flow (spec order)
+  std::vector<double> rate_samples;      // flow_rate(src,dst) probes
+  std::uint64_t recomputes = 0;
+  std::uint64_t touched = 0;
+  std::uint64_t escalations = 0;
+};
+
+sim::Task run_flow(FlowNetwork* net, const FlowSpec* f, double* done_at,
+                   sim::Simulator* s) {
+  co_await net->transfer(f->src, f->dst, f->bytes, TrafficClass::kMemory, f->cap);
+  *done_at = s->now();
+}
+
+RunLog run_scenario(const Topology& topo, const std::vector<FlowSpec>& flows,
+                    bool incremental) {
+  sim::Simulator s;
+  FlowNetwork net(s, FlowNetworkConfig{topo.fabric, 0.0, 8e9});
+  net.set_incremental(incremental);
+  std::vector<SwitchGroupId> groups;
+  for (double up : topo.uplinks) groups.push_back(net.add_switch_group(up));
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < topo.nic.size(); ++i) {
+    const SwitchGroupId g =
+        topo.node_group.empty() ? 0 : groups[topo.node_group[i]];
+    nodes.push_back(net.add_node(topo.nic[i], g));
+  }
+
+  RunLog log;
+  log.completions.assign(flows.size(), -1.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    s.schedule(flows[i].start, [&, i] {
+      s.spawn(run_flow(&net, &flows[i], &log.completions[i], &s));
+    });
+  }
+  // Probe the full pair-rate matrix at fixed virtual times: these reads hit
+  // the cached rates of clean components, which is exactly what must be
+  // byte-identical between the ablation arms.
+  for (int probe = 1; probe <= 8; ++probe) {
+    s.schedule(probe * 0.7, [&] {
+      for (NodeId a = 0; a < nodes.size(); ++a)
+        for (NodeId b = 0; b < nodes.size(); ++b)
+          if (a != b) log.rate_samples.push_back(net.flow_rate(a, b));
+    });
+  }
+  s.run();
+  log.recomputes = net.recompute_count();
+  log.touched = net.touched_flow_count();
+  log.escalations = net.escalation_count();
+  EXPECT_EQ(net.active_flows(), 0u);
+  return log;
+}
+
+std::vector<FlowSpec> random_flows(std::size_t n_flows, std::size_t n_nodes,
+                                   bool with_caps, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<FlowSpec> flows;
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    FlowSpec f;
+    // Quantized start times force multi-arrival epochs (the batching path).
+    f.start = 0.25 * static_cast<double>(rng.uniform(24));
+    f.src = static_cast<NodeId>(rng.uniform(n_nodes));
+    do {
+      f.dst = static_cast<NodeId>(rng.uniform(n_nodes));
+    } while (f.dst == f.src);
+    f.bytes = 1e5 + rng.uniform_real(0.0, 4e7);
+    f.cap = (with_caps && rng.uniform(3) == 0) ? rng.uniform_real(5e6, 60e6)
+                                               : kUnlimitedRate;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+void expect_identical(const RunLog& inc, const RunLog& full) {
+  ASSERT_EQ(inc.completions.size(), full.completions.size());
+  for (std::size_t i = 0; i < inc.completions.size(); ++i)
+    EXPECT_EQ(inc.completions[i], full.completions[i]) << "flow " << i;
+  ASSERT_EQ(inc.rate_samples.size(), full.rate_samples.size());
+  for (std::size_t i = 0; i < inc.rate_samples.size(); ++i)
+    EXPECT_EQ(inc.rate_samples[i], full.rate_samples[i]) << "sample " << i;
+  // Identical completion times => identical epoch structure.
+  EXPECT_EQ(inc.recomputes, full.recomputes);
+}
+
+Topology flat_topology(std::size_t n_nodes, double fabric = 1e12) {
+  Topology t;
+  t.fabric = fabric;
+  t.nic.assign(n_nodes, 100e6);
+  return t;
+}
+
+TEST(IncrementalSolver, EquivalentOnFlatTopology) {
+  const Topology topo = flat_topology(16);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto flows = random_flows(150, topo.nic.size(), false, seed);
+    const RunLog inc = run_scenario(topo, flows, true);
+    const RunLog full = run_scenario(topo, flows, false);
+    expect_identical(inc, full);
+    // The flat runs decompose well: incremental must do strictly less work.
+    EXPECT_LT(inc.touched, full.touched) << "seed " << seed;
+  }
+}
+
+TEST(IncrementalSolver, EquivalentUnderSaturatedFabric) {
+  // Fabric far below aggregate NIC demand: shared-constraint validation
+  // fails continuously and epochs escalate to the global solve.
+  const Topology topo = flat_topology(16, /*fabric=*/250e6);
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    const auto flows = random_flows(120, topo.nic.size(), false, seed);
+    const RunLog inc = run_scenario(topo, flows, true);
+    const RunLog full = run_scenario(topo, flows, false);
+    expect_identical(inc, full);
+    EXPECT_GT(inc.escalations, 0u);
+  }
+}
+
+TEST(IncrementalSolver, EquivalentOnOversubscribedSwitches) {
+  Topology topo;
+  topo.fabric = 1e12;
+  topo.uplinks = {120e6, 120e6, 120e6, 120e6};
+  topo.nic.assign(16, 100e6);
+  topo.node_group.resize(16);
+  for (std::size_t i = 0; i < 16; ++i) topo.node_group[i] = i / 4;
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    const auto flows = random_flows(120, topo.nic.size(), false, seed);
+    expect_identical(run_scenario(topo, flows, true),
+                     run_scenario(topo, flows, false));
+  }
+}
+
+TEST(IncrementalSolver, EquivalentWithPerFlowCaps) {
+  const Topology topo = flat_topology(12);
+  for (std::uint64_t seed = 31; seed <= 33; ++seed) {
+    const auto flows = random_flows(140, topo.nic.size(), true, seed);
+    expect_identical(run_scenario(topo, flows, true),
+                     run_scenario(topo, flows, false));
+  }
+}
+
+TEST(IncrementalSolver, EquivalentWithHeterogeneousNics) {
+  Topology topo;
+  topo.fabric = 1e12;
+  sim::Rng rng(7);
+  for (int i = 0; i < 14; ++i) topo.nic.push_back(rng.uniform_real(20e6, 200e6));
+  for (std::uint64_t seed = 41; seed <= 43; ++seed) {
+    const auto flows = random_flows(140, topo.nic.size(), true, seed);
+    expect_identical(run_scenario(topo, flows, true),
+                     run_scenario(topo, flows, false));
+  }
+}
+
+// --- introspection hooks ----------------------------------------------------
+
+sim::Task xfer(FlowNetwork* net, NodeId a, NodeId b, double bytes) {
+  co_await net->transfer(a, b, bytes, TrafficClass::kMemory);
+}
+
+TEST(IncrementalSolver, DisjointArrivalTouchesOnlyItsComponent) {
+  sim::Simulator s;
+  FlowNetwork net(s, FlowNetworkConfig{1e12, 0.0, 8e9});
+  net.set_incremental(true);  // the counters below assert incremental mode
+  const NodeId a = net.add_node(100e6), b = net.add_node(100e6);
+  const NodeId c = net.add_node(100e6), d = net.add_node(100e6);
+  s.spawn(xfer(&net, a, b, 500e6));
+  s.run_until(1.0);
+  EXPECT_EQ(net.component_count(), 1u);
+  const std::uint64_t touched_before = net.touched_flow_count();
+  s.schedule(0.5, [&] { s.spawn(xfer(&net, c, d, 500e6)); });  // at t=1.5
+  s.run_until(2.0);
+  // The newcomer shares no constraint with the a->b component: exactly one
+  // flow re-solved, the cached component untouched.
+  EXPECT_EQ(net.touched_flow_count() - touched_before, 1u);
+  EXPECT_EQ(net.component_count(), 2u);
+  s.run();
+}
+
+TEST(IncrementalSolver, SharedEndpointMergesComponents) {
+  sim::Simulator s;
+  FlowNetwork net(s, FlowNetworkConfig{1e12, 0.0, 8e9});
+  net.set_incremental(true);
+  const NodeId a = net.add_node(100e6), b = net.add_node(100e6);
+  const NodeId c = net.add_node(100e6);
+  s.spawn(xfer(&net, a, b, 800e6));
+  s.run_until(1.0);
+  const std::uint64_t touched_before = net.touched_flow_count();
+  // Joins through the shared source NIC: the existing flow must be
+  // re-solved too (its fair share halves).
+  s.schedule(0.5, [&] { s.spawn(xfer(&net, a, c, 800e6)); });  // at t=1.5
+  s.run_until(2.0);
+  EXPECT_EQ(net.touched_flow_count() - touched_before, 2u);
+  EXPECT_EQ(net.component_count(), 1u);
+  s.run();
+}
+
+TEST(IncrementalSolver, DepartureSplitsComponent) {
+  sim::Simulator s;
+  FlowNetwork net(s, FlowNetworkConfig{1e12, 0.0, 8e9});
+  net.set_incremental(true);
+  const NodeId a = net.add_node(100e6), b = net.add_node(100e6);
+  const NodeId c = net.add_node(100e6), d = net.add_node(100e6);
+  // a->c and b->c share ingress(c); b->d and b->c share egress(b): one
+  // component of three flows chained through b->c.
+  s.spawn(xfer(&net, a, c, 1000e6));
+  s.spawn(xfer(&net, b, c, 25e6));  // finishes first (50 MB/s share)
+  s.spawn(xfer(&net, b, d, 1000e6));
+  s.run_until(0.1);
+  EXPECT_EQ(net.component_count(), 1u);
+  s.run_until(2.0);  // b->c is gone; the chain is broken
+  EXPECT_EQ(net.active_flows(), 2u);
+  EXPECT_EQ(net.component_count(), 2u);
+  s.run();
+}
+
+TEST(IncrementalSolver, SaturatedFabricEscalatesAndMerges) {
+  sim::Simulator s;
+  FlowNetwork net(s, FlowNetworkConfig{/*fabric=*/120e6, 0.0, 8e9});
+  const NodeId a = net.add_node(100e6), b = net.add_node(100e6);
+  const NodeId c = net.add_node(100e6), d = net.add_node(100e6);
+  double done1 = -1, done2 = -1;
+  s.spawn([](FlowNetwork* n, NodeId x, NodeId y, double* t,
+             sim::Simulator* sm) -> sim::Task {
+    co_await n->transfer(x, y, 60e6, TrafficClass::kMemory);
+    *t = sm->now();
+  }(&net, a, b, &done1, &s));
+  s.spawn([](FlowNetwork* n, NodeId x, NodeId y, double* t,
+             sim::Simulator* sm) -> sim::Task {
+    co_await n->transfer(x, y, 60e6, TrafficClass::kMemory);
+    *t = sm->now();
+  }(&net, c, d, &done2, &s));
+  s.run_until(0.1);
+  // Disjoint NIC pairs, but the 120 MB/s fabric binds: the decomposition is
+  // rejected and both flows merge into one globally-solved component.
+  EXPECT_GE(net.escalation_count(), 1u);
+  EXPECT_EQ(net.component_count(), 1u);
+  s.run();
+  EXPECT_NEAR(done1, 1.0, 1e-6);  // 60 MB/s each under the fabric cap
+  EXPECT_NEAR(done2, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hm::net

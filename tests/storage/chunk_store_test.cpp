@@ -69,6 +69,23 @@ TEST(LruChunkSet, ZeroCapacityNeverEvicts) {
   EXPECT_EQ(lru.size(), 100u);
 }
 
+TEST(LruChunkSet, ColdEndIterationWalksLruOrder) {
+  LruChunkSet lru(10);
+  EXPECT_EQ(lru.least_recent(), LruChunkSet::kNil);
+  lru.insert(4);
+  lru.insert(7);
+  lru.insert(2);
+  lru.insert(4);  // refresh: 4 becomes MRU, 7 the LRU
+  std::vector<std::uint32_t> cold_to_hot;
+  for (std::uint32_t c = lru.least_recent(); c != LruChunkSet::kNil;
+       c = lru.more_recent(static_cast<ChunkId>(c)))
+    cold_to_hot.push_back(c);
+  EXPECT_EQ(cold_to_hot, (std::vector<std::uint32_t>{7, 2, 4}));
+  lru.erase(2);  // unlink from the middle
+  EXPECT_EQ(lru.least_recent(), 7u);
+  EXPECT_EQ(lru.more_recent(7), 4u);
+}
+
 TEST(ChunkStore, StartsEmpty) {
   StoreFixture f;
   EXPECT_EQ(f.store.present_count(), 0u);

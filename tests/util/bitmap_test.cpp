@@ -1,0 +1,121 @@
+#include "util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace hm::util {
+namespace {
+
+TEST(DirtyBitmap, SetResetTestCount) {
+  DirtyBitmap bm(200);
+  EXPECT_EQ(bm.size(), 200u);
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_FALSE(bm.any());
+  EXPECT_TRUE(bm.set(5));
+  EXPECT_FALSE(bm.set(5));  // already set
+  EXPECT_TRUE(bm.set(64));  // second word
+  EXPECT_TRUE(bm.set(199));
+  EXPECT_EQ(bm.count(), 3u);
+  EXPECT_TRUE(bm.test(5));
+  EXPECT_FALSE(bm.test(6));
+  EXPECT_TRUE(bm.reset(64));
+  EXPECT_FALSE(bm.reset(64));  // already clear
+  EXPECT_EQ(bm.count(), 2u);
+}
+
+TEST(DirtyBitmap, SetRangeCrossesWordBoundaries) {
+  DirtyBitmap bm(256);
+  bm.set_range(60, 70);  // straddles the word 0/1 boundary
+  EXPECT_EQ(bm.count(), 10u);
+  EXPECT_FALSE(bm.test(59));
+  EXPECT_TRUE(bm.test(60));
+  EXPECT_TRUE(bm.test(69));
+  EXPECT_FALSE(bm.test(70));
+  bm.set_range(0, 256);  // full words, idempotent over the overlap
+  EXPECT_EQ(bm.count(), 256u);
+  bm.reset_range(64, 192);  // exact word boundaries
+  EXPECT_EQ(bm.count(), 128u);
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_FALSE(bm.test(64));
+  EXPECT_FALSE(bm.test(191));
+  EXPECT_TRUE(bm.test(192));
+}
+
+TEST(DirtyBitmap, FindNextSkipsCleanWords) {
+  DirtyBitmap bm(1024);
+  EXPECT_EQ(bm.find_next(0), DirtyBitmap::npos);
+  bm.set(700);
+  bm.set(3);
+  EXPECT_EQ(bm.find_next(0), 3u);
+  EXPECT_EQ(bm.find_next(4), 700u);
+  EXPECT_EQ(bm.find_next(700), 700u);
+  EXPECT_EQ(bm.find_next(701), DirtyBitmap::npos);
+  EXPECT_EQ(bm.find_next(4096), DirtyBitmap::npos);  // past the end
+}
+
+TEST(DirtyBitmap, ForEachSetAscendingAndDrain) {
+  DirtyBitmap bm(300);
+  const std::vector<std::uint64_t> want = {0, 1, 63, 64, 65, 128, 299};
+  for (auto i : want) bm.set(i);
+  std::vector<std::uint64_t> got;
+  bm.for_each_set([&](std::uint64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(bm.count(), want.size());  // for_each_set does not clear
+  got.clear();
+  bm.drain([&](std::uint64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_FALSE(bm.any());
+}
+
+TEST(DirtyBitmap, ClearAndResize) {
+  DirtyBitmap bm(100);
+  bm.set_range(0, 100);
+  bm.clear();
+  EXPECT_EQ(bm.count(), 0u);
+  bm.resize(50);
+  EXPECT_EQ(bm.size(), 50u);
+  EXPECT_EQ(bm.count(), 0u);
+  bm.set(49);
+  EXPECT_EQ(bm.count(), 1u);
+}
+
+// Randomized cross-check against a std::set reference model.
+TEST(DirtyBitmap, MatchesReferenceModelUnderChurn) {
+  constexpr std::uint64_t kBits = 777;
+  DirtyBitmap bm(kBits);
+  std::set<std::uint64_t> ref;
+  sim::Rng rng(123);
+  for (int op = 0; op < 5000; ++op) {
+    const std::uint64_t i = rng.uniform(kBits);
+    switch (rng.uniform(4)) {
+      case 0:
+        EXPECT_EQ(bm.set(i), ref.insert(i).second);
+        break;
+      case 1:
+        EXPECT_EQ(bm.reset(i), ref.erase(i) > 0);
+        break;
+      case 2: {
+        const std::uint64_t len = rng.uniform(80);
+        const std::uint64_t last = std::min(i + len, kBits);
+        bm.set_range(i, last);
+        for (std::uint64_t k = i; k < last; ++k) ref.insert(k);
+        break;
+      }
+      default:
+        EXPECT_EQ(bm.test(i), ref.count(i) != 0);
+    }
+    ASSERT_EQ(bm.count(), ref.size());
+  }
+  std::vector<std::uint64_t> got;
+  bm.for_each_set([&](std::uint64_t i) { got.push_back(i); });
+  EXPECT_EQ(got, std::vector<std::uint64_t>(ref.begin(), ref.end()));
+}
+
+}  // namespace
+}  // namespace hm::util

@@ -109,6 +109,9 @@ int main(int argc, char** argv) {
               << ", \"flows_resolved\": " << r.engine_flows_resolved
               << ", \"flows_resolved_per_epoch\": " << (r.engine_flows_resolved / epochs)
               << ", \"escalations\": " << r.engine_escalations
+              << ", \"coroutine_frames\": " << r.engine_frames
+              << ", \"frames_reused\": " << r.engine_frames_reused
+              << ", \"frame_heap_allocs\": " << r.engine_frame_heap_allocs
               << ", \"avg_migration_s\": " << r.avg_migration_time
               << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024)
               << "}";

@@ -183,6 +183,84 @@ void BM_DirtyRoundScan(benchmark::State& state) {
 }
 BENCHMARK(BM_DirtyRoundScan)->Arg(0)->Arg(1);
 
+// Per-chunk data-path microbenches: the push leg (read -> transfer -> write)
+// and the pull leg (request/response round trip + disk legs) that dominate
+// wall time once the solver is incremental. These isolate coroutine-frame
+// and allocator overhead per chunk operation.
+sim::Task push_path_chain(net::FlowNetwork* net, storage::ChunkStore* src,
+                          storage::ChunkStore* dst, net::NodeId a, net::NodeId b, int n) {
+  const double chunk = src->image().chunk_bytes;
+  for (int i = 0; i < n; ++i) {
+    const auto c = static_cast<storage::ChunkId>(i % src->num_chunks());
+    co_await src->read_chunk(c);
+    co_await net->transfer(a, b, chunk, net::TrafficClass::kStoragePush);
+    co_await dst->write_chunk(c);
+  }
+}
+
+sim::Task seed_chunks(storage::ChunkStore* store, int n) {
+  for (int i = 0; i < n; ++i)
+    co_await store->write_chunk(static_cast<storage::ChunkId>(i));
+}
+
+void BM_TransferPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::FlowNetwork net(s, net::FlowNetworkConfig{8e9, 100e-6, 8e9});
+    const net::NodeId a = net.add_node(117.5e6);
+    const net::NodeId b = net.add_node(117.5e6);
+    storage::Disk disk_a(s, storage::DiskConfig{55e6, 0.0});
+    storage::Disk disk_b(s, storage::DiskConfig{55e6, 0.0});
+    const storage::ImageConfig img{64 * storage::kMiB,
+                                   256 * static_cast<std::uint32_t>(1024)};
+    storage::ChunkStore src(s, disk_a, img);
+    storage::ChunkStore dst(s, disk_b, img);
+    s.spawn(seed_chunks(&src, static_cast<int>(src.num_chunks())));
+    s.run();
+    s.spawn(push_path_chain(&net, &src, &dst, a, b, n));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TransferPath)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+sim::Task pull_path_chain(net::FlowNetwork* net, storage::ChunkStore* src,
+                          storage::ChunkStore* dst, net::NodeId src_node,
+                          net::NodeId dst_node, int n) {
+  const double chunk = src->image().chunk_bytes;
+  for (int i = 0; i < n; ++i) {
+    const auto c = static_cast<storage::ChunkId>(i % src->num_chunks());
+    // The paper's pull leg: control request, source read, payload, local write.
+    co_await net->transfer(dst_node, src_node, 256.0, net::TrafficClass::kControl);
+    co_await src->read_chunk(c);
+    co_await net->transfer(src_node, dst_node, chunk, net::TrafficClass::kStoragePull);
+    co_await dst->write_chunk(c);
+  }
+}
+
+void BM_PullPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    net::FlowNetwork net(s, net::FlowNetworkConfig{8e9, 100e-6, 8e9});
+    const net::NodeId a = net.add_node(117.5e6);
+    const net::NodeId b = net.add_node(117.5e6);
+    storage::Disk disk_a(s, storage::DiskConfig{55e6, 0.0});
+    storage::Disk disk_b(s, storage::DiskConfig{55e6, 0.0});
+    const storage::ImageConfig img{64 * storage::kMiB,
+                                   256 * static_cast<std::uint32_t>(1024)};
+    storage::ChunkStore src(s, disk_a, img);
+    storage::ChunkStore dst(s, disk_b, img);
+    s.spawn(seed_chunks(&src, static_cast<int>(src.num_chunks())));
+    s.run();
+    s.spawn(pull_path_chain(&net, &src, &dst, a, b, n));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PullPath)->Arg(10000)->Unit(benchmark::kMillisecond);
+
 sim::Task write_chunks(storage::ChunkStore* store, int n) {
   for (int i = 0; i < n; ++i)
     co_await store->write_chunk(static_cast<storage::ChunkId>(i % store->num_chunks()));

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "sim/frame_pool.h"
+
 namespace hm::cloud {
 
 const char* workload_name(WorkloadKind k) noexcept {
@@ -48,6 +50,9 @@ sim::Task migrate_and_signal(Middleware* mw, vm::VmInstance* v, net::NodeId dst,
 }  // namespace
 
 ExperimentResult Experiment::run() {
+  // Everything below (setup included) runs on this thread, so the
+  // thread-local frame pool's counters bracket the whole experiment.
+  const sim::FramePool::Stats frames_before = sim::FramePool::local().stats();
   // NOTE: the simulator must be declared first (destroyed last) so pending
   // event closures never outlive it.
   sim::Simulator simulator;
@@ -140,6 +145,10 @@ ExperimentResult Experiment::run() {
   res.engine_components = network.solved_component_count();
   res.engine_flows_resolved = network.touched_flow_count();
   res.engine_escalations = network.escalation_count();
+  const sim::FramePool::Stats frames_after = sim::FramePool::local().stats();
+  res.engine_frames = frames_after.served - frames_before.served;
+  res.engine_frames_reused = frames_after.reused - frames_before.reused;
+  res.engine_frame_heap_allocs = frames_after.heap - frames_before.heap;
 
   for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
     res.traffic_bytes[i] = network.traffic_bytes(static_cast<net::TrafficClass>(i));

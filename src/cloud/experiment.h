@@ -85,6 +85,13 @@ struct ExperimentResult {
   std::uint64_t engine_components = 0;   // component water-fills run
   std::uint64_t engine_flows_resolved = 0;  // flow rate re-derivations
   std::uint64_t engine_escalations = 0;  // epochs forced to a global solve
+  // Allocator telemetry from the coroutine frame pool (this run's deltas):
+  // frames served, frames recycled from a free list, and system heap
+  // allocations (slab growth + oversize fallback). A steady-state run should
+  // show engine_frame_heap_allocs ~ 0 beyond warm-up.
+  std::uint64_t engine_frames = 0;
+  std::uint64_t engine_frames_reused = 0;
+  std::uint64_t engine_frame_heap_allocs = 0;
   double wall_ms = 0;                   // host wall-clock for the run loop
 
   double traffic(net::TrafficClass c) const {

@@ -259,6 +259,9 @@ sim::Task HybridSession::pre_control_transfer() {
       cfg_.list_entry_bytes * static_cast<double>(in_remaining_.count()) + 64;
   co_await cluster_.network().transfer(src_node_, dst_node_, list_bytes,
                                        net::TrafficClass::kControl);
+  // Pre-size the pull log so steady-state pulls never grow it (the
+  // allocation-regression suite pins the pull phase at zero heap traffic).
+  pull_log_.reserve(pull_log_.size() + in_remaining_.count());
   // Seed the pull scheduler (word-scan of the packed RemainingSet).
   in_remaining_.for_each_set([this](std::uint64_t c64) {
     const ChunkId c = static_cast<ChunkId>(c64);

@@ -106,6 +106,9 @@ class HybridSession final : public StorageMigrationSession {
   /// through a free list (one steady-state shared_ptr allocation per pull in
   /// the seed); the per-chunk index replaces the hash map on the pull path.
   /// A deque keeps the non-movable intrusive Event stable across growth.
+  /// The Event's waiter list is intrusive (nodes live in the waiting
+  /// coroutines' frames), so emplacing and setting it never allocates —
+  /// pull wakeups are heap-free end to end.
   struct PullState {
     std::optional<sim::Event> done;  // emplaced per use of the slot
     bool cancelled = false;

@@ -105,6 +105,7 @@ void FlowNetwork::compute_incidence(FlowSlot& fs) noexcept {
   const std::size_t n = nodes_.size();
   const std::size_t g = groups_.size();
   const Flow& f = fs.flow;
+  fs.arena_bound_gen = 0;  // constraint set changed: stale arena indices
   // Local constraints first (component partitioning only looks at [0], [1]).
   fs.n_constraints = 0;
   fs.constraints[fs.n_constraints++] = f.src;
@@ -158,15 +159,20 @@ void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
   Flow& f = fs.flow;
   auto it = pair_rates_.find(pair_key(f.src, f.dst));
   if (it != pair_rates_.end()) {
-    it->second.rate -= f.rate;
-    if (--it->second.count == 0) pair_rates_.erase(it);  // also resets FP dust
+    if (--it->second.count == 0) {
+      // Keep the node (steady-state re-use of the pair never re-allocates)
+      // but pin the rate to exactly zero, which also resets FP dust.
+      it->second.rate = 0.0;
+    } else {
+      it->second.rate -= f.rate;
+    }
   }
   // The departure dirties its component so the survivors get re-solved.
   detach_from_component(fs);
   for (std::uint8_t k = 2; k < fs.n_constraints; ++k) {
     if (fs.constraints[k] < shared_users_.size()) --shared_users_[fs.constraints[k]];
   }
-  f.done.reset();
+  fs.op = nullptr;
   fs.in_use = false;
   ++fs.gen;
   if (fs.live_prev != kNilIndex)
@@ -209,36 +215,37 @@ void FlowNetwork::on_settle() {
   schedule_completion();
 }
 
-sim::Task FlowNetwork::transfer(NodeId src, NodeId dst, double bytes, TrafficClass cls,
-                                double rate_cap) {
-  if (bytes <= 0) co_return;
-  if (src == dst) {
+void FlowNetwork::start_leg(FlowOp* op) {
+  assert(op->bytes > 0);
+  if (op->src == op->dst) {
     // Local copy: costs loopback time, never leaves the node, not counted
     // as network traffic.
-    co_await sim_.delay(bytes / cfg_.loopback_Bps);
-    co_return;
+    sim_.schedule(op->bytes / cfg_.loopback_Bps, [op] { op->step(op); });
+    return;
   }
-  assert(src < nodes_.size() && dst < nodes_.size());
-  co_await sim_.delay(cfg_.latency_s);
+  assert(op->src < nodes_.size() && op->dst < nodes_.size());
+  sim_.schedule(cfg_.latency_s, [this, op] { begin_flow(op); });
+}
 
-  traffic_[static_cast<std::size_t>(cls)] += bytes;
+void FlowNetwork::begin_flow(FlowOp* op) {
+  traffic_[static_cast<std::size_t>(op->cls)] += op->bytes;
 
   advance_to_now();
   const std::uint32_t slot = alloc_flow_slot();
   FlowSlot& fs = flow_slots_[slot];
   fs.in_use = true;
+  fs.op = op;
   fs.live_prev = kNilIndex;
   fs.live_next = live_head_;
   if (live_head_ != kNilIndex) flow_slots_[live_head_].live_prev = slot;
   live_head_ = slot;
   Flow& f = fs.flow;
-  f.src = src;
-  f.dst = dst;
-  f.remaining = bytes;
+  f.src = op->src;
+  f.dst = op->dst;
+  f.remaining = op->bytes;
   f.rate = 0.0;
-  f.cap = rate_cap;
+  f.cap = op->cap;
   f.proj = kUnlimitedRate;
-  f.done.emplace(sim_);
   fs.comp = kNilIndex;  // affected at the next settle (comp == nil)
   compute_incidence(fs);
   for (std::uint8_t k = 2; k < fs.n_constraints; ++k) ++shared_users_[fs.constraints[k]];
@@ -259,23 +266,13 @@ sim::Task FlowNetwork::transfer(NodeId src, NodeId dst, double bytes, TrafficCla
         comps_[owner].gen == nic_owner_gen_[c])
       comps_[owner].dirty = true;
   }
-  ++pair_rates_[pair_key(src, dst)].count;
+  ++pair_rates_[pair_key(f.src, f.dst)].count;
   ++live_flows_;
   ++flows_started_;
   // Epoch batching: the max-min solve is deferred to a zero-delay settle
   // event, so every other arrival in this virtual instant shares it. The
   // flow carries rate 0 for zero virtual time, which integrates to nothing.
   mark_dirty();
-
-  sim::Event& done = *f.done;  // outlives the slot reference below
-  co_await done.wait();
-}
-
-sim::Task FlowNetwork::request_response(NodeId requester, NodeId responder,
-                                        double request_bytes, double response_bytes,
-                                        TrafficClass response_cls) {
-  co_await transfer(requester, responder, request_bytes, TrafficClass::kControl);
-  co_await transfer(responder, requester, response_bytes, response_cls);
 }
 
 void FlowNetwork::advance_to_now() {
@@ -295,9 +292,9 @@ void FlowNetwork::advance_to_now() {
 // [first_item, first_item + n_items)): raise the rate of every unfrozen flow
 // uniformly until some constraint or flow cap saturates; freeze the flows it
 // binds; repeat. Constraints are compacted per call; non-contained shared
-// constraints are skipped unless all_constraints is set (escalated solve).
-void FlowNetwork::water_fill(std::size_t first_item, std::size_t n_items,
-                             bool all_constraints) {
+// constraints are skipped (the escalated global solve goes through
+// water_fill_escalated, which reuses the persistent arena layout instead).
+void FlowNetwork::water_fill(std::size_t first_item, std::size_t n_items) {
   const std::size_t cspace = constraint_space();
   const std::uint32_t n_local = static_cast<std::uint32_t>(2 * nodes_.size());
   if (cmap_epoch_.size() < cspace) cmap_epoch_.resize(cspace, 0);
@@ -305,18 +302,16 @@ void FlowNetwork::water_fill(std::size_t first_item, std::size_t n_items,
 
   // Containment pre-pass: count this component's users per shared
   // constraint (stamped; no clearing).
-  if (!all_constraints) {
-    ++cmap_gen_;
-    for (std::size_t i = first_item; i < first_item + n_items; ++i) {
-      const FlowSlot& fs = flow_slots_[items_[i].slot];
-      for (std::uint8_t k = 2; k < fs.n_constraints; ++k) {
-        const std::uint32_t c = fs.constraints[k];
-        if (cmap_epoch_[c] != cmap_gen_) {
-          cmap_epoch_[c] = cmap_gen_;
-          cmap_[c] = 1;
-        } else {
-          ++cmap_[c];
-        }
+  ++cmap_gen_;
+  for (std::size_t i = first_item; i < first_item + n_items; ++i) {
+    const FlowSlot& fs = flow_slots_[items_[i].slot];
+    for (std::uint8_t k = 2; k < fs.n_constraints; ++k) {
+      const std::uint32_t c = fs.constraints[k];
+      if (cmap_epoch_[c] != cmap_gen_) {
+        cmap_epoch_[c] = cmap_gen_;
+        cmap_[c] = 1;
+      } else {
+        ++cmap_[c];
       }
     }
   }
@@ -337,8 +332,7 @@ void FlowNetwork::water_fill(std::size_t first_item, std::size_t n_items,
     for (std::uint8_t k = 0; k < fs.n_constraints; ++k) {
       const std::uint32_t c = fs.constraints[k];
       const bool contained =
-          c < n_local || all_constraints ||
-          (cmap_epoch_[c] == cmap_gen_ && cmap_[c] == shared_users_[c]);
+          c < n_local || (cmap_epoch_[c] == cmap_gen_ && cmap_[c] == shared_users_[c]);
       if (!contained) continue;
       std::uint32_t idx;
       if (citem_epoch_[c] != cgen) {
@@ -356,7 +350,59 @@ void FlowNetwork::water_fill(std::size_t first_item, std::size_t n_items,
     it.alloc = 0.0;
     it.frozen = false;
   }
+  run_fill(first_item, n_items);
+}
 
+void FlowNetwork::reset_arena() {
+  arena_idx_.assign(constraint_space(), kNilIndex);
+  arena_constraints_.clear();
+  ++arena_gen_;  // every cached slot binding is now stale
+}
+
+// Escalated global solve over all live flows (items_ holds every one) with
+// the full constraint set. The dense constraint->index layout persists
+// across epochs (reset only on topology change) and each flow slot caches
+// its indices, so in the saturated lockstep regime — where this runs nearly
+// every epoch — only capacities are reseeded and user counts recounted.
+// The fill math is identical to the per-call compaction: zero-user arena
+// entries never produce a water-fill increment.
+void FlowNetwork::water_fill_escalated() {
+  if (arena_idx_.size() < constraint_space()) reset_arena();
+  wf_cap_.resize(arena_constraints_.size());
+  for (std::size_t i = 0; i < arena_constraints_.size(); ++i)
+    wf_cap_[i] = constraint_cap(arena_constraints_[i]);
+  wf_users_.assign(arena_constraints_.size(), 0);
+  for (SolverItem& it : items_) {
+    FlowSlot& fs = flow_slots_[it.slot];
+    if (fs.arena_bound_gen != arena_gen_) {
+      for (std::uint8_t k = 0; k < fs.n_constraints; ++k) {
+        const std::uint32_t c = fs.constraints[k];
+        std::uint32_t idx = arena_idx_[c];
+        if (idx == kNilIndex) {
+          idx = static_cast<std::uint32_t>(arena_constraints_.size());
+          arena_idx_[c] = idx;
+          arena_constraints_.push_back(c);
+          wf_cap_.push_back(constraint_cap(c));
+          wf_users_.push_back(0);
+        }
+        fs.acidx[k] = idx;
+      }
+      fs.arena_bound_gen = arena_gen_;
+    }
+    it.n_cidx = fs.n_constraints;
+    for (std::uint8_t k = 0; k < fs.n_constraints; ++k) {
+      it.cidx[k] = fs.acidx[k];
+      ++wf_users_[fs.acidx[k]];
+    }
+    it.alloc = 0.0;
+    it.frozen = false;
+  }
+  run_fill(0, items_.size());
+}
+
+// The shared progressive-filling loop over items_[first_item, +n_items)
+// with capacities/user counts already seeded in wf_cap_/wf_users_.
+void FlowNetwork::run_fill(std::size_t first_item, std::size_t n_items) {
   std::size_t unfrozen = n_items;
   while (unfrozen > 0) {
     // Smallest uniform increment that saturates a constraint or a flow cap.
@@ -414,7 +460,10 @@ void FlowNetwork::solve_epoch() {
   const std::uint32_t n_local = static_cast<std::uint32_t>(2 * nodes_.size());
   if (shared_users_.size() < cspace) shared_users_.resize(cspace, 0);
   if (usage_.size() < cspace) usage_.resize(cspace, 0.0);
-  if (topo_changed) std::fill(shared_users_.begin(), shared_users_.end(), 0u);
+  if (topo_changed) {
+    std::fill(shared_users_.begin(), shared_users_.end(), 0u);
+    reset_arena();  // constraint ids shifted: the dense layout is invalid
+  }
 
   // Phase 1 — canonical slab scan: collect affected flows (slot order).
   // Affected = new arrival, member of a dirty component, ablated-off, or
@@ -502,8 +551,7 @@ void FlowNetwork::solve_epoch() {
 
     // Phase 3 — solve each dirty component independently.
     for (std::size_t g = 0; g < n_groups; ++g)
-      water_fill(group_start_[g], group_start_[g + 1] - group_start_[g],
-                 /*all_constraints=*/false);
+      water_fill(group_start_[g], group_start_[g + 1] - group_start_[g]);
 
     // Phase 4 — validate shared constraints against total usage, accumulated
     // in one canonical slab-order pass over cached + fresh rates (identical
@@ -542,7 +590,7 @@ void FlowNetwork::solve_epoch() {
         detach_from_component(fs);  // clean components join the mega solve
         items_.push_back(SolverItem{&fs.flow, slot, 0.0, false, 0, {}, 0});
       }
-      water_fill(0, items_.size(), /*all_constraints=*/true);
+      water_fill_escalated();
       n_groups = 1;
       group_start_.clear();
       group_start_.push_back(0);
@@ -638,11 +686,13 @@ void FlowNetwork::on_completion_timer() {
       push_projection(f, top.slot);
     }
   }
-  // set() only enqueues wakeups, so firing before the recompute is
-  // equivalent to after it — but the events must fire while their slots
+  // Stepping an op only enqueues one zero-delay wakeup (exactly what the
+  // old intrusive done-Event did), so firing before the recompute is
+  // equivalent to after it — but the ops must be captured while their slots
   // are still alive, and the slots must be free before the solve.
   for (std::uint32_t slot : finished_scratch_) {
-    flow_slots_[slot].flow.done->set();
+    FlowOp* op = flow_slots_[slot].op;
+    sim_.schedule(0.0, [op] { op->step(op); });
     release_flow_slot(slot);
   }
   solve_epoch();

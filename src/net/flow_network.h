@@ -22,9 +22,14 @@
 //    invariants" below: each settle re-runs water-filling only for the
 //    connected components containing arrived/departed flows; every other
 //    component keeps its cached rates and its completion-heap entries.
-//  * Flows live in a slab of slots recycled through a free list; the
-//    completion event is an intrusive member, so starting a flow performs
-//    no per-flow heap allocation in steady state.
+//  * transfer()/request_response() are frameless awaitables: a transfer is
+//    a FlowOp continuation record embedded in the awaiter (inside the
+//    awaiting coroutine's frame), started by one latency timer and resumed
+//    straight from the completion heap through one zero-delay event — no
+//    nested coroutine frame, no per-transfer done-Event, no allocation.
+//    The event sequence is identical to the previous coroutine-based path.
+//  * Flows live in a slab of slots recycled through a free list, so
+//    starting a flow performs no per-flow heap allocation in steady state.
 //  * Completions come from a min-heap of projected finish times that is
 //    invalidated lazily: entries are re-validated against the flow's
 //    current projection when popped instead of being rescanned.
@@ -79,10 +84,10 @@
 // the shared-constraint check forced a global solve.
 #pragma once
 
+#include <cassert>
+#include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <limits>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -142,16 +147,138 @@ class FlowNetwork {
   std::size_t node_count() const noexcept { return nodes_.size(); }
   SwitchGroupId group_of(NodeId n) const noexcept { return nodes_[n].group; }
 
+  /// Continuation record for the frameless transfer awaitables. It lives
+  /// inside the awaiter object (and therefore inside the awaiting
+  /// coroutine's frame) for the whole suspension, so the network can hold a
+  /// raw pointer to it: `step` is invoked (through one zero-delay event)
+  /// when the current leg completes. The src/dst/bytes/cls/cap fields
+  /// describe the leg to start next and are consumed by begin_flow().
+  struct FlowOp {
+    void (*step)(FlowOp*) = nullptr;
+    void* self = nullptr;  // enclosing awaiter, for multi-leg ops
+    FlowNetwork* net = nullptr;
+    std::coroutine_handle<> cont = nullptr;
+    NodeId src = 0;
+    NodeId dst = 0;
+    double bytes = 0.0;
+    double cap = kUnlimitedRate;
+    TrafficClass cls = TrafficClass::kControl;
+  };
+
+  /// Frameless single-transfer awaitable (see FlowOp). Non-copyable: the
+  /// network registers the embedded FlowOp's address, so the object must be
+  /// awaited where it was materialized (guaranteed elision makes
+  /// `co_await net.transfer(...)` exactly that).
+  class [[nodiscard]] TransferAwaiter {
+   public:
+    TransferAwaiter(const TransferAwaiter&) = delete;
+    TransferAwaiter& operator=(const TransferAwaiter&) = delete;
+
+    bool await_ready() const noexcept { return op_.bytes <= 0.0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      op_.cont = h;
+      op_.net->start_leg(&op_);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class FlowNetwork;
+    TransferAwaiter(FlowNetwork& net, NodeId src, NodeId dst, double bytes,
+                    TrafficClass cls, double cap) noexcept {
+      op_.step = &finish;
+      op_.net = &net;
+      op_.src = src;
+      op_.dst = dst;
+      op_.bytes = bytes;
+      op_.cap = cap;
+      op_.cls = cls;
+    }
+    static void finish(FlowOp* op) { op->cont.resume(); }
+    FlowOp op_;
+  };
+
+  /// Frameless round-trip awaitable: the request leg completes, the
+  /// response leg starts, and only then is the caller resumed. Non-copyable
+  /// for the same reason as TransferAwaiter (op_.self refers back to this).
+  class [[nodiscard]] RequestResponseAwaiter {
+   public:
+    RequestResponseAwaiter(const RequestResponseAwaiter&) = delete;
+    RequestResponseAwaiter& operator=(const RequestResponseAwaiter&) = delete;
+
+    bool await_ready() const noexcept {
+      return op_.bytes <= 0.0 && response_bytes_ <= 0.0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      op_.cont = h;
+      if (op_.bytes > 0.0) {
+        op_.net->start_leg(&op_);
+        return;
+      }
+      begin_response();  // empty request: straight to the payload leg
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class FlowNetwork;
+    RequestResponseAwaiter(FlowNetwork& net, NodeId requester, NodeId responder,
+                           double request_bytes, double response_bytes,
+                           TrafficClass response_cls) noexcept
+        : response_bytes_(response_bytes), response_cls_(response_cls) {
+      op_.step = &on_step;
+      op_.self = this;
+      op_.net = &net;
+      op_.src = requester;
+      op_.dst = responder;
+      op_.bytes = request_bytes;
+      op_.cls = TrafficClass::kControl;
+    }
+    static void on_step(FlowOp* op) {
+      auto* self = static_cast<RequestResponseAwaiter*>(op->self);
+      if (!self->response_started_) {
+        self->begin_response();
+        return;
+      }
+      op->cont.resume();
+    }
+    void begin_response() {
+      response_started_ = true;
+      const NodeId requester = op_.src;
+      op_.src = op_.dst;
+      op_.dst = requester;
+      op_.bytes = response_bytes_;
+      op_.cap = kUnlimitedRate;
+      op_.cls = response_cls_;
+      if (op_.bytes > 0.0) {
+        op_.net->start_leg(&op_);
+        return;
+      }
+      // Empty response after a real request: this runs from the request
+      // leg's completion event, so resuming inline matches the old
+      // synchronous no-op transfer.
+      op_.cont.resume();
+    }
+    FlowOp op_;
+    double response_bytes_;
+    TrafficClass response_cls_;
+    bool response_started_ = false;
+  };
+
   /// Move `bytes` from src to dst; completes after one-way latency plus the
   /// time the (time-varying) fair-share rate needs to drain the flow.
   /// `rate_cap` bounds this flow's rate (e.g. a migration speed limit).
-  sim::Task transfer(NodeId src, NodeId dst, double bytes, TrafficClass cls,
-                     double rate_cap = kUnlimitedRate);
+  TransferAwaiter transfer(NodeId src, NodeId dst, double bytes, TrafficClass cls,
+                           double rate_cap = kUnlimitedRate) noexcept {
+    return TransferAwaiter{*this, src, dst, bytes, cls, rate_cap};
+  }
 
-  /// Round trip: a small request in one direction followed by a payload in
-  /// the other. Used for pull-style chunk fetches.
-  sim::Task request_response(NodeId requester, NodeId responder, double request_bytes,
-                             double response_bytes, TrafficClass response_cls);
+  /// Round trip: a small control request in one direction followed by a
+  /// payload in the opposite direction. Used for pull-style chunk fetches.
+  RequestResponseAwaiter request_response(NodeId requester, NodeId responder,
+                                          double request_bytes, double response_bytes,
+                                          TrafficClass response_cls) noexcept {
+    return RequestResponseAwaiter{*this, requester, responder, request_bytes,
+                                  response_bytes, response_cls};
+  }
 
   // --- accounting ---------------------------------------------------------
   double traffic_bytes(TrafficClass cls) const noexcept {
@@ -197,10 +324,12 @@ class FlowNetwork {
     double rate = 0.0;
     double cap = kUnlimitedRate;
     double proj = kUnlimitedRate;  // projected completion (absolute time)
-    std::optional<sim::Event> done;  // intrusive; emplaced per use of the slot
   };
   struct FlowSlot {
     Flow flow;
+    // Continuation of the awaiting transfer op; stepped (via one zero-delay
+    // event) when the flow completes. Replaces the per-transfer done Event.
+    FlowOp* op = nullptr;
     std::uint32_t gen = 0;  // bumped on release; completion entries compare it
     std::uint32_t next_free = kNilIndex;
     // Intrusive doubly-linked list of live slots, so advancing costs
@@ -213,6 +342,10 @@ class FlowNetwork {
     std::uint32_t constraints[5] = {};
     std::uint8_t n_constraints = 0;
     std::uint32_t comp = kNilIndex;  // owning component; kNil until solved
+    // Cached dense indices into the escalation arena (valid while
+    // arena_bound_gen matches arena_gen_; see "persistent compact arena").
+    std::uint32_t acidx[5] = {};
+    std::uint64_t arena_bound_gen = 0;
   };
   struct Node {
     double egress_Bps;
@@ -259,6 +392,13 @@ class FlowNetwork {
   void mark_dirty();
   void on_settle();
 
+  /// Start one transfer leg for a frameless awaitable: loopback legs cost a
+  /// timer only; network legs schedule begin_flow after the one-way latency.
+  void start_leg(FlowOp* op);
+  /// Register the op's flow with the solver (runs at flow-start time, after
+  /// the latency delay): accounting, slot setup, epoch dirtying.
+  void begin_flow(FlowOp* op);
+
   std::size_t constraint_space() const noexcept {
     return 2 * nodes_.size() + 1 + 2 * groups_.size();
   }
@@ -270,7 +410,10 @@ class FlowNetwork {
 
   void advance_to_now();
   void solve_epoch();
-  void water_fill(std::size_t first_item, std::size_t n_items, bool all_constraints);
+  void water_fill(std::size_t first_item, std::size_t n_items);
+  void water_fill_escalated();
+  void run_fill(std::size_t first_item, std::size_t n_items);
+  void reset_arena();
   void schedule_completion();
   void on_completion_timer();
 
@@ -279,9 +422,10 @@ class FlowNetwork {
   std::vector<Node> nodes_;
   std::vector<Group> groups_;
 
-  // Slab of flow slots. A deque so the non-movable intrusive Event (and any
-  // outstanding references into a slot) survive slab growth.
-  std::deque<FlowSlot> flow_slots_;
+  // Slab of flow slots. A flat vector: slots hold no non-movable members
+  // anymore (the done Event became the op pointer) and no reference into the
+  // slab is held across an alloc_flow_slot() call.
+  std::vector<FlowSlot> flow_slots_;
   std::uint32_t free_head_ = kNilIndex;
   std::uint32_t live_head_ = kNilIndex;
   std::size_t live_flows_ = 0;
@@ -355,6 +499,16 @@ class FlowNetwork {
   std::vector<std::uint64_t> citem_epoch_;
   std::uint64_t citem_gen_used_ = 0;
   std::vector<std::uint32_t> finished_scratch_;
+
+  // Persistent compact arena for the escalated global solve: dense
+  // constraint indices assigned on first use and kept alive across epochs
+  // (reset only on topology change), so the saturated lockstep regime does
+  // not rebuild the compaction each escalation. Flow slots cache their
+  // dense indices (acidx) under arena_gen_; per escalation only capacities
+  // are reseeded and per-item user counts recounted.
+  std::vector<std::uint32_t> arena_idx_;          // constraint -> dense index
+  std::vector<std::uint32_t> arena_constraints_;  // dense index -> constraint
+  std::uint64_t arena_gen_ = 1;                   // 0 marks unbound slots
 };
 
 }  // namespace hm::net

@@ -2,35 +2,31 @@
 
 namespace hm::sim {
 
+// Wake-all primitives drain the intrusive list first, then walk the
+// detached chain. The nodes stay valid during the walk because the woken
+// coroutines are merely scheduled (resume_later), not resumed inline.
+
 void Event::set() {
   if (set_) return;
   set_ = true;
-  auto waiters = std::move(waiters_);
-  waiters_.clear();
-  for (auto h : waiters) sim_->resume_later(h);
+  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->resume_later(n->h);
 }
 
 void Notification::notify_all() {
-  auto waiters = std::move(waiters_);
-  waiters_.clear();
-  for (auto h : waiters) sim_->resume_later(h);
+  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->resume_later(n->h);
 }
 
 void Gate::open() {
   if (open_) return;
   open_ = true;
-  auto waiters = std::move(waiters_);
-  waiters_.clear();
-  for (auto h : waiters) sim_->resume_later(h);
+  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->resume_later(n->h);
 }
 
 void Semaphore::release() {
   if (!waiters_.empty()) {
-    auto h = waiters_.front();
-    waiters_.pop_front();
     // The permit is handed directly to the woken waiter (count_ stays 0),
     // which keeps the queue strictly FIFO.
-    sim_->resume_later(h);
+    sim_->resume_later(waiters_.pop()->h);
     return;
   }
   ++count_;
@@ -39,18 +35,18 @@ void Semaphore::release() {
 void WaitGroup::done() {
   if (count_ > 0) --count_;
   if (count_ == 0) {
-    auto waiters = std::move(waiters_);
-    waiters_.clear();
-    for (auto h : waiters) sim_->resume_later(h);
+    for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next)
+      sim_->resume_later(n->h);
   }
 }
 
 void Barrier::release_all() {
-  auto waiters = std::move(waiters_);
-  waiters_.clear();
   // The final arriver continues synchronously (await_suspend returned
-  // false); everyone queued before it is woken through the event queue.
-  for (std::size_t i = 0; i + 1 < waiters.size(); ++i) sim_->resume_later(waiters[i]);
+  // false); everyone queued before it — every node but the tail, which is
+  // the arriver itself — is woken through the event queue.
+  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) {
+    if (n->next != nullptr) sim_->resume_later(n->h);
+  }
 }
 
 }  // namespace hm::sim

@@ -1,8 +1,13 @@
 // Coroutine synchronization primitives for the simulator: one-shot events,
 // repeatable notifications, gates (suspend/resume), FIFO semaphores,
-// wait-groups, barriers and typed mailboxes. All wakeups are funneled
-// through the simulator's event queue so resumption order is deterministic
-// and stack depth stays bounded.
+// wait-groups, barriers, typed mailboxes and a single-server FIFO service
+// station. All wakeups are funneled through the simulator's event queue so
+// resumption order is deterministic and stack depth stays bounded.
+//
+// Waiter storage is intrusive: each awaiter embeds a WaitNode that lives in
+// the suspended coroutine's frame, so registering a waiter and waking it
+// performs no heap allocation. Nodes stay linked until the wakeup drains the
+// list (the coroutine cannot resume earlier — resume_later only enqueues).
 #pragma once
 
 #include <coroutine>
@@ -10,11 +15,62 @@
 #include <deque>
 #include <optional>
 #include <utility>
-#include <vector>
 
 #include "sim/simulator.h"
 
 namespace hm::sim {
+
+/// Intrusive FIFO queue over nodes exposing a `Node* next` member. One
+/// implementation serves every chain in this header (waiter lists, station
+/// requests, mailbox receivers), so the queue discipline cannot diverge.
+template <class Node>
+class IntrusiveQueue {
+ public:
+  bool empty() const noexcept { return head_ == nullptr; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(Node* n) noexcept {
+    n->next = nullptr;
+    if (head_ == nullptr)
+      head_ = n;
+    else
+      tail_->next = n;
+    tail_ = n;
+    ++size_;
+  }
+
+  Node* pop() noexcept {
+    Node* n = head_;
+    head_ = n->next;
+    if (head_ == nullptr) tail_ = nullptr;
+    --size_;
+    return n;
+  }
+
+  /// Detach the whole chain (wake-all). Iterating the returned chain is safe
+  /// while the woken coroutines are still suspended, which resume_later
+  /// guarantees (it only schedules).
+  Node* drain() noexcept {
+    Node* n = head_;
+    head_ = tail_ = nullptr;
+    size_ = 0;
+    return n;
+  }
+
+ private:
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Intrusive FIFO waiter node; embedded in awaiter objects (and thus in the
+/// waiting coroutine's frame).
+struct WaitNode {
+  std::coroutine_handle<> h = nullptr;
+  WaitNode* next = nullptr;
+};
+
+using WaiterList = IntrusiveQueue<WaitNode>;
 
 /// One-shot broadcast event. Waiters before set() suspend; waiters after
 /// set() continue immediately.
@@ -29,16 +85,20 @@ class Event {
 
   struct Awaiter {
     Event& ev;
+    WaitNode node;
     bool await_ready() const noexcept { return ev.set_; }
-    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      node.h = h;
+      ev.waiters_.push(&node);
+    }
     void await_resume() const noexcept {}
   };
-  Awaiter wait() noexcept { return Awaiter{*this}; }
+  Awaiter wait() noexcept { return Awaiter{*this, {}}; }
 
  private:
   Simulator* sim_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 /// Repeatable notification: every call to notify_all() wakes the waiters
@@ -54,15 +114,19 @@ class Notification {
 
   struct Awaiter {
     Notification& n;
+    WaitNode node;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { n.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      node.h = h;
+      n.waiters_.push(&node);
+    }
     void await_resume() const noexcept {}
   };
-  Awaiter wait() noexcept { return Awaiter{*this}; }
+  Awaiter wait() noexcept { return Awaiter{*this, {}}; }
 
  private:
   Simulator* sim_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 /// Open/closed gate. wait_open() passes immediately while open and blocks
@@ -80,20 +144,24 @@ class Gate {
 
   struct Awaiter {
     Gate& g;
+    WaitNode node;
     bool await_ready() const noexcept { return g.open_; }
-    void await_suspend(std::coroutine_handle<> h) { g.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      node.h = h;
+      g.waiters_.push(&node);
+    }
     void await_resume() const noexcept {}
   };
-  Awaiter wait_open() noexcept { return Awaiter{*this}; }
+  Awaiter wait_open() noexcept { return Awaiter{*this, {}}; }
 
  private:
   Simulator* sim_;
   bool open_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 /// Counting semaphore with strict FIFO handoff (fair queueing — used to
-/// model disk service queues).
+/// model service queues with per-holder logic between acquire and release).
 class Semaphore {
  public:
   Semaphore(Simulator& sim, std::size_t count) : sim_(&sim), count_(count) {}
@@ -102,6 +170,7 @@ class Semaphore {
 
   struct Awaiter {
     Semaphore& s;
+    WaitNode node;
     bool await_ready() const noexcept {
       if (s.count_ > 0 && s.waiters_.empty()) {
         --s.count_;
@@ -109,10 +178,13 @@ class Semaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      node.h = h;
+      s.waiters_.push(&node);
+    }
     void await_resume() const noexcept {}
   };
-  Awaiter acquire() noexcept { return Awaiter{*this}; }
+  Awaiter acquire() noexcept { return Awaiter{*this, {}}; }
   void release();
 
   std::size_t available() const noexcept { return count_; }
@@ -121,7 +193,7 @@ class Semaphore {
  private:
   Simulator* sim_;
   std::size_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 /// RAII helper for Semaphore-protected critical sections inside coroutines.
@@ -139,6 +211,61 @@ class SemGuard {
   Semaphore* s_;
 };
 
+/// Single-server FIFO service station: a frameless replacement for the
+/// "acquire a count-1 Semaphore, delay for a fixed service time, release"
+/// coroutine pattern (disk queues, host-bus arbitration). Event-for-event
+/// identical to that pattern — an idle submit schedules one service timer;
+/// a queued request wakes through one zero-delay handoff event before its
+/// timer, preserving strict FIFO — but with no coroutine frame per request.
+/// Nodes are embedded in the callers' awaiters, so queueing never allocates.
+class FifoStation {
+ public:
+  explicit FifoStation(Simulator& sim) : sim_(&sim) {}
+  FifoStation(const FifoStation&) = delete;
+  FifoStation& operator=(const FifoStation&) = delete;
+
+  /// Intrusive request; lives in the submitting awaiter until resumed.
+  struct Node {
+    double service_s = 0.0;
+    std::coroutine_handle<> cont = nullptr;
+    Node* next = nullptr;
+  };
+
+  void submit(Node* n) {
+    if (busy_) {
+      queue_.push(n);
+      return;
+    }
+    busy_ = true;
+    start(n);
+  }
+
+  bool busy() const noexcept { return busy_; }
+  /// Requests waiting behind the one in service.
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+
+ private:
+  void start(Node* n) {
+    sim_->schedule(n->service_s, [this, n] { complete(n); });
+  }
+  void complete(Node* n) {
+    if (!queue_.empty()) {
+      // Hand the server to the oldest queued request through the event
+      // queue (one zero-delay event, like a Semaphore handoff), then resume
+      // the finished caller synchronously.
+      Node* next = queue_.pop();
+      sim_->schedule(0.0, [this, next] { start(next); });
+    } else {
+      busy_ = false;
+    }
+    n->cont.resume();
+  }
+
+  Simulator* sim_;
+  IntrusiveQueue<Node> queue_;
+  bool busy_ = false;
+};
+
 /// Go-style wait group: add() before spawning parallel work, done() when a
 /// unit finishes, wait() suspends until the count returns to zero.
 class WaitGroup {
@@ -152,18 +279,22 @@ class WaitGroup {
 
   struct Awaiter {
     WaitGroup& wg;
+    WaitNode node;
     bool await_ready() const noexcept { return wg.count_ == 0; }
-    void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      node.h = h;
+      wg.waiters_.push(&node);
+    }
     void await_resume() const noexcept {}
   };
-  Awaiter wait() noexcept { return Awaiter{*this}; }
+  Awaiter wait() noexcept { return Awaiter{*this, {}}; }
 
   std::size_t count() const noexcept { return count_; }
 
  private:
   Simulator* sim_;
   std::size_t count_ = 0;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 /// Cyclic barrier for BSP-style workloads (the CM1 stencil ranks).
@@ -175,9 +306,11 @@ class Barrier {
 
   struct Awaiter {
     Barrier& b;
+    WaitNode node;
     bool await_ready() const noexcept { return b.parties_ <= 1; }
-    bool await_suspend(std::coroutine_handle<> h) {
-      b.waiters_.push_back(h);
+    bool await_suspend(std::coroutine_handle<> h) noexcept {
+      node.h = h;
+      b.waiters_.push(&node);
       if (b.waiters_.size() >= b.parties_) {
         b.release_all();
         return false;  // last arriver proceeds immediately
@@ -186,7 +319,7 @@ class Barrier {
     }
     void await_resume() const noexcept {}
   };
-  Awaiter arrive_and_wait() noexcept { return Awaiter{*this}; }
+  Awaiter arrive_and_wait() noexcept { return Awaiter{*this, {}}; }
 
   std::size_t waiting() const noexcept { return waiters_.size(); }
 
@@ -195,11 +328,13 @@ class Barrier {
 
   Simulator* sim_;
   std::size_t parties_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  WaiterList waiters_;
 };
 
 /// Unbounded typed mailbox (header-only): send never blocks, recv suspends
-/// while empty. FIFO on both messages and receivers.
+/// while empty. FIFO on both messages and receivers. Receiver registration
+/// is intrusive (the awaiter chains itself), so only message buffering can
+/// allocate.
 template <class T>
 class Mailbox {
  public:
@@ -210,31 +345,31 @@ class Mailbox {
   struct Awaiter {
     Mailbox& mb;
     std::optional<T> slot;
-    std::coroutine_handle<> h;
+    std::coroutine_handle<> h = nullptr;
+    Awaiter* next = nullptr;
 
     bool await_ready() {
       // Only take the fast path when no earlier receiver is queued, so
       // message delivery stays strictly FIFO across receivers.
-      if (!mb.items_.empty() && mb.waiters_.empty()) {
+      if (!mb.items_.empty() && mb.receivers_.empty()) {
         slot = std::move(mb.items_.front());
         mb.items_.pop_front();
         return true;
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> handle) {
+    void await_suspend(std::coroutine_handle<> handle) noexcept {
       h = handle;
-      mb.waiters_.push_back(this);
+      mb.receivers_.push(this);
     }
     T await_resume() { return std::move(*slot); }
   };
 
   void send(T value) {
-    if (!waiters_.empty()) {
+    if (!receivers_.empty()) {
       // Hand the item directly to the oldest receiver; this avoids a
       // ready-path receiver stealing it before the wakeup fires.
-      Awaiter* w = waiters_.front();
-      waiters_.pop_front();
+      Awaiter* w = receivers_.pop();
       w->slot = std::move(value);
       sim_->resume_later(w->h);
       return;
@@ -242,7 +377,7 @@ class Mailbox {
     items_.push_back(std::move(value));
   }
 
-  Awaiter recv() noexcept { return Awaiter{*this, std::nullopt, nullptr}; }
+  Awaiter recv() noexcept { return Awaiter{*this, std::nullopt, nullptr, nullptr}; }
 
   std::size_t size() const noexcept { return items_.size(); }
   bool empty() const noexcept { return items_.empty(); }
@@ -250,7 +385,7 @@ class Mailbox {
  private:
   Simulator* sim_;
   std::deque<T> items_;
-  std::deque<Awaiter*> waiters_;
+  IntrusiveQueue<Awaiter> receivers_;
 };
 
 }  // namespace hm::sim

@@ -7,9 +7,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdlib>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_pool.h"
 
 namespace hm::sim {
 
@@ -22,6 +25,15 @@ class [[nodiscard]] Task {
     std::coroutine_handle<> continuation = nullptr;
     std::exception_ptr exception = nullptr;
     bool detached = false;
+
+    // Frames come from the thread-local size-bucketed pool, so steady-state
+    // coroutine churn performs no heap allocation. The sized delete is the
+    // only deallocation form declared, which guarantees the compiler hands
+    // back the frame size and the pool can locate the right bucket.
+    static void* operator new(std::size_t n) { return FramePool::local().allocate(n); }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      FramePool::local().deallocate(p, n);
+    }
 
     Task get_return_object() noexcept { return Task{Handle::from_promise(*this)}; }
     std::suspend_always initial_suspend() noexcept { return {}; }

@@ -13,7 +13,7 @@ ChunkStore::ChunkStore(sim::Simulator& sim, Disk& disk, ImageConfig img, ChunkSt
       present_(num_chunks_),
       modified_(num_chunks_),
       cache_(static_cast<std::size_t>(cfg.host_cache_bytes / img.chunk_bytes), num_chunks_),
-      bus_(sim, 1),
+      bus_(sim),
       host_dirty_(num_chunks_),
       dirty_stamp_(num_chunks_, 0),
       flush_wakeup_(sim),
@@ -24,12 +24,6 @@ std::vector<ChunkId> ChunkStore::modified_set() const {
   out.reserve(modified_.count());
   for_each_modified([&](ChunkId c) { out.push_back(c); });
   return out;
-}
-
-sim::Task ChunkStore::bus_io(double bytes) {
-  co_await bus_.acquire();
-  sim::SemGuard guard(bus_);
-  co_await sim_.delay(bytes / cfg_.host_bus_Bps);
 }
 
 void ChunkStore::mark_host_dirty(ChunkId c) {
@@ -63,36 +57,6 @@ sim::Task ChunkStore::flusher_loop() {
     if (dirty_stamp_[c] == stamp) host_dirty_.reset(c);
     flush_progress_.notify_all();
   }
-}
-
-sim::Task ChunkStore::write_chunk(ChunkId c) {
-  assert(c < num_chunks_);
-  co_await bus_io(img_.chunk_bytes);
-  present_.set(c);
-  modified_.set(c);
-  cache_.insert(c);
-  mark_host_dirty(c);
-}
-
-sim::Task ChunkStore::read_chunk(ChunkId c) {
-  assert(c < num_chunks_ && present_.test(c));
-  if (cache_.contains(c)) {
-    ++cache_hits_;
-    cache_.insert(c);  // refresh LRU position
-    co_await bus_io(img_.chunk_bytes);
-    co_return;
-  }
-  ++cache_misses_;
-  co_await disk_.read(img_.chunk_bytes);
-  cache_.insert(c);
-}
-
-sim::Task ChunkStore::install_base_chunk(ChunkId c) {
-  assert(c < num_chunks_);
-  co_await bus_io(img_.chunk_bytes);
-  present_.set(c);
-  cache_.insert(c);
-  mark_host_dirty(c);
 }
 
 sim::Task ChunkStore::flush() {

@@ -13,8 +13,16 @@
 // bitmap with a round-robin cursor (word-skip over clean regions), and a
 // re-dirty during the disk write is detected by a stamp mismatch — no
 // deque, no hash probes on the write path.
+//
+// read_chunk/write_chunk/install_base_chunk are frameless awaitables: the
+// fixed-latency bus or disk leg is an intrusive FifoStation node embedded
+// in the awaiter, and the state updates that used to follow the co_await in
+// a coroutine body run in await_resume — same synchronous order, same event
+// sequence, but no coroutine frame and no heap allocation per chunk op.
 #pragma once
 
+#include <cassert>
+#include <coroutine>
 #include <cstdint>
 #include <vector>
 
@@ -176,15 +184,77 @@ class ChunkStore {
     modified_.for_each_set([&](std::uint64_t c) { fn(static_cast<ChunkId>(c)); });
   }
 
+  /// Frameless write awaitable: one host-bus service, then (in
+  /// await_resume, i.e. before the awaiting coroutine continues) the
+  /// present/modified/cache/host-dirty updates.
+  struct [[nodiscard]] WriteAwaiter {
+    ChunkStore& st;
+    ChunkId c;
+    bool mark_modified;  // false for base-image installs
+    sim::FifoStation::Node node;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.service_s = st.img_.chunk_bytes / st.cfg_.host_bus_Bps;
+      node.cont = h;
+      st.bus_.submit(&node);
+    }
+    void await_resume() const {
+      st.present_.set(c);
+      if (mark_modified) st.modified_.set(c);
+      st.cache_.insert(c);
+      st.mark_host_dirty(c);
+    }
+  };
+
+  /// Frameless read awaitable: a host-cache hit costs a bus service, a miss
+  /// queues on the disk (and inserts into the cache afterwards).
+  struct [[nodiscard]] ReadAwaiter {
+    ChunkStore& st;
+    ChunkId c;
+    bool hit = false;
+    sim::FifoStation::Node node;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.cont = h;
+      if (st.cache_.contains(c)) {
+        hit = true;
+        ++st.cache_hits_;
+        st.cache_.insert(c);  // refresh LRU position
+        node.service_s = st.img_.chunk_bytes / st.cfg_.host_bus_Bps;
+        st.bus_.submit(&node);
+        return;
+      }
+      ++st.cache_misses_;
+      node.service_s = st.disk_.service_time(st.img_.chunk_bytes);
+      st.disk_.station().submit(&node);
+    }
+    void await_resume() const {
+      if (hit) return;
+      st.disk_.account(st.img_.chunk_bytes, /*is_write=*/false, node.service_s);
+      st.cache_.insert(c);
+    }
+  };
+
   /// Write a full chunk to the local image (host cache write; background
   /// flush drains it to disk). Marks the chunk modified w.r.t. the base.
-  sim::Task write_chunk(ChunkId c);
+  WriteAwaiter write_chunk(ChunkId c) noexcept {
+    assert(c < num_chunks_);
+    return WriteAwaiter{*this, c, /*mark_modified=*/true, {}};
+  }
   /// Read a chunk: host-cache hit costs a bus transfer, miss a disk read.
   /// Caller must ensure the chunk is present.
-  sim::Task read_chunk(ChunkId c);
+  ReadAwaiter read_chunk(ChunkId c) noexcept {
+    assert(c < num_chunks_ && present_.test(c));
+    return ReadAwaiter{*this, c, /*hit=*/false, {}};
+  }
   /// Install base-image content fetched from the repository (present but
   /// NOT modified — it matches the base and never needs migrating).
-  sim::Task install_base_chunk(ChunkId c);
+  WriteAwaiter install_base_chunk(ChunkId c) noexcept {
+    assert(c < num_chunks_);
+    return WriteAwaiter{*this, c, /*mark_modified=*/false, {}};
+  }
   /// Wait until every host-dirty chunk reached the physical disk.
   sim::Task flush();
 
@@ -197,7 +267,6 @@ class ChunkStore {
   Disk& disk() noexcept { return disk_; }
 
  private:
-  sim::Task bus_io(double bytes);
   sim::Task flusher_loop();
   void mark_host_dirty(ChunkId c);
 
@@ -209,7 +278,7 @@ class ChunkStore {
   util::DirtyBitmap present_;
   util::DirtyBitmap modified_;
   LruChunkSet cache_;
-  sim::Semaphore bus_;
+  sim::FifoStation bus_;  // host-bus arbitration (single server, FIFO)
   // Host-dirty bookkeeping: bit set while a chunk is cached but not yet on
   // disk; the stamp detects re-dirtying during the in-flight disk write.
   util::DirtyBitmap host_dirty_;

@@ -13,15 +13,15 @@ PageCache::PageCache(sim::Simulator& sim, BlockBackend& backend, ImageConfig img
       state_(img.num_chunks(), State::kAbsent),
       lru_(static_cast<std::size_t>(cfg.capacity_bytes / img.chunk_bytes),
            img.num_chunks()),
+      dirty_(img.num_chunks()),
+      dirty_stamp_(img.num_chunks(), 0),
       guest_bus_(sim, 1),
       wb_wakeup_(sim),
       wb_progress_(sim) {}
 
 void PageCache::mark_dirty(ChunkId c) {
-  ++epoch_;
-  auto [it, inserted] = dirty_members_.try_emplace(c, epoch_);
-  it->second = epoch_;
-  if (inserted) dirty_fifo_.push_back(c);
+  dirty_stamp_[c] = ++dirty_epoch_;
+  dirty_.set(c);
   state_[c] = State::kDirty;
   if (!wb_running_) {
     wb_running_ = true;
@@ -31,29 +31,30 @@ void PageCache::mark_dirty(ChunkId c) {
 }
 
 sim::Task PageCache::writeback_loop() {
+  const std::uint32_t n = img_.num_chunks();
   for (;;) {
     if (run_gate_ != nullptr) co_await run_gate_->wait_open();
-    if (dirty_fifo_.empty()) {
+    if (!dirty_.any()) {
       co_await wb_wakeup_.wait();
       continue;
     }
-    const ChunkId c = dirty_fifo_.front();
-    dirty_fifo_.pop_front();
-    auto it = dirty_members_.find(c);
-    if (it == dirty_members_.end()) continue;
-    const std::uint64_t epoch = it->second;
+    // Round-robin over the dirty bitmap: resume after the last written
+    // chunk, wrap at the end. Clean regions are skipped 64 chunks per word.
+    std::uint64_t next = dirty_.find_next(wb_cursor_);
+    if (next == util::DirtyBitmap::npos) next = dirty_.find_next(0);
+    const ChunkId c = static_cast<ChunkId>(next);
+    wb_cursor_ = (c + 1 < n) ? c + 1 : 0;
+    const std::uint64_t stamp = dirty_stamp_[c];
     ++writeback_inflight_;
     co_await backend_.backend_write_chunk(c);
     --writeback_inflight_;
     ++writeback_ops_;
-    it = dirty_members_.find(c);
-    if (it != dirty_members_.end()) {
-      if (it->second == epoch) {
-        dirty_members_.erase(it);
-        if (state_[c] == State::kDirty) state_[c] = State::kClean;
-      } else {
-        dirty_fifo_.push_back(c);  // re-dirtied while writing back
-      }
+    // Only clean the chunk if it was not re-dirtied while the write-back
+    // was in flight; otherwise the bit stays set and the cursor revisits it
+    // on its next lap (which is what keeps write-back fair).
+    if (dirty_stamp_[c] == stamp) {
+      dirty_.reset(c);
+      if (state_[c] == State::kDirty) state_[c] = State::kClean;
     }
     wb_progress_.notify_all();
   }
@@ -121,7 +122,7 @@ sim::Task PageCache::read_chunk(ChunkId c) {
 }
 
 sim::Task PageCache::fsync() {
-  while (!dirty_members_.empty() || writeback_inflight_ > 0) {
+  while (dirty_.any() || writeback_inflight_ > 0) {
     co_await wb_progress_.wait();
   }
   co_await backend_.backend_sync();

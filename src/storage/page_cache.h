@@ -12,18 +12,27 @@
 // Crucially, cache-resident file data lives in *guest memory*, so filling or
 // dirtying the cache dirties guest pages that the hypervisor's memory
 // pre-copy has to (re)transmit. The on_cache_touch hook wires that coupling.
+//
+// Dirty bookkeeping is the same epoch-stamped bitmap + round-robin cursor
+// pattern as ChunkStore's host-dirty set: mark_dirty stamps the chunk and
+// sets its bit, the write-back task scans the bitmap from a cursor
+// (word-skipping clean regions), and a re-dirty during an in-flight
+// write-back is a stamp mismatch that leaves the bit set for the cursor's
+// next lap — no deque, no hash probes on the write path. Fairness holds
+// because the cursor always advances past a just-written chunk before
+// considering it again, so a continuously re-dirtied chunk cannot starve
+// the rest of the dirty set.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/chunk_store.h"
+#include "util/bitmap.h"
 
 namespace hm::storage {
 
@@ -76,7 +85,7 @@ class PageCache {
   void invalidate(ChunkId c);
 
   std::uint64_t dirty_bytes() const noexcept {
-    return static_cast<std::uint64_t>(dirty_members_.size()) * img_.chunk_bytes;
+    return dirty_.count() * img_.chunk_bytes;
   }
   std::size_t cached_chunks() const noexcept { return lru_.size(); }
   std::uint64_t hits() const noexcept { return hits_; }
@@ -97,9 +106,11 @@ class PageCache {
   PageCacheConfig cfg_;
   std::vector<State> state_;
   LruChunkSet lru_;
-  std::deque<ChunkId> dirty_fifo_;
-  std::unordered_map<ChunkId, std::uint64_t> dirty_members_;  // chunk -> epoch
-  std::uint64_t epoch_ = 0;
+  // Epoch-stamped dirty bitmap + cursor (see header comment).
+  util::DirtyBitmap dirty_;
+  std::vector<std::uint64_t> dirty_stamp_;
+  std::uint64_t dirty_epoch_ = 0;
+  std::uint32_t wb_cursor_ = 0;
   std::size_t writeback_inflight_ = 0;
   sim::Semaphore guest_bus_;
   sim::Notification wb_wakeup_;

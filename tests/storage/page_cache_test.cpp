@@ -161,6 +161,71 @@ TEST(PageCache, WritebackOpsCounted) {
   EXPECT_EQ(f.cache.writeback_ops(), 2u);
 }
 
+// --- write-back ordering / fairness contract ------------------------------
+// These pin the semantics the dirty tracker must preserve regardless of its
+// representation (insertion-order FIFO in the seed, epoch-stamped bitmap +
+// round-robin cursor now): ascending-id write-back for sequential dirtying,
+// exactly-once write-back per dirty episode, rewrite after re-dirtying, and
+// no starvation of other dirty chunks by a hot one.
+
+TEST(PageCacheWriteback, SequentialDirtyingWritesBackInAscendingOrder) {
+  // Slow backend so all six writes are dirty before the first write-back
+  // completes; both FIFO (= insertion order here) and the cursor must then
+  // drain them in ascending chunk order.
+  CacheFixture f(CacheFixture::make_cfg(), /*backend_op_s=*/0.5);
+  f.s.spawn([](PageCache* pc) -> sim::Task {
+    for (ChunkId c = 0; c < 4; ++c) co_await pc->write_chunk(c);
+  }(&f.cache));
+  f.s.run();
+  EXPECT_EQ(f.backend.writes, (std::vector<ChunkId>{0, 1, 2, 3}));
+}
+
+TEST(PageCacheWriteback, EachDirtyEpisodeWritesBackExactlyOnce) {
+  CacheFixture f;
+  for (ChunkId c : {ChunkId{2}, ChunkId{5}, ChunkId{7}}) f.run_write(c);
+  // run() drains between writes, so every chunk completes its write-back
+  // before the next is dirtied: exactly one backend write per chunk.
+  EXPECT_EQ(f.backend.writes, (std::vector<ChunkId>{2, 5, 7}));
+}
+
+TEST(PageCacheWriteback, RedirtyDuringWritebackCausesRewrite) {
+  // Backend op takes 0.5 s, guest write 1 MiB / 100 MBps ~ 0.01 s: the
+  // second write of chunk 0 lands while the first write-back is in flight.
+  CacheFixture f(CacheFixture::make_cfg(), /*backend_op_s=*/0.5);
+  f.s.spawn([](PageCache* pc) -> sim::Task {
+    co_await pc->write_chunk(0);  // write-back starts
+    co_await pc->write_chunk(0);  // re-dirty while in flight
+    co_await pc->fsync();
+  }(&f.cache));
+  f.s.run();
+  // The stale in-flight write-back must not clean the chunk: the re-dirtied
+  // content is written again (2 backend writes), and fsync saw it through.
+  EXPECT_EQ(f.backend.writes, (std::vector<ChunkId>{0, 0}));
+  EXPECT_EQ(f.cache.dirty_bytes(), 0u);
+}
+
+TEST(PageCacheWriteback, HotChunkDoesNotStarveOthers) {
+  // Chunk 0 is re-dirtied every time the backend finishes writing anything;
+  // chunks 1 and 2 must still reach the backend in bounded time.
+  CacheFixture f(CacheFixture::make_cfg(), /*backend_op_s=*/0.2);
+  f.s.spawn([](PageCache* pc) -> sim::Task {
+    for (ChunkId c = 0; c < 3; ++c) co_await pc->write_chunk(c);
+    for (int i = 0; i < 6; ++i) {
+      co_await pc->write_chunk(0);  // keep chunk 0 hot
+    }
+    co_await pc->fsync();
+  }(&f.cache));
+  f.s.run_until(30.0);
+  bool wrote1 = false, wrote2 = false;
+  for (ChunkId c : f.backend.writes) {
+    wrote1 |= (c == 1);
+    wrote2 |= (c == 2);
+  }
+  EXPECT_TRUE(wrote1) << "chunk 1 starved by hot chunk 0";
+  EXPECT_TRUE(wrote2) << "chunk 2 starved by hot chunk 0";
+  EXPECT_EQ(f.cache.dirty_bytes(), 0u);  // fsync eventually drained all
+}
+
 TEST(PageCache, WriteSpeedMatchesConfiguredBandwidth) {
   CacheFixture f;
   const double t0 = f.s.now();

@@ -50,12 +50,24 @@ Outcome run_one(bool use_predictor, double lull_threshold) {
   cloud::LullConfig lull;
   lull.lull_threshold_Bps = lull_threshold;
   lull.deadline_s = 120.0;
-  simulator.schedule(cfg.first_migration_at, [&] {
-    if (use_predictor)
-      simulator.spawn(planned_migration(&planner, &vm, 1, lull, &mig_done));
-    else
-      simulator.spawn(immediate_migration(&mw, &vm, 1, &mig_done));
-  });
+  // Launch context behind one pointer so the timer callback fits SmallFn's
+  // two-word capture budget.
+  struct Launch {
+    sim::Simulator& simulator;
+    cloud::MigrationPlanner& planner;
+    cloud::Middleware& mw;
+    vm::VmInstance& vm;
+    cloud::LullConfig lull;
+    bool use_predictor;
+    bool* mig_done;
+    void go() {
+      if (use_predictor)
+        simulator.spawn(planned_migration(&planner, &vm, 1, lull, mig_done));
+      else
+        simulator.spawn(immediate_migration(&mw, &vm, 1, mig_done));
+    }
+  } launch{simulator, planner, mw, vm, lull, use_predictor, &mig_done};
+  simulator.schedule(cfg.first_migration_at, [&launch] { launch.go(); });
   simulator.run_while_pending([&] { return wl_done && mig_done; });
 
   Outcome out;

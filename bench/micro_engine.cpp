@@ -99,14 +99,19 @@ void BM_WaterFill(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator s;
     net::FlowNetwork net(s, net::FlowNetworkConfig{8e9, 0.0, 8e9});
-    std::vector<net::NodeId> nodes;
-    for (int i = 0; i < kNodes; ++i) nodes.push_back(net.add_node(117.5e6));
-    for (int w = 0; w < kWaves; ++w) {
-      s.schedule(w * 0.5, [&net, &s, &nodes, flows_per_wave] {
-        for (int i = 0; i < flows_per_wave; ++i)
+    // Wave context behind one pointer: event callbacks fit SmallFn's budget.
+    struct Wave {
+      sim::Simulator& s;
+      net::FlowNetwork& net;
+      std::vector<net::NodeId> nodes;
+      int flows;
+      void release() {
+        for (int i = 0; i < flows; ++i)
           s.spawn(burst_member(&net, nodes[i % kNodes], nodes[(i + 11) % kNodes]));
-      });
-    }
+      }
+    } wave{s, net, {}, flows_per_wave};
+    for (int i = 0; i < kNodes; ++i) wave.nodes.push_back(net.add_node(117.5e6));
+    for (int w = 0; w < kWaves; ++w) s.schedule(w * 0.5, [&wave] { wave.release(); });
     s.run();
     events += s.events_processed();
   }
@@ -115,6 +120,65 @@ void BM_WaterFill(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_WaterFill)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// Zero-delay wakeup storm: N coroutines parked on a Notification are woken
+// in waves. Every wakeup is one fast-lane event — the dominant event class
+// in the scale sweeps — so this isolates raw dispatch cost for the path
+// that used to pay slot allocation plus a std::function per wakeup.
+sim::Task wakeup_waiter(sim::Notification* note, std::uint64_t* wakeups) {
+  for (;;) {
+    co_await note->wait();
+    ++*wakeups;
+  }
+}
+
+void BM_ZeroDelayWakeup(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  constexpr int kRounds = 200;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Notification note(s);
+    std::uint64_t wakeups = 0;
+    for (int w = 0; w < waiters; ++w) s.spawn(wakeup_waiter(&note, &wakeups));
+    struct Driver {
+      sim::Simulator& s;
+      sim::Notification& note;
+      int left;
+      void tick() {
+        note.notify_all();
+        if (--left > 0) s.schedule(1e-6, [this] { tick(); });
+      }
+    } driver{s, note, kRounds};
+    s.schedule(1e-6, [&driver] { driver.tick(); });
+    s.run();
+    events += s.events_processed();
+    benchmark::DoNotOptimize(wakeups);
+  }
+  state.SetItemsProcessed(state.iterations() * waiters * kRounds);
+  state.counters["events/sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ZeroDelayWakeup)->Arg(64)->Arg(1024);
+
+// Pure yield churn: K coroutines each re-queue themselves M times at the
+// same virtual instant. Before the fast lane each hop was a clamp, a slot
+// allocation and a fresh callable; now it is one ring push.
+sim::Task yield_churner(sim::Simulator* s, int yields) {
+  for (int i = 0; i < yields; ++i) co_await s->yield();
+}
+
+void BM_YieldChurn(benchmark::State& state) {
+  const int coros = static_cast<int>(state.range(0));
+  constexpr int kYields = 1000;
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < coros; ++i) s.spawn(yield_churner(&s, kYields));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * coros * kYields);
+}
+BENCHMARK(BM_YieldChurn)->Arg(1)->Arg(64);
 
 // Incremental-solver churn: 1000 long-lived background flows over disjoint
 // NIC pairs while short flows join and leave one pair at a time. With
@@ -140,12 +204,19 @@ void BM_IncrementalSolveChurn(benchmark::State& state) {
         s.spawn([](net::FlowNetwork* n, net::NodeId a, net::NodeId b) -> sim::Task {
           co_await n->transfer(a, b, 1e18, net::TrafficClass::kMemory);
         }(&net, src[p], dst[p]));
-    for (int i = 0; i < kChurn; ++i) {
-      s.schedule(1.0 + i, [&net, &s, &src, &dst, i] {
+    struct Churn {
+      sim::Simulator& s;
+      net::FlowNetwork& net;
+      std::vector<net::NodeId>& src;
+      std::vector<net::NodeId>& dst;
+      void kick(int i) {
         s.spawn([](net::FlowNetwork* n, net::NodeId a, net::NodeId b) -> sim::Task {
           co_await n->transfer(a, b, 1e6, net::TrafficClass::kStoragePush);
         }(&net, src[i % kPairs], dst[i % kPairs]));
-      });
+      }
+    } churn{s, net, src, dst};
+    for (int i = 0; i < kChurn; ++i) {
+      s.schedule(1.0 + i, [c = &churn, i] { c->kick(i); });
     }
     s.run_until(kChurn + 10.0);
     resolved += net.touched_flow_count();

@@ -47,6 +47,16 @@ sim::Task migrate_and_signal(Middleware* mw, vm::VmInstance* v, net::NodeId dst,
   wg->done();
 }
 
+/// One planned migration launch; event callbacks capture a pointer to this
+/// record (the schedule lambda must fit SmallFn's two-word budget).
+struct MigLaunch {
+  sim::Simulator* sim;
+  Middleware* mw;
+  vm::VmInstance* target;
+  sim::WaitGroup* done;
+  net::NodeId dst;
+};
+
 }  // namespace
 
 ExperimentResult Experiment::run() {
@@ -97,16 +107,18 @@ ExperimentResult Experiment::run() {
 
   // --- migration schedule ---------------------------------------------------
   sim::WaitGroup migrations_done(simulator);
+  std::vector<MigLaunch> launches;
   if (cfg_.perform_migrations) {
+    launches.reserve(cfg_.num_migrations);  // addresses must survive the timers
     for (std::size_t k = 0; k < cfg_.num_migrations; ++k) {
       const double at = cfg_.first_migration_at + static_cast<double>(k) *
                                                       cfg_.migration_interval_s;
       const net::NodeId dst =
           static_cast<net::NodeId>(n_vms + (k % cfg_.num_destinations));
-      vm::VmInstance* target = vms[k];
+      launches.push_back(MigLaunch{&simulator, &mw, vms[k], &migrations_done, dst});
       migrations_done.add();
-      simulator.schedule(at, [&mw, target, dst, &migrations_done, &simulator] {
-        simulator.spawn(migrate_and_signal(&mw, target, dst, &migrations_done));
+      simulator.schedule(at, [l = &launches.back()] {
+        l->sim->spawn(migrate_and_signal(l->mw, l->target, l->dst, l->done));
       });
     }
   }

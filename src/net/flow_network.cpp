@@ -85,6 +85,7 @@ std::uint32_t FlowNetwork::alloc_flow_slot() {
     return slot;
   }
   flow_slots_.emplace_back();
+  live_bits_.grow(flow_slots_.size());
   return static_cast<std::uint32_t>(flow_slots_.size() - 1);
 }
 
@@ -175,12 +176,7 @@ void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
   fs.op = nullptr;
   fs.in_use = false;
   ++fs.gen;
-  if (fs.live_prev != kNilIndex)
-    flow_slots_[fs.live_prev].live_next = fs.live_next;
-  else
-    live_head_ = fs.live_next;
-  if (fs.live_next != kNilIndex) flow_slots_[fs.live_next].live_prev = fs.live_prev;
-  fs.live_next = fs.live_prev = kNilIndex;
+  live_bits_.reset(slot);
   fs.next_free = free_head_;
   free_head_ = slot;
   --live_flows_;
@@ -205,7 +201,10 @@ void FlowNetwork::push_projection(Flow& f, std::uint32_t slot) {
 void FlowNetwork::mark_dirty() {
   if (settle_pending_) return;
   settle_pending_ = true;
-  settle_timer_ = sim_.schedule(0.0, [this] { on_settle(); });
+  // Fast-lane push, but cancellable: a completion timer firing in the same
+  // instant retracts the settle because its own solve covers the epoch.
+  settle_timer_ = sim_.post_cancellable(
+      [](void* net, void*) { static_cast<FlowNetwork*>(net)->on_settle(); }, this);
 }
 
 void FlowNetwork::on_settle() {
@@ -235,10 +234,7 @@ void FlowNetwork::begin_flow(FlowOp* op) {
   FlowSlot& fs = flow_slots_[slot];
   fs.in_use = true;
   fs.op = op;
-  fs.live_prev = kNilIndex;
-  fs.live_next = live_head_;
-  if (live_head_ != kNilIndex) flow_slots_[live_head_].live_prev = slot;
-  live_head_ = slot;
+  live_bits_.set(slot);
   Flow& f = fs.flow;
   f.src = op->src;
   f.dst = op->dst;
@@ -279,11 +275,11 @@ void FlowNetwork::advance_to_now() {
   const double now = sim_.now();
   const double dt = now - last_advance_;
   if (dt > 0) {
-    for (std::uint32_t s = live_head_; s != kNilIndex; s = flow_slots_[s].live_next) {
+    live_bits_.for_each_set([&](std::uint64_t s) {
       Flow& f = flow_slots_[s].flow;
       f.remaining -= f.rate * dt;
       if (f.remaining < 0) f.remaining = 0;
-    }
+    });
   }
   last_advance_ = now;
 }
@@ -465,24 +461,25 @@ void FlowNetwork::solve_epoch() {
     reset_arena();  // constraint ids shifted: the dense layout is invalid
   }
 
-  // Phase 1 — canonical slab scan: collect affected flows (slot order).
-  // Affected = new arrival, member of a dirty component, ablated-off, or
-  // any flow after a topology change (incidence ids shift with node count).
+  // Phase 1 — canonical live scan in slot order (word-skipping bitmap, so
+  // the epoch pays for live flows, not for the slab's high-water mark):
+  // collect affected flows. Affected = new arrival, member of a dirty
+  // component, ablated-off, or any flow after a topology change (incidence
+  // ids shift with node count).
   items_.clear();
-  const std::size_t slab = flow_slots_.size();
-  for (std::uint32_t slot = 0; slot < slab; ++slot) {
+  live_bits_.for_each_set([&](std::uint64_t s) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(s);
     FlowSlot& fs = flow_slots_[slot];
-    if (!fs.in_use) continue;
     if (topo_changed) {
       compute_incidence(fs);
       for (std::uint8_t k = 2; k < fs.n_constraints; ++k) ++shared_users_[fs.constraints[k]];
     }
     const bool affected = !incremental_ || topo_changed || fs.comp == kNilIndex ||
                           comps_[fs.comp].dirty;
-    if (!affected) continue;
+    if (!affected) return;
     detach_from_component(fs);
     items_.push_back(SolverItem{&fs.flow, slot, 0.0, false, 0, {}, 0});
-  }
+  });
 
   bool escalated = false;
   std::size_t n_groups = 0;
@@ -554,23 +551,24 @@ void FlowNetwork::solve_epoch() {
       water_fill(group_start_[g], group_start_[g + 1] - group_start_[g]);
 
     // Phase 4 — validate shared constraints against total usage, accumulated
-    // in one canonical slab-order pass over cached + fresh rates (identical
+    // in one canonical slot-order pass over cached + fresh rates (identical
     // accumulation order whichever components were re-solved, so the
-    // escalation decision cannot diverge between ablation modes).
+    // escalation decision cannot diverge between ablation modes). Freshly
+    // solved slots are recognized by their solve-pass stamp instead of an
+    // O(slab) slot->item map rebuild.
     for (std::uint32_t c = n_local; c < cspace; ++c) usage_[c] = 0.0;
-    {
-      sorted_item_of_slot_.clear();
-      sorted_item_of_slot_.resize(slab, kNilIndex);
-      for (std::size_t i = 0; i < items_.size(); ++i)
-        sorted_item_of_slot_[items_[i].slot] = static_cast<std::uint32_t>(i);
-      for (std::uint32_t slot = 0; slot < slab; ++slot) {
-        const FlowSlot& fs = flow_slots_[slot];
-        if (!fs.in_use) continue;
-        const std::uint32_t it = sorted_item_of_slot_[slot];
-        const double r = it == kNilIndex ? fs.flow.rate : items_[it].alloc;
-        for (std::uint8_t k = 2; k < fs.n_constraints; ++k) usage_[fs.constraints[k]] += r;
-      }
+    ++solve_pass_gen_;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      FlowSlot& fs = flow_slots_[items_[i].slot];
+      fs.item_idx = static_cast<std::uint32_t>(i);
+      fs.solve_gen = solve_pass_gen_;
     }
+    live_bits_.for_each_set([&](std::uint64_t s) {
+      const FlowSlot& fs = flow_slots_[s];
+      const double r =
+          fs.solve_gen == solve_pass_gen_ ? items_[fs.item_idx].alloc : fs.flow.rate;
+      for (std::uint8_t k = 2; k < fs.n_constraints; ++k) usage_[fs.constraints[k]] += r;
+    });
     for (std::uint32_t c = n_local; c < cspace && !escalated; ++c) {
       const double cap = constraint_cap(c);
       if (std::isfinite(cap) && usage_[c] > cap + kEpsRate) escalated = true;
@@ -584,12 +582,12 @@ void FlowNetwork::solve_epoch() {
     if (escalated) {
       ++escalations_;
       items_.clear();
-      for (std::uint32_t slot = 0; slot < slab; ++slot) {
-        FlowSlot& fs = flow_slots_[slot];
-        if (!fs.in_use) continue;
+      live_bits_.for_each_set([&](std::uint64_t s) {
+        FlowSlot& fs = flow_slots_[s];
         detach_from_component(fs);  // clean components join the mega solve
-        items_.push_back(SolverItem{&fs.flow, slot, 0.0, false, 0, {}, 0});
-      }
+        items_.push_back(
+            SolverItem{&fs.flow, static_cast<std::uint32_t>(s), 0.0, false, 0, {}, 0});
+      });
       water_fill_escalated();
       n_groups = 1;
       group_start_.clear();
@@ -628,10 +626,8 @@ void FlowNetwork::solve_epoch() {
   for (SolverItem& it : items_) apply_rate(*it.f, it.alloc, it.slot);
   {
     double sum = 0.0;
-    for (std::uint32_t slot = 0; slot < slab; ++slot) {
-      const FlowSlot& fs = flow_slots_[slot];
-      if (fs.in_use) sum += fs.flow.rate;
-    }
+    live_bits_.for_each_set(
+        [&](std::uint64_t s) { sum += flow_slots_[s].flow.rate; });
     rate_sum_ = sum;
   }
 }
@@ -691,8 +687,8 @@ void FlowNetwork::on_completion_timer() {
   // equivalent to after it — but the ops must be captured while their slots
   // are still alive, and the slots must be free before the solve.
   for (std::uint32_t slot : finished_scratch_) {
-    FlowOp* op = flow_slots_[slot].op;
-    sim_.schedule(0.0, [op] { op->step(op); });
+    sim_.post([](void* p, void*) { auto* op = static_cast<FlowOp*>(p); op->step(op); },
+              flow_slots_[slot].op);
     release_flow_slot(slot);
   }
   solve_epoch();

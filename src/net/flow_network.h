@@ -94,6 +94,7 @@
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "util/bitmap.h"
 
 namespace hm::net {
 
@@ -332,11 +333,12 @@ class FlowNetwork {
     FlowOp* op = nullptr;
     std::uint32_t gen = 0;  // bumped on release; completion entries compare it
     std::uint32_t next_free = kNilIndex;
-    // Intrusive doubly-linked list of live slots, so advancing costs
-    // O(live flows), not O(peak slab size).
-    std::uint32_t live_next = kNilIndex;
-    std::uint32_t live_prev = kNilIndex;
     bool in_use = false;
+    // Position in items_ for the current solve pass (valid while solve_gen
+    // matches solve_pass_gen_): lets the shared-constraint usage pass look
+    // up a freshly solved rate without an O(slab) slot->item map rebuild.
+    std::uint32_t item_idx = 0;
+    std::uint64_t solve_gen = 0;
     // Constraint incidence, computed at arrival (rebuilt on topology
     // change): [egress(src), ingress(dst), fabric, uplink-up, uplink-down].
     std::uint32_t constraints[5] = {};
@@ -424,10 +426,13 @@ class FlowNetwork {
 
   // Slab of flow slots. A flat vector: slots hold no non-movable members
   // anymore (the done Event became the op pointer) and no reference into the
-  // slab is held across an alloc_flow_slot() call.
+  // slab is held across an alloc_flow_slot() call. Live slots are tracked in
+  // a packed bitmap so the per-epoch passes (collect, shared-usage
+  // validation, rate-sum refresh) walk live flows in canonical slot order
+  // while word-skipping dead regions, instead of touching every slab slot.
   std::vector<FlowSlot> flow_slots_;
+  util::DirtyBitmap live_bits_{0};
   std::uint32_t free_head_ = kNilIndex;
-  std::uint32_t live_head_ = kNilIndex;
   std::size_t live_flows_ = 0;
 
   // Component slab (free-listed; see struct Component).
@@ -485,7 +490,7 @@ class FlowNetwork {
   std::vector<std::uint32_t> group_start_;    // group -> first index (+ total)
   std::vector<std::uint32_t> item_order_;     // counting-sort permutation
   std::vector<std::uint32_t> scatter_pos_;
-  std::vector<std::uint32_t> sorted_item_of_slot_;  // slot -> item (usage pass)
+  std::uint64_t solve_pass_gen_ = 0;       // validates FlowSlot::item_idx
   std::vector<double> usage_;              // per shared constraint: total rate
   std::vector<double> wf_cap_;             // water-fill: remaining capacity
   std::vector<std::uint32_t> wf_users_;    //   and unfrozen users, per constraint

@@ -14,8 +14,8 @@ std::uint32_t Simulator::alloc_slot() {
   return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
-Simulator::Timer Simulator::schedule_at(double t, std::function<void()> fn) {
-  if (!(t > now_)) t = now_;
+Simulator::Timer Simulator::schedule_at(double t, SmallFn fn) {
+  if (!(t > now_)) t = now_;  // clamps past deadlines and NaN to "now"
   const std::uint32_t slot = alloc_slot();
   assert(slot < (1u << kSlotBits));           // <= 16M concurrently pending
   Slot& s = pool_[slot];
@@ -30,7 +30,16 @@ void Simulator::spawn(Task t) {
   Task::Handle h = t.release();
   if (!h) return;
   h.promise().detached = true;
-  schedule(0.0, [h] { h.resume(); });
+  post(std::coroutine_handle<>(h));
+}
+
+void Simulator::grow_fast() {
+  const std::size_t cap = fast_.empty() ? 64 : fast_.size() * 2;
+  std::vector<FastItem> next(cap);
+  for (std::size_t i = 0; i < fast_count_; ++i)
+    next[i] = fast_[(fast_head_ + i) & (fast_.size() - 1)];
+  fast_.swap(next);
+  fast_head_ = 0;
 }
 
 // 4-ary sift with a moving hole: half the depth of a binary heap and the
@@ -88,24 +97,40 @@ Simulator::HeapItem Simulator::heap_pop() {
 }
 
 bool Simulator::pop_and_run() {
-  while (pending_events() > 0) {
-    const HeapItem top = pop_item();
-    Slot& s = pool_[top.slot()];
+  for (;;) {
+    // Skip cancelled fast-lane heads (not counted as processed, mirroring
+    // cancelled slab entries).
+    while (fast_count_ > 0 && fast_[fast_head_].fn == nullptr) fast_pop();
+    const HeapItem* top = peek_item();
+    if (fast_count_ > 0) {
+      // Every pending fast entry sits at exactly now() (see FastItem), so
+      // it loses only to a timer entry at the same instant with a smaller
+      // global seq.
+      const FastItem& head = fast_[fast_head_];
+      if (top == nullptr || top->t > now_ || (top->key >> kSlotBits) > head.seq) {
+        const FastItem item = fast_pop();
+        ++processed_;
+        item.fn(item.a, item.b);
+        return true;
+      }
+    }
+    if (top == nullptr) return false;
+    const HeapItem item = pop_item();
+    Slot& s = pool_[item.slot()];
     if (s.cancelled) {
-      release_slot(top.slot());
+      release_slot(item.slot());
       continue;
     }
-    assert(top.t >= now_);
-    now_ = top.t;
+    assert(item.t >= now_);
+    now_ = item.t;
     ++processed_;
     // Move the callback out and release the slot first, so the callback can
     // re-schedule (and the pool recycle the slot) while it runs.
-    auto fn = std::move(s.fn);
-    release_slot(top.slot());
+    SmallFn fn = std::move(s.fn);
+    release_slot(item.slot());
     fn();
     return true;
   }
-  return false;
 }
 
 bool Simulator::step() { return pop_and_run(); }
@@ -116,7 +141,17 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(double t) {
-  for (const HeapItem* top; (top = peek_item()) != nullptr;) {
+  for (;;) {
+    while (fast_count_ > 0 && fast_[fast_head_].fn == nullptr) fast_pop();
+    if (fast_count_ > 0) {
+      // Pending fast entries sit at now(); run them unless the boundary is
+      // already behind the clock (matching the old t-vs-entry comparison).
+      if (now_ > t) break;
+      pop_and_run();
+      continue;
+    }
+    const HeapItem* top = peek_item();
+    if (top == nullptr) break;
     // Skip over cancelled entries without advancing time.
     if (pool_[top->slot()].cancelled) {
       release_slot(pop_item().slot());

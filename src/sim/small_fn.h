@@ -1,0 +1,106 @@
+// Small inline callable for the event core.
+//
+// The simulator schedules millions of events per sweep; giving each one a
+// std::function<void()> means a 32-byte object whose call goes through a
+// vtable-like dispatch and whose capture can silently spill to the heap.
+// SmallFn is the contract the event core actually needs: a plain function
+// pointer plus TWO WORDS of inline capture storage, checked at compile time.
+// A lambda that does not fit does not compile — there is no heap fallback —
+// so "no scheduled event ever allocates" is a property of the type, not a
+// convention. Call dispatch is one indirect call through the stored function
+// pointer (no wrapper hop).
+//
+// Move-only captures are supported: non-trivial types carry a pointer to a
+// static relocate/destroy table (one per capture type), which stays null for
+// trivially-copyable captures so the common case moves with a memcpy.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace hm::sim {
+
+class SmallFn {
+ public:
+  /// Hard capture budget: two machine words. Bigger state belongs behind a
+  /// pointer to a struct that outlives the event (see the bench helpers).
+  static constexpr std::size_t kInlineBytes = 2 * sizeof(void*);
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT: implicit like std::function
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  SmallFn(F&& f) noexcept(  // NOLINT: implicit like std::function
+      std::is_nothrow_constructible_v<std::remove_cvref_t<F>, F&&>) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "SmallFn capture exceeds two words: capture a pointer to a "
+                  "context struct that outlives the event instead");
+    static_assert(alignof(Fn) <= alignof(void*),
+                  "SmallFn capture is over-aligned for inline storage");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+    if constexpr (!(std::is_trivially_move_constructible_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      ops_ = &ops_for<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+  void operator()() { invoke_(storage_); }
+
+ private:
+  struct Ops {
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void* p) noexcept;
+  };
+  template <class Fn>
+  static constexpr Ops ops_for{
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }};
+
+  void reset() noexcept {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+    invoke_ = nullptr;
+    ops_ = nullptr;
+  }
+  void move_from(SmallFn& other) noexcept {
+    invoke_ = other.invoke_;
+    ops_ = other.ops_;
+    if (ops_ != nullptr)
+      ops_->relocate(storage_, other.storage_);
+    else
+      std::memcpy(storage_, other.storage_, kInlineBytes);
+    other.invoke_ = nullptr;
+    other.ops_ = nullptr;
+  }
+
+  void (*invoke_)(void*) = nullptr;
+  const Ops* ops_ = nullptr;  // null: trivially relocatable capture
+  alignas(void*) std::byte storage_[kInlineBytes];
+};
+
+}  // namespace hm::sim

@@ -4,29 +4,31 @@ namespace hm::sim {
 
 // Wake-all primitives drain the intrusive list first, then walk the
 // detached chain. The nodes stay valid during the walk because the woken
-// coroutines are merely scheduled (resume_later), not resumed inline.
+// continuations are merely pushed onto the simulator's fast lane, not run
+// inline.
 
 void Event::set() {
   if (set_) return;
   set_ = true;
-  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->resume_later(n->h);
+  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->post(n->fn, n->a, n->b);
 }
 
 void Notification::notify_all() {
-  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->resume_later(n->h);
+  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->post(n->fn, n->a, n->b);
 }
 
 void Gate::open() {
   if (open_) return;
   open_ = true;
-  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->resume_later(n->h);
+  for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) sim_->post(n->fn, n->a, n->b);
 }
 
 void Semaphore::release() {
   if (!waiters_.empty()) {
     // The permit is handed directly to the woken waiter (count_ stays 0),
     // which keeps the queue strictly FIFO.
-    sim_->resume_later(waiters_.pop()->h);
+    WaitNode* n = waiters_.pop();
+    sim_->post(n->fn, n->a, n->b);
     return;
   }
   ++count_;
@@ -36,7 +38,7 @@ void WaitGroup::done() {
   if (count_ > 0) --count_;
   if (count_ == 0) {
     for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next)
-      sim_->resume_later(n->h);
+      sim_->post(n->fn, n->a, n->b);
   }
 }
 
@@ -45,7 +47,7 @@ void Barrier::release_all() {
   // false); everyone queued before it — every node but the tail, which is
   // the arriver itself — is woken through the event queue.
   for (WaitNode* n = waiters_.drain(); n != nullptr; n = n->next) {
-    if (n->next != nullptr) sim_->resume_later(n->h);
+    if (n->next != nullptr) sim_->post(n->fn, n->a, n->b);
   }
 }
 

@@ -7,7 +7,11 @@
 // Waiter storage is intrusive: each awaiter embeds a WaitNode that lives in
 // the suspended coroutine's frame, so registering a waiter and waking it
 // performs no heap allocation. Nodes stay linked until the wakeup drains the
-// list (the coroutine cannot resume earlier — resume_later only enqueues).
+// list (the coroutine cannot resume earlier — wakeups only enqueue on the
+// simulator's fast lane). A WaitNode's continuation is a raw (fn, a, b)
+// fast-lane record rather than a coroutine handle, so frameless awaiters
+// (PageCache read/write, for example) can park state-machine steps in the
+// same waiter lists as coroutines and wake through the identical event.
 #pragma once
 
 #include <coroutine>
@@ -64,10 +68,19 @@ class IntrusiveQueue {
 };
 
 /// Intrusive FIFO waiter node; embedded in awaiter objects (and thus in the
-/// waiting coroutine's frame).
+/// waiting coroutine's frame). Carries a fast-lane continuation record:
+/// bind() points it at a coroutine resume, frameless awaiters point it at a
+/// state-machine step instead.
 struct WaitNode {
-  std::coroutine_handle<> h = nullptr;
+  Simulator::FastFn fn = nullptr;
+  void* a = nullptr;
+  void* b = nullptr;
   WaitNode* next = nullptr;
+
+  void bind(std::coroutine_handle<> h) noexcept {
+    fn = &Simulator::resume_thunk;
+    a = h.address();
+  }
 };
 
 using WaiterList = IntrusiveQueue<WaitNode>;
@@ -88,7 +101,7 @@ class Event {
     WaitNode node;
     bool await_ready() const noexcept { return ev.set_; }
     void await_suspend(std::coroutine_handle<> h) noexcept {
-      node.h = h;
+      node.bind(h);
       ev.waiters_.push(&node);
     }
     void await_resume() const noexcept {}
@@ -117,12 +130,16 @@ class Notification {
     WaitNode node;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) noexcept {
-      node.h = h;
+      node.bind(h);
       n.waiters_.push(&node);
     }
     void await_resume() const noexcept {}
   };
   Awaiter wait() noexcept { return Awaiter{*this, {}}; }
+
+  /// Park a frameless awaiter's step continuation until the next
+  /// notify_all() (same wake event a coroutine waiter would get).
+  void add_waiter(WaitNode* n) noexcept { waiters_.push(n); }
 
  private:
   Simulator* sim_;
@@ -147,7 +164,7 @@ class Gate {
     WaitNode node;
     bool await_ready() const noexcept { return g.open_; }
     void await_suspend(std::coroutine_handle<> h) noexcept {
-      node.h = h;
+      node.bind(h);
       g.waiters_.push(&node);
     }
     void await_resume() const noexcept {}
@@ -171,21 +188,28 @@ class Semaphore {
   struct Awaiter {
     Semaphore& s;
     WaitNode node;
-    bool await_ready() const noexcept {
-      if (s.count_ > 0 && s.waiters_.empty()) {
-        --s.count_;
-        return true;
-      }
-      return false;
-    }
+    bool await_ready() const noexcept { return s.try_acquire(); }
     void await_suspend(std::coroutine_handle<> h) noexcept {
-      node.h = h;
-      s.waiters_.push(&node);
+      node.bind(h);
+      s.add_waiter(&node);
     }
     void await_resume() const noexcept {}
   };
   Awaiter acquire() noexcept { return Awaiter{*this, {}}; }
   void release();
+
+  // Frameless-awaiter interface (same protocol the coroutine Awaiter uses):
+  // a failed try_acquire() followed by add_waiter() parks the caller; being
+  // woken from the queue means the permit is already owned (FIFO handoff —
+  // release() transfers it directly, count_ stays 0).
+  bool try_acquire() noexcept {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+  void add_waiter(WaitNode* n) noexcept { waiters_.push(n); }
 
   std::size_t available() const noexcept { return count_; }
   std::size_t queue_length() const noexcept { return waiters_.size(); }
@@ -248,13 +272,15 @@ class FifoStation {
   void start(Node* n) {
     sim_->schedule(n->service_s, [this, n] { complete(n); });
   }
+  static void handoff_thunk(void* station, void* node) {
+    static_cast<FifoStation*>(station)->start(static_cast<Node*>(node));
+  }
   void complete(Node* n) {
     if (!queue_.empty()) {
-      // Hand the server to the oldest queued request through the event
-      // queue (one zero-delay event, like a Semaphore handoff), then resume
-      // the finished caller synchronously.
-      Node* next = queue_.pop();
-      sim_->schedule(0.0, [this, next] { start(next); });
+      // Hand the server to the oldest queued request through the fast lane
+      // (one zero-delay event, like a Semaphore handoff), then resume the
+      // finished caller synchronously.
+      sim_->post(&handoff_thunk, this, queue_.pop());
     } else {
       busy_ = false;
     }
@@ -282,7 +308,7 @@ class WaitGroup {
     WaitNode node;
     bool await_ready() const noexcept { return wg.count_ == 0; }
     void await_suspend(std::coroutine_handle<> h) noexcept {
-      node.h = h;
+      node.bind(h);
       wg.waiters_.push(&node);
     }
     void await_resume() const noexcept {}
@@ -309,7 +335,7 @@ class Barrier {
     WaitNode node;
     bool await_ready() const noexcept { return b.parties_ <= 1; }
     bool await_suspend(std::coroutine_handle<> h) noexcept {
-      node.h = h;
+      node.bind(h);
       b.waiters_.push(&node);
       if (b.waiters_.size() >= b.parties_) {
         b.release_all();

@@ -19,6 +19,8 @@
 // in the awaiter, and the state updates that used to follow the co_await in
 // a coroutine body run in await_resume — same synchronous order, same event
 // sequence, but no coroutine frame and no heap allocation per chunk op.
+// Since PR 4 a queued request's handoff rides the simulator's fast lane
+// (seq-stamped ring push) instead of a scheduled timer slot.
 #pragma once
 
 #include <cassert>

@@ -8,7 +8,8 @@
 // FifoStation node embedded in the awaiter (no coroutine frame, no heap
 // allocation per I/O). The event sequence is identical to the previous
 // semaphore-guarded coroutine — one service timer per request, plus one
-// zero-delay handoff event when the request had to queue.
+// zero-delay handoff event (a fast-lane push since PR 4) when the request
+// had to queue.
 #pragma once
 
 #include <coroutine>

@@ -60,9 +60,7 @@ sim::Task PageCache::writeback_loop() {
   }
 }
 
-sim::Task PageCache::reserve_capacity() {
-  // Evict clean LRU entries; if everything resident is dirty, wait for
-  // write-back to clean something.
+bool PageCache::try_reserve_capacity() {
   while (lru_.size() >= lru_.capacity() && lru_.capacity() > 0) {
     bool evicted = false;
     // Walk the intrusive LRU list from the cold end for a clean victim
@@ -77,43 +75,55 @@ sim::Task PageCache::reserve_capacity() {
         break;
       }
     }
-    if (!evicted) co_await wb_progress_.wait();
+    if (!evicted) return false;
   }
-  co_return;
+  return true;
 }
 
-sim::Task PageCache::write_chunk(ChunkId c) {
-  assert(c < state_.size());
-  // Dirty throttling: while over the dirty limit, writers advance only as
-  // fast as write-back drains.
-  while (dirty_bytes() >= cfg_.dirty_limit_bytes) {
-    ++throttle_events_;
-    co_await wb_progress_.wait();
+// The write state machine, stepped from await_suspend and from wb_progress /
+// guest-bus wakeups. Each case mirrors one co_await of the old coroutine:
+// falling out of a case is "the await completed synchronously", returning
+// after parking `node` is "the coroutine suspended".
+void PageCache::WriteAwaiter::step() {
+  switch (st) {
+    case St::kThrottle:
+      // Dirty throttling: while over the dirty limit, writers advance only
+      // as fast as write-back drains.
+      if (pc.dirty_bytes() >= pc.cfg_.dirty_limit_bytes) {
+        ++pc.throttle_events_;
+        pc.wb_progress_.add_waiter(&node);
+        return;
+      }
+      st = St::kReserve;
+      [[fallthrough]];
+    case St::kReserve:
+      if (!pc.try_reserve_capacity()) {
+        pc.wb_progress_.add_waiter(&node);
+        return;
+      }
+      st = St::kCopy;
+      if (!pc.guest_bus_.try_acquire()) {
+        // Woken from the semaphore queue = the permit was handed to us.
+        pc.guest_bus_.add_waiter(&node);
+        return;
+      }
+      [[fallthrough]];
+    case St::kCopy:
+      pc.sim_.schedule(pc.img_.chunk_bytes / pc.cfg_.write_Bps,
+                       [self = this] { self->cont.resume(); });
+      return;
   }
-  co_await reserve_capacity();
-  co_await guest_bus_.acquire();
-  {
-    sim::SemGuard guard(guest_bus_);
-    co_await sim_.delay(img_.chunk_bytes / cfg_.write_Bps);
-  }
-  lru_.insert(c);
-  mark_dirty(c);
-  if (touch_hook_) touch_hook_(c);
 }
 
-sim::Task PageCache::read_chunk(ChunkId c) {
-  assert(c < state_.size());
-  if (state_[c] != State::kAbsent) {
-    ++hits_;
-    lru_.insert(c);
-    co_await guest_bus_.acquire();
-    sim::SemGuard guard(guest_bus_);
-    co_await sim_.delay(img_.chunk_bytes / cfg_.read_Bps);
-    co_return;
-  }
+void PageCache::ReadAwaiter::start_copy() {
+  pc.sim_.schedule(pc.img_.chunk_bytes / pc.cfg_.read_Bps,
+                   [self = this] { self->cont.resume(); });
+}
+
+sim::Task PageCache::read_miss(ChunkId c) {
   ++misses_;
   co_await backend_.backend_read_chunk(c);
-  co_await reserve_capacity();
+  while (!try_reserve_capacity()) co_await wb_progress_.wait();
   if (state_[c] == State::kAbsent) {
     state_[c] = State::kClean;
     lru_.insert(c);

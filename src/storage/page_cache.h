@@ -13,6 +13,16 @@
 // dirtying the cache dirties guest pages that the hypervisor's memory
 // pre-copy has to (re)transmit. The on_cache_touch hook wires that coupling.
 //
+// write_chunk()/read_chunk() are FRAMELESS awaitables (the PR 3 pattern,
+// applied here because the guest I/O steady state is chunk-at-a-time): the
+// awaiter embeds one WaitNode that parks a state-machine step in the same
+// throttle/eviction/bus waiter lists a coroutine would use, and the state
+// updates that used to follow each co_await run in await_resume — same
+// synchronous order, same event sequence, no coroutine frame per chunk op.
+// The read MISS path (backend fetch) still runs as one pooled coroutine,
+// started by symmetric transfer from the awaiter: misses leave the steady
+// state by definition, and the backend interface is Task-shaped.
+//
 // Dirty bookkeeping is the same epoch-stamped bitmap + round-robin cursor
 // pattern as ChunkStore's host-dirty set: mark_dirty stamps the chunk and
 // sets its bit, the write-back task scans the bitmap from a cursor
@@ -24,6 +34,7 @@
 // the rest of the dirty set.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -75,10 +86,100 @@ class PageCache {
     release_hook_ = std::move(hook);
   }
 
+ private:
+  enum class State : std::uint8_t { kAbsent, kClean, kDirty };
+
+ public:
+  /// Frameless buffered write of one full chunk. A hand-rolled state
+  /// machine over the same wait points the old coroutine suspended at —
+  /// dirty throttle, clean-eviction capacity, guest-bus FIFO, copy delay —
+  /// with the post-copy state updates (LRU insert, dirty marking, touch
+  /// hook) in await_resume. Non-copyable in effect: the embedded WaitNode's
+  /// address is registered with the waiter lists, so the object must be
+  /// awaited where it was materialized (`co_await cache.write_chunk(c)`).
+  struct [[nodiscard]] WriteAwaiter {
+    PageCache& pc;
+    ChunkId c;
+    std::coroutine_handle<> cont = nullptr;
+    sim::WaitNode node;
+    enum class St : std::uint8_t { kThrottle, kReserve, kCopy } st = St::kThrottle;
+
+    bool await_ready() const noexcept { return false; }  // the copy always suspends
+    void await_suspend(std::coroutine_handle<> h) {
+      cont = h;
+      node.fn = &step_thunk;
+      node.a = this;
+      step();
+    }
+    void await_resume() const {
+      pc.guest_bus_.release();  // the old SemGuard released here too
+      pc.lru_.insert(c);
+      pc.mark_dirty(c);
+      if (pc.touch_hook_) pc.touch_hook_(c);
+    }
+
+   private:
+    static void step_thunk(void* self, void*) {
+      static_cast<WriteAwaiter*>(self)->step();
+    }
+    void step();
+  };
+
+  /// Frameless buffered read of one full chunk. Cache hits — the steady
+  /// state — run the guest-bus + copy-delay machine with zero frames; a
+  /// miss symmetric-transfers into one pooled coroutine for the backend
+  /// fetch (see read_miss). Same awaited-in-place contract as WriteAwaiter.
+  struct [[nodiscard]] ReadAwaiter {
+    PageCache& pc;
+    ChunkId c;
+    std::coroutine_handle<> cont = nullptr;
+    sim::WaitNode node;
+    sim::Task miss;
+    bool hit = false;
+
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+      cont = h;
+      if (pc.state_[c] != State::kAbsent) {
+        hit = true;
+        ++pc.hits_;
+        pc.lru_.insert(c);
+        node.fn = &bus_thunk;
+        node.a = this;
+        if (pc.guest_bus_.try_acquire())
+          start_copy();
+        else
+          pc.guest_bus_.add_waiter(&node);
+        return std::noop_coroutine();
+      }
+      miss = pc.read_miss(c);
+      return miss.await_suspend(h);  // start the fetch, parent as continuation
+    }
+    void await_resume() {
+      if (hit) {
+        pc.guest_bus_.release();
+        return;
+      }
+      miss.await_resume();  // propagate a backend exception, if any
+    }
+
+   private:
+    static void bus_thunk(void* self, void*) {
+      static_cast<ReadAwaiter*>(self)->start_copy();
+    }
+    void start_copy();
+  };
+
   /// Buffered write of one full chunk.
-  sim::Task write_chunk(ChunkId c);
+  WriteAwaiter write_chunk(ChunkId c) noexcept {
+    assert(c < state_.size());
+    return WriteAwaiter{*this, c, nullptr, {}};
+  }
   /// Buffered read of one full chunk (miss fetches through the backend).
-  sim::Task read_chunk(ChunkId c);
+  ReadAwaiter read_chunk(ChunkId c) noexcept {
+    assert(c < state_.size());
+    return ReadAwaiter{*this, c, nullptr, {}, {}, false};
+  }
   /// fsync: wait until no dirty chunk remains, then sync the backend.
   sim::Task fsync();
   /// Drop any clean cached copy of `c` (used by failure-injection tests).
@@ -94,11 +195,12 @@ class PageCache {
   std::uint64_t throttle_events() const noexcept { return throttle_events_; }
 
  private:
-  enum class State : std::uint8_t { kAbsent, kClean, kDirty };
-
   sim::Task writeback_loop();
+  sim::Task read_miss(ChunkId c);
   void mark_dirty(ChunkId c);
-  sim::Task reserve_capacity();
+  /// Evict clean LRU entries until a slot is free. False when everything
+  /// resident is dirty (caller waits for write-back progress and retries).
+  bool try_reserve_capacity();
 
   sim::Simulator& sim_;
   BlockBackend& backend_;

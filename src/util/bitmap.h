@@ -35,6 +35,14 @@ class DirtyBitmap {
     count_ = 0;
   }
 
+  /// Grow to at least `bits` slots, PRESERVING set bits (slab-style use:
+  /// the universe only ever expands). Never shrinks.
+  void grow(std::uint64_t bits) {
+    if (bits <= bits_) return;
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+  }
+
   std::uint64_t size() const noexcept { return bits_; }
   std::uint64_t count() const noexcept { return count_; }
   bool any() const noexcept { return count_ != 0; }

@@ -18,6 +18,7 @@
 
 #include "core/hybrid_migrator.h"
 #include "core/session_fixture.h"
+#include "sim/sync.h"
 #include "storage/chunk_store.h"
 
 namespace {
@@ -111,6 +112,53 @@ TEST(AllocRegression, PullPhaseSteadyStateIsAllocationFree) {
       << "the pull-phase chunk path (request/response round trip, source "
          "read, destination write, pull-slab recycling) must not touch the "
          "heap in steady state";
+}
+
+// Wakeup-heavy steady state: every event in this scenario is a zero-delay
+// continuation (notification wakeups, FIFO semaphore handoffs, yields) plus
+// the driver's timers — i.e. the simulator's fast lane and SmallFn slots,
+// nothing else. Pins the PR 4 dispatch machinery at zero heap allocations.
+namespace {
+
+sim::Task churn_waiter(sim::Simulator* s, sim::Notification* note, sim::Semaphore* sem,
+                       std::uint64_t* wakeups) {
+  for (;;) {
+    co_await note->wait();
+    co_await sem->acquire();
+    co_await s->yield();  // fast-lane hop while holding the semaphore
+    sem->release();
+    ++*wakeups;
+  }
+}
+
+sim::Task churn_driver(sim::Simulator* s, sim::Notification* note) {
+  for (;;) {
+    co_await s->delay(1e-6);
+    note->notify_all();
+  }
+}
+
+}  // namespace
+
+TEST(AllocRegression, WakeupAndYieldChurnIsAllocationFree) {
+  sim::Simulator s;
+  sim::Notification note(s);
+  sim::Semaphore sem(s, 1);
+  std::uint64_t wakeups = 0;
+  for (int i = 0; i < 16; ++i) s.spawn(churn_waiter(&s, &note, &sem, &wakeups));
+  s.spawn(churn_driver(&s, &note));
+  // Warm-up: frame pool, fast-lane ring and event slab reach capacity.
+  step_until(s, [&] { return wakeups >= 512; });
+  ASSERT_GE(wakeups, 512u);
+
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  step_until(s, [&] { return wakeups >= 4096; });
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+
+  ASSERT_GE(wakeups, 4096u);
+  EXPECT_EQ(after - before, 0u)
+      << "notification/semaphore wakeups, FIFO handoffs and yields must ride "
+         "the fast lane without touching the heap";
 }
 
 }  // namespace

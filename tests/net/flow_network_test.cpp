@@ -121,9 +121,13 @@ TEST(FlowNetwork, RatesRecomputeWhenFlowJoins) {
   double done_1 = -1, done_2 = -1;
   f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_1, &f.s));
   // Second flow joins halfway through the first.
-  f.s.schedule(0.5, [&] {
-    f.s.spawn(xfer(&f.net, a, b, 50e6, TrafficClass::kMemory, &done_2, &f.s));
-  });
+  struct Joiner {
+    NetFixture& f;
+    NodeId a, b;
+    double* done;
+    void go() { f.s.spawn(xfer(&f.net, a, b, 50e6, TrafficClass::kMemory, done, &f.s)); }
+  } join{f, a, b, &done_2};
+  f.s.schedule(0.5, [&join] { join.go(); });
   f.s.run();
   // First: 50 MB at full rate, then shares 50/50: remaining 50 MB takes 1s.
   EXPECT_NEAR(done_1, 1.5, 1e-6);
@@ -283,10 +287,17 @@ TEST(FlowNetwork, SeparateTimestampsAreSeparateEpochs) {
   std::vector<double> done(8, -1);
   for (int i = 0; i < 4; ++i)
     f.s.spawn(xfer(&f.net, src, dsts[i], 100e6, TrafficClass::kMemory, &done[i], &f.s));
-  f.s.schedule(0.25, [&] {
-    for (int i = 4; i < 8; ++i)
-      f.s.spawn(xfer(&f.net, src, dsts[i], 100e6, TrafficClass::kMemory, &done[i], &f.s));
-  });
+  struct SecondWave {
+    NetFixture& f;
+    NodeId src;
+    std::vector<NodeId>& dsts;
+    std::vector<double>& done;
+    void go() {
+      for (int i = 4; i < 8; ++i)
+        f.s.spawn(xfer(&f.net, src, dsts[i], 100e6, TrafficClass::kMemory, &done[i], &f.s));
+    }
+  } wave{f, src, dsts, done};
+  f.s.schedule(0.25, [&wave] { wave.go(); });
   f.s.run_until(0.3);
   EXPECT_EQ(f.net.active_flows(), 8u);
   EXPECT_EQ(f.net.recompute_count(), 2u);  // one solve per arrival epoch
@@ -302,9 +313,13 @@ TEST(FlowNetwork, StaleCompletionEntryDoesNotFireEarly) {
   // halves its rate, so that heap entry is stale and must be discarded when
   // popped instead of completing the flow at the old time.
   f.s.spawn(xfer(&f.net, a, b, 100e6, TrafficClass::kMemory, &done_1, &f.s));
-  f.s.schedule(0.5, [&] {
-    f.s.spawn(xfer(&f.net, a, b, 50e6, TrafficClass::kMemory, &done_2, &f.s));
-  });
+  struct Joiner {
+    NetFixture& f;
+    NodeId a, b;
+    double* done;
+    void go() { f.s.spawn(xfer(&f.net, a, b, 50e6, TrafficClass::kMemory, done, &f.s)); }
+  } join{f, a, b, &done_2};
+  f.s.schedule(0.5, [&join] { join.go(); });
   f.s.run_until(1.0);
   EXPECT_EQ(f.net.active_flows(), 2u);  // the t=1 projection was invalidated
   EXPECT_DOUBLE_EQ(done_1, -1);

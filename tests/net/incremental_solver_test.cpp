@@ -61,20 +61,31 @@ RunLog run_scenario(const Topology& topo, const std::vector<FlowSpec>& flows,
 
   RunLog log;
   log.completions.assign(flows.size(), -1.0);
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    s.schedule(flows[i].start, [&, i] {
+  // Scenario context behind one pointer: schedule callbacks must fit
+  // SmallFn's two-word capture budget.
+  struct Ctx {
+    sim::Simulator& s;
+    FlowNetwork& net;
+    const std::vector<FlowSpec>& flows;
+    const std::vector<NodeId>& nodes;
+    RunLog& log;
+    void launch(std::size_t i) {
       s.spawn(run_flow(&net, &flows[i], &log.completions[i], &s));
-    });
+    }
+    void probe() {
+      for (NodeId a = 0; a < nodes.size(); ++a)
+        for (NodeId b = 0; b < nodes.size(); ++b)
+          if (a != b) log.rate_samples.push_back(net.flow_rate(a, b));
+    }
+  } ctx{s, net, flows, nodes, log};
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    s.schedule(flows[i].start, [c = &ctx, i] { c->launch(i); });
   }
   // Probe the full pair-rate matrix at fixed virtual times: these reads hit
   // the cached rates of clean components, which is exactly what must be
   // byte-identical between the ablation arms.
   for (int probe = 1; probe <= 8; ++probe) {
-    s.schedule(probe * 0.7, [&] {
-      for (NodeId a = 0; a < nodes.size(); ++a)
-        for (NodeId b = 0; b < nodes.size(); ++b)
-          if (a != b) log.rate_samples.push_back(net.flow_rate(a, b));
-    });
+    s.schedule(probe * 0.7, [c = &ctx] { c->probe(); });
   }
   s.run();
   log.recomputes = net.recompute_count();
@@ -198,7 +209,13 @@ TEST(IncrementalSolver, DisjointArrivalTouchesOnlyItsComponent) {
   s.run_until(1.0);
   EXPECT_EQ(net.component_count(), 1u);
   const std::uint64_t touched_before = net.touched_flow_count();
-  s.schedule(0.5, [&] { s.spawn(xfer(&net, c, d, 500e6)); });  // at t=1.5
+  struct Joiner {
+    sim::Simulator& s;
+    FlowNetwork& net;
+    NodeId x, y;
+    void go() { s.spawn(xfer(&net, x, y, 500e6)); }
+  } join{s, net, c, d};
+  s.schedule(0.5, [&join] { join.go(); });  // at t=1.5
   s.run_until(2.0);
   // The newcomer shares no constraint with the a->b component: exactly one
   // flow re-solved, the cached component untouched.
@@ -218,7 +235,13 @@ TEST(IncrementalSolver, SharedEndpointMergesComponents) {
   const std::uint64_t touched_before = net.touched_flow_count();
   // Joins through the shared source NIC: the existing flow must be
   // re-solved too (its fair share halves).
-  s.schedule(0.5, [&] { s.spawn(xfer(&net, a, c, 800e6)); });  // at t=1.5
+  struct Joiner {
+    sim::Simulator& s;
+    FlowNetwork& net;
+    NodeId x, y;
+    void go() { s.spawn(xfer(&net, x, y, 800e6)); }
+  } join{s, net, a, c};
+  s.schedule(0.5, [&join] { join.go(); });  // at t=1.5
   s.run_until(2.0);
   EXPECT_EQ(net.touched_flow_count() - touched_before, 2u);
   EXPECT_EQ(net.component_count(), 1u);

@@ -190,15 +190,22 @@ TEST(Simulator, OutOfOrderSchedulingInterleavesLanes) {
 // growing, and the clock must stay monotone across lane switches.
 TEST(Simulator, PoolRecyclingUnderChainedScheduling) {
   Simulator s;
-  int remaining = 10000;
-  double last = -1;
-  std::function<void()> hop = [&] {
-    EXPECT_GE(s.now(), last);
-    last = s.now();
-    if (--remaining > 0) s.schedule(static_cast<double>(remaining % 7) * 1e-3, hop);
-  };
-  s.schedule(0.0, hop);
+  // Hop state lives in one struct so each event's callback is a single
+  // pointer capture (SmallFn's two-word budget).
+  struct Chain {
+    Simulator& s;
+    int remaining = 10000;
+    double last = -1;
+    void hop() {
+      EXPECT_GE(s.now(), last);
+      last = s.now();
+      if (--remaining > 0)
+        s.schedule(static_cast<double>(remaining % 7) * 1e-3, [this] { hop(); });
+    }
+  } chain{s};
+  s.schedule(0.0, [&chain] { chain.hop(); });
   s.run();
+  const int remaining = chain.remaining;
   EXPECT_EQ(remaining, 0);
   EXPECT_EQ(s.events_processed(), 10000u);
   EXPECT_EQ(s.pending_events(), 0u);
@@ -212,6 +219,154 @@ TEST(Simulator, PendingEventsTracksQueue) {
   a.cancel();
   s.run();
   EXPECT_EQ(s.pending_events(), 0u);
+}
+
+// --- fast lane ---------------------------------------------------------------
+
+namespace {
+void push_tag(void* vec, void* tag) {
+  static_cast<std::vector<int>*>(vec)->push_back(
+      static_cast<int>(reinterpret_cast<std::intptr_t>(tag)));
+}
+void bump(void* counter, void*) { ++*static_cast<int*>(counter); }
+}  // namespace
+
+// All three lanes holding events at ONE timestamp must drain in global
+// schedule order (FIFO by seq), regardless of which lane each landed in.
+TEST(Simulator, SameTimestampFifoAcrossAllThreeLanes) {
+  Simulator s;
+  std::vector<int> order;
+  struct Ctx {
+    Simulator& s;
+    std::vector<int>& order;
+  } ctx{s, order};
+  // seq 0: tail entry at t=1 that fans out into the other lanes when run.
+  s.schedule(1.0, [&ctx] {
+    ctx.order.push_back(1);
+    // The tail's newest entry is the t=5 event, so these zero-delay
+    // schedules are out-of-order and land in the HEAP...
+    ctx.s.schedule(0.0, [&ctx] { ctx.order.push_back(3); });
+    // ...while posts land in the fast lane's ring.
+    ctx.s.post(&push_tag, &ctx.order, reinterpret_cast<void*>(4));
+    ctx.s.schedule(0.0, [&ctx] { ctx.order.push_back(5); });
+    ctx.s.post(&push_tag, &ctx.order, reinterpret_cast<void*>(6));
+  });
+  s.schedule(5.0, [&ctx] { ctx.order.push_back(7); });  // seq 1: tail, future
+  s.schedule(1.0, [&ctx] { ctx.order.push_back(2); });  // seq 2: heap (out of order)
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, PostsRunAtCurrentTimeBeforeLaterTimers) {
+  Simulator s;
+  s.schedule(2.0, [] {});
+  s.run();  // advance to t=2
+  std::vector<int> order;
+  s.post(&push_tag, &order, reinterpret_cast<void*>(1));
+  s.schedule(1.0, [&order] { order.push_back(2); });
+  s.post(&push_tag, &order, reinterpret_cast<void*>(3));
+  s.run();
+  // Posts run at t=2 (in push order), the timer at t=3.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, PendingEventsCountsFastLane) {
+  Simulator s;
+  int count = 0;
+  s.post(&bump, &count);
+  s.post(&bump, &count);
+  s.schedule(1.0, [] {});
+  EXPECT_EQ(s.pending_events(), 3u);
+  s.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelledFastLaneEntryDoesNotRunOrCount) {
+  Simulator s;
+  int cancelled_fired = 0, other_fired = 0;
+  Simulator::Timer t = s.post_cancellable(&bump, &cancelled_fired);
+  s.post(&bump, &other_fired);
+  EXPECT_TRUE(t.active());
+  t.cancel();
+  EXPECT_FALSE(t.active());
+  s.run();
+  EXPECT_EQ(cancelled_fired, 0);
+  EXPECT_EQ(other_fired, 1);
+  // Cancelled fast entries are skipped without counting, like cancelled
+  // timer-slot entries.
+  EXPECT_EQ(s.events_processed(), 1u);
+}
+
+TEST(Simulator, FastLaneTimerInactiveAfterFiring) {
+  Simulator s;
+  int fired = 0;
+  Simulator::Timer t = s.post_cancellable(&bump, &fired);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.active());
+}
+
+// Fast-lane indices never recycle, so a stale handle can neither cancel nor
+// report active for an entry pushed later (unlike a ring-slot scheme).
+TEST(Simulator, StaleFastLaneHandleIsInert) {
+  Simulator s;
+  int first = 0, second = 0;
+  Simulator::Timer t1 = s.post_cancellable(&bump, &first);
+  s.run();
+  EXPECT_EQ(first, 1);
+  Simulator::Timer t2 = s.post_cancellable(&bump, &second);
+  t1.cancel();  // stale: must not touch the new entry
+  EXPECT_TRUE(t2.active());
+  s.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, FastLaneSurvivesRingGrowth) {
+  Simulator s;
+  std::vector<int> order;
+  // Push far past the initial ring capacity in one burst; FIFO must hold.
+  for (int i = 0; i < 1000; ++i)
+    s.post(&push_tag, &order, reinterpret_cast<void*>(static_cast<std::intptr_t>(i)));
+  s.run();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilDrainsFastLaneAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  // The t=1 event posts a zero-delay continuation; run_until(1.0) must run
+  // it (it sits at t=1, not after it).
+  struct Ctx {
+    Simulator& s;
+    int& fired;
+  } ctx{s, fired};
+  s.schedule(1.0, [&ctx] { ctx.s.post(&bump, &ctx.fired); });
+  s.run_until(1.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+namespace {
+Task yield_once(Simulator* s, std::vector<int>* order, int tag) {
+  co_await s->yield();
+  order->push_back(tag);
+}
+}  // namespace
+
+// yield() must queue behind events already pending at the same instant
+// (its handle goes through the fast lane, in global seq order).
+TEST(Simulator, YieldQueuesBehindSameInstantEvents) {
+  Simulator s;
+  std::vector<int> order;
+  s.spawn(yield_once(&s, &order, 1));              // seq 0: start the coroutine
+  s.schedule(0.0, [&order] { order.push_back(2); });  // seq 1
+  s.run();
+  // The spawned coroutine starts first but its yield re-queues it (seq 2)
+  // behind the scheduled event.
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+#include "sim/small_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hm::sim {
+namespace {
+
+// Instance-counting capture for destruction-timing assertions. The move
+// constructor counts too: both source and target are alive until the source
+// is destroyed (SmallFn's relocate destroys it immediately).
+struct Token {
+  static int live;
+  Token() { ++live; }
+  Token(const Token&) { ++live; }
+  Token(Token&&) noexcept { ++live; }
+  ~Token() { --live; }
+};
+int Token::live = 0;
+
+TEST(SmallFn, DefaultIsEmpty) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  SmallFn null_fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(SmallFn, InvokesCapturelessLambda) {
+  static int calls;
+  calls = 0;
+  SmallFn fn = [] { ++calls; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();  // re-invocable, like std::function
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFn, CapturesUpToTwoWords) {
+  int a = 0, b = 0;
+  // Exactly kInlineBytes of capture (two pointers): the documented maximum.
+  SmallFn fn = [pa = &a, pb = &b] {
+    ++*pa;
+    *pb += 2;
+  };
+  static_assert(SmallFn::kInlineBytes == 2 * sizeof(void*));
+  fn();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(SmallFn, MoveOnlyCaptureIsSupported) {
+  int out = 0;
+  auto p = std::make_unique<int>(41);
+  SmallFn fn = [q = std::move(p), &out] { out = *q + 1; };
+  EXPECT_EQ(p, nullptr);  // ownership moved into the callable
+  fn();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(SmallFn, MoveTransfersCaptureOwnership) {
+  Token::live = 0;
+  {
+    SmallFn a = [t = Token{}] { (void)t; };
+    EXPECT_EQ(Token::live, 1);
+    SmallFn b = std::move(a);
+    EXPECT_EQ(Token::live, 1);  // relocated, not duplicated
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(b));
+  }
+  EXPECT_EQ(Token::live, 0);
+}
+
+TEST(SmallFn, NullAssignmentDestroysCapturePromptly) {
+  Token::live = 0;
+  SmallFn fn = [t = Token{}] { (void)t; };
+  EXPECT_EQ(Token::live, 1);
+  fn = nullptr;  // the event core drops captured state on slot release
+  EXPECT_EQ(Token::live, 0);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFn, ReassignmentDestroysPreviousCapture) {
+  Token::live = 0;
+  SmallFn fn = [t = Token{}] { (void)t; };
+  int called = 0;
+  fn = [&called] { ++called; };
+  EXPECT_EQ(Token::live, 0);  // old capture gone the moment it was replaced
+  fn();
+  EXPECT_EQ(called, 1);
+}
+
+TEST(SmallFn, MoveAssignmentDestroysTargetCapture) {
+  Token::live = 0;
+  SmallFn a = [t = Token{}] { (void)t; };
+  SmallFn b = [t = Token{}] { (void)t; };
+  EXPECT_EQ(Token::live, 2);
+  a = std::move(b);
+  EXPECT_EQ(Token::live, 1);
+}
+
+// Scheduled-event lifecycle: the capture must be gone once the event ran
+// (the slot is released and the moved-out callable destroyed), and a
+// cancelled event's capture must be gone once its entry drains.
+TEST(SmallFn, SimulatorDropsCaptureAfterRunAndAfterCancelDrain) {
+  Token::live = 0;
+  Simulator s;
+  s.schedule(1.0, [t = Token{}] { (void)t; });
+  auto cancelled = s.schedule(2.0, [t = Token{}] { (void)t; });
+  EXPECT_EQ(Token::live, 2);
+  cancelled.cancel();
+  s.run();
+  EXPECT_EQ(Token::live, 0);
+}
+
+}  // namespace
+}  // namespace hm::sim

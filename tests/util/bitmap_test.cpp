@@ -117,5 +117,22 @@ TEST(DirtyBitmap, MatchesReferenceModelUnderChurn) {
   EXPECT_EQ(got, std::vector<std::uint64_t>(ref.begin(), ref.end()));
 }
 
+TEST(DirtyBitmap, GrowPreservesSetBits) {
+  DirtyBitmap bm(10);
+  bm.set(3);
+  bm.set(9);
+  bm.grow(200);  // crosses several word boundaries
+  EXPECT_EQ(bm.size(), 200u);
+  EXPECT_EQ(bm.count(), 2u);
+  EXPECT_TRUE(bm.test(3));
+  EXPECT_TRUE(bm.test(9));
+  EXPECT_FALSE(bm.test(150));
+  bm.set(199);
+  EXPECT_EQ(bm.count(), 3u);
+  bm.grow(50);  // never shrinks
+  EXPECT_EQ(bm.size(), 200u);
+  EXPECT_TRUE(bm.test(199));
+}
+
 }  // namespace
 }  // namespace hm::util

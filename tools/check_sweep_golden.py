@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Diff a fig4_scale_sweep JSON against a committed golden, ignoring wall time.
+
+Every virtual-time field (events, sim_s, traffic, migration times, solver
+counters, frame counters) must match the golden EXACTLY: the engine's
+determinism contract says identical configuration => identical virtual
+timeline, so any drift here is a behavioural regression hiding behind
+wall-clock noise. Wall-derived fields (wall_ms, events_per_sec,
+flows_per_sec) are host-dependent and excluded.
+
+Usage: check_sweep_golden.py <golden.json> <fresh.json>
+Exit status 0 on match, 1 with a per-field diff otherwise.
+"""
+import json
+import sys
+
+WALL_FIELDS = {"wall_ms", "events_per_sec", "flows_per_sec"}
+
+
+def strip(rows):
+    return [{k: v for k, v in row.items() if k not in WALL_FIELDS} for row in rows]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        golden = strip(json.load(f))
+    with open(sys.argv[2]) as f:
+        fresh = strip(json.load(f))
+    ok = True
+    if len(golden) != len(fresh):
+        print(f"row count differs: golden {len(golden)} vs fresh {len(fresh)}")
+        ok = False
+    for g, s in zip(golden, fresh):
+        scale = g.get("concurrent_migrations", "?")
+        for key in sorted(set(g) | set(s)):
+            if g.get(key) != s.get(key):
+                print(f"n={scale} {key}: golden {g.get(key)!r} != fresh {s.get(key)!r}")
+                ok = False
+    if ok:
+        print(f"OK: {sys.argv[2]} matches {sys.argv[1]} in every virtual-time field")
+        return 0
+    print("virtual-time drift detected: if this change is INTENDED to alter "
+          "simulated behaviour, regenerate the goldens under tests/golden/")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

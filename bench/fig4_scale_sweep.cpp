@@ -27,8 +27,18 @@
 // chunk streams the way any real fleet is desynced, so each settle epoch
 // carries churn from O(1) migrations and component caching pays off.
 //
+// The fourth argument selects the workload axis: the default AsyncWR
+// generator, or a trace regime ("trace:zipf", "trace:phase:dur=30",
+// "trace:file=PATH", ... — any spec parse_trace_spec accepts). Trace
+// regimes replay a single-source dirty-page/dirty-chunk stream broadcast to
+// every VM, opening the sweep to skewed/bursty/phase-shifting write
+// patterns the closed-form workloads cannot produce; generated traces are
+// seeded from the experiment seed, so trace sweeps carry the same
+// determinism contract (and CI golden gate) as the AsyncWR ones.
+//
 // Usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking] [stagger_s]
-//        (defaults: 256 oversub 0)
+//                         [asyncwr|trace:SPEC]
+//        (defaults: 256 oversub 0 asyncwr)
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -44,7 +54,8 @@ namespace {
 // Paper network parameters, but a leaner per-VM footprint so the 256-way
 // point stays a seconds-scale run: the sweep stresses the engine (flow
 // churn, solver pressure), not the figure's absolute migration times.
-cloud::ExperimentConfig scale_config(std::size_t n, bool nonblocking, double stagger_s) {
+cloud::ExperimentConfig scale_config(std::size_t n, bool nonblocking, double stagger_s,
+                                     const std::string& workload) {
   cloud::ExperimentConfig cfg = asyncwr_config(core::Approach::kHybrid);
   cfg.cluster.image = storage::ImageConfig{1 * kGiB, 256 * static_cast<std::uint32_t>(kKiB)};
   cfg.vm.memory.ram_bytes = 1 * kGiB;
@@ -53,6 +64,27 @@ cloud::ExperimentConfig scale_config(std::size_t n, bool nonblocking, double sta
   cfg.vm.cache.dirty_limit_bytes = 256 * kMiB;
   cfg.asyncwr.iterations = 300;
   cfg.asyncwr.file_offset = 256 * kMiB;  // must stay inside the 1 GiB image
+  if (workload != "asyncwr") {
+    cfg.workload = cloud::WorkloadKind::kTrace;
+    // Geometry tuned to the sweep VMs (1 GiB image / 1 GiB RAM): a 128 MiB
+    // anon working set of 256 KiB pages and a 256 MiB file region, with
+    // AsyncWR-comparable pressure over a 60 s stream. The spec string can
+    // override any of it.
+    cfg.trace.gen.page_bytes = 256 * kKiB;
+    cfg.trace.gen.pages = 512;
+    cfg.trace.gen.chunk_bytes = 256 * static_cast<std::uint32_t>(kKiB);
+    cfg.trace.gen.chunks = 1024;
+    cfg.trace.gen.file_offset = 256 * kMiB;
+    cfg.trace.gen.duration_s = 60.0;
+    cfg.trace.gen.dt_s = 0.25;
+    cfg.trace.gen.mem_dirty_Bps = 12e6;
+    cfg.trace.gen.chunk_write_Bps = 6e6;
+    std::string err;
+    if (!workloads::parse_trace_spec(workload, &cfg.trace, &err)) {
+      std::cerr << "fig4_scale_sweep: " << err << "\n";
+      std::exit(2);
+    }
+  }
   cfg.first_migration_at = 20.0;
   if (nonblocking) {
     cfg.cluster.network.fabric_Bps = net::kUnlimitedRate;
@@ -80,23 +112,31 @@ int main(int argc, char** argv) {
       nonblocking = true;
     } else if (std::strcmp(argv[2], "oversub") != 0) {
       std::cerr << "usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking]"
-                   " [stagger_s]\n";
+                   " [stagger_s] [asyncwr|trace:SPEC]\n";
       return 2;
     }
   }
   const double stagger_s = argc > 3 ? std::strtod(argv[3], nullptr) : 0.0;
+  const std::string workload = argc > 4 ? argv[4] : "asyncwr";
   std::cout << "[\n";
   bool first = true;
   for (std::size_t n = 2; n <= max_n; n *= 2) {
-    cloud::Experiment exp(scale_config(n, nonblocking, stagger_s));
+    cloud::Experiment exp(scale_config(n, nonblocking, stagger_s, workload));
     const ExperimentResult r = exp.run();
+    if (!r.error.empty()) {
+      std::cerr << "fig4_scale_sweep: " << r.error << "\n";
+      return 1;
+    }
     const double wall_s = r.wall_ms / 1e3;
     const double epochs = r.engine_recomputes ? static_cast<double>(r.engine_recomputes) : 1.0;
     if (!first) std::cout << ",\n";
     first = false;
     std::cout << "  {\"concurrent_migrations\": " << n
-              << ", \"core\": \"" << (nonblocking ? "nonblocking" : "oversub") << "\""
-              << ", \"stagger_s\": " << stagger_s
+              << ", \"core\": \"" << (nonblocking ? "nonblocking" : "oversub") << "\"";
+    // The workload field appears only for non-default regimes, keeping the
+    // committed AsyncWR goldens byte-compatible.
+    if (workload != "asyncwr") std::cout << ", \"workload\": \"" << workload << "\"";
+    std::cout << ", \"stagger_s\": " << stagger_s
               << ", \"completed\": " << (r.completed ? "true" : "false")
               << ", \"sim_s\": " << r.sim_duration
               << ", \"wall_ms\": " << r.wall_ms

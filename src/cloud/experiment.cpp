@@ -14,6 +14,7 @@ const char* workload_name(WorkloadKind k) noexcept {
     case WorkloadKind::kIor: return "IOR";
     case WorkloadKind::kAsyncWr: return "AsyncWR";
     case WorkloadKind::kCm1: return "CM1";
+    case WorkloadKind::kTrace: return "trace";
   }
   return "?";
 }
@@ -37,6 +38,11 @@ sim::Task run_and_signal(workloads::Workload* w, vm::VmInstance* v, sim::WaitGro
 }
 
 sim::Task run_cm1_and_signal(workloads::Cm1Application* app, sim::WaitGroup* wg) {
+  co_await app->run_all();
+  wg->done();
+}
+
+sim::Task run_trace_and_signal(workloads::TraceApplication* app, sim::WaitGroup* wg) {
   co_await app->run_all();
   wg->done();
 }
@@ -75,10 +81,31 @@ ExperimentResult Experiment::run() {
   for (std::size_t i = 0; i < n_vms; ++i)
     vms.push_back(&mw.deploy(static_cast<net::NodeId>(i), cfg_.vm));
 
+  ExperimentResult res;
+
+  // --- trace recording (passive observation of the workload API) ----------
+  std::unique_ptr<workloads::TraceRecorder> recorder_owned;
+  workloads::TraceRecorder* recorder = cfg_.trace_recorder;
+  if (recorder == nullptr && !cfg_.record_trace_path.empty()) {
+    workloads::TraceHeader hdr;
+    hdr.page_bytes = cfg_.vm.memory.page_bytes;
+    hdr.chunk_bytes = cfg_.cluster.image.chunk_bytes;
+    hdr.pages = (cfg_.vm.memory.ram_bytes + cfg_.vm.memory.page_bytes - 1) /
+                cfg_.vm.memory.page_bytes;
+    hdr.chunks = cfg_.cluster.image.num_chunks();
+    hdr.name = std::string("rec:") + workload_name(cfg_.workload);
+    recorder_owned = std::make_unique<workloads::TraceRecorder>(hdr);
+    recorder = recorder_owned.get();
+  }
+  if (recorder != nullptr)
+    for (auto* v : vms) recorder->attach(*v);
+
   // --- workloads -----------------------------------------------------------
   sim::WaitGroup workload_done(simulator);
   std::vector<std::unique_ptr<workloads::Workload>> single_vm_workloads;
   std::unique_ptr<workloads::Cm1Application> cm1_app;
+  std::unique_ptr<workloads::TraceData> trace_owned;
+  std::unique_ptr<workloads::TraceApplication> trace_app;
   double workload_started_at = simulator.now();
   switch (cfg_.workload) {
     case WorkloadKind::kNone:
@@ -103,6 +130,27 @@ ExperimentResult Experiment::run() {
       workload_done.add();
       simulator.spawn(run_cm1_and_signal(cm1_app.get(), &workload_done));
       break;
+    case WorkloadKind::kTrace: {
+      workloads::TraceReplayOptions opts;
+      opts.broadcast = cfg_.trace.broadcast;
+      if (cfg_.trace.data != nullptr) {
+        trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
+                                                                  *cfg_.trace.data, opts);
+      } else if (!cfg_.trace.path.empty()) {
+        // One streaming reader drives every VM: bounded memory even for
+        // long traces at high VM counts.
+        trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
+                                                                  cfg_.trace.path, opts);
+      } else {
+        trace_owned = std::make_unique<workloads::TraceData>(
+            workloads::generate_trace(cfg_.trace.gen, cfg_.seed));
+        trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
+                                                                  *trace_owned, opts);
+      }
+      workload_done.add();
+      simulator.spawn(run_trace_and_signal(trace_app.get(), &workload_done));
+      break;
+    }
   }
 
   // --- migration schedule ---------------------------------------------------
@@ -124,7 +172,6 @@ ExperimentResult Experiment::run() {
   }
 
   // --- run -------------------------------------------------------------------
-  ExperimentResult res;
   auto finished = [&] {
     return workload_done.count() == 0 && migrations_done.count() == 0;
   };
@@ -141,6 +188,18 @@ ExperimentResult Experiment::run() {
                     .count();
 
   // --- collect ----------------------------------------------------------------
+  if (trace_app && trace_app->failed()) {
+    res.error = trace_app->error();
+    res.completed = false;
+  }
+  if (recorder != nullptr && recorder->failed() && res.error.empty())
+    res.error = recorder->error();
+  if (recorder_owned) {
+    std::string werr;
+    if (!write_trace(cfg_.record_trace_path, recorder_owned->data(), &werr) &&
+        res.error.empty())
+      res.error = werr;
+  }
   res.approach = core::approach_name(cfg_.approach);
   res.workload = workload_name(cfg_.workload);
   res.sim_duration = simulator.now();

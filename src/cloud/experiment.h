@@ -15,10 +15,11 @@
 #include "workloads/asyncwr.h"
 #include "workloads/cm1.h"
 #include "workloads/ior.h"
+#include "workloads/trace_gen.h"
 
 namespace hm::cloud {
 
-enum class WorkloadKind : std::uint8_t { kNone, kIor, kAsyncWr, kCm1 };
+enum class WorkloadKind : std::uint8_t { kNone, kIor, kAsyncWr, kCm1, kTrace };
 const char* workload_name(WorkloadKind k) noexcept;
 
 struct ExperimentConfig {
@@ -31,6 +32,18 @@ struct ExperimentConfig {
   workloads::IorConfig ior{};
   workloads::AsyncWrConfig asyncwr{};
   workloads::Cm1Config cm1{};
+  /// kTrace source: in-memory data, a trace file (replayed by one streaming
+  /// reader with bounded memory), or a generator spec (seeded from `seed`).
+  workloads::TraceSourceConfig trace{};
+
+  /// Attach this recorder to every deployed VM: the run's workload-API call
+  /// stream becomes a replayable trace (caller owns the recorder and reads
+  /// its data() after run()). Recording is passive — the timeline is
+  /// unchanged.
+  workloads::TraceRecorder* trace_recorder = nullptr;
+  /// Convenience: record the run into this trace file (experiment owns the
+  /// recorder; a write failure lands in ExperimentResult::error).
+  std::string record_trace_path;
 
   /// Number of source VMs (CM1 overrides this with its rank count).
   std::size_t num_vms = 1;
@@ -58,6 +71,9 @@ struct ExperimentResult {
   std::string workload;
   double sim_duration = 0;
   bool completed = true;  // false if the max_sim_time guard hit
+  /// Non-empty on a workload-axis failure (malformed trace, record/write
+  /// error); such runs also clear `completed`.
+  std::string error;
 
   std::vector<core::MigrationRecord> migrations;
   double total_migration_time = 0;

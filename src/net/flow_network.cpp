@@ -44,7 +44,7 @@ const char* traffic_class_name(TrafficClass cls) noexcept {
 FlowNetwork::FlowNetwork(sim::Simulator& sim, FlowNetworkConfig cfg)
     : sim_(sim),
       cfg_(cfg),
-      incremental_(incremental_default()),
+      incremental_(cfg.incremental < 0 ? incremental_default() : cfg.incremental != 0),
       trace_solver_(std::getenv("HM_TRACE_SOLVER") != nullptr) {
   groups_.push_back(Group{kUnlimitedRate});  // group 0: flat network default
   pair_rates_.reserve(64);

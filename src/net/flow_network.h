@@ -122,6 +122,11 @@ struct FlowNetworkConfig {
   double fabric_Bps = 8.0e9;     // aggregate switch capacity
   double latency_s = 100e-6;     // one-way message latency (paper: ~0.1 ms)
   double loopback_Bps = 8.0e9;   // same-node transfers (not counted as traffic)
+  /// Incremental component-scoped solving: -1 = follow the
+  /// ABLATE_INCREMENTAL env var (default on), 0 = off (full re-solve each
+  /// epoch), 1 = on. Lets harnesses pin the regime per experiment instead
+  /// of process-wide (e.g. the record→replay equivalence tests).
+  int incremental = -1;
 };
 
 using SwitchGroupId = std::uint32_t;

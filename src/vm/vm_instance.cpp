@@ -34,6 +34,8 @@ VmInstance::VmInstance(sim::Simulator& sim, Cluster& cluster, net::NodeId home, 
 }
 
 sim::Task VmInstance::compute(double seconds, double dirty_Bps, std::uint64_t ws_bytes) {
+  const std::uint32_t lane =
+      observer_ ? observer_->on_compute(*this, seconds, dirty_Bps, ws_bytes) : 0;
   double rem = seconds;
   while (rem > 0) {
     co_await run_gate_.wait_open();
@@ -49,10 +51,12 @@ sim::Task VmInstance::compute(double seconds, double dirty_Bps, std::uint64_t ws
                            static_cast<std::uint64_t>(dirty_Bps * dt), rng_);
     }
   }
+  if (observer_) observer_->on_op_end(*this, lane);
 }
 
 sim::Task VmInstance::file_write(std::uint64_t offset, std::uint64_t len) {
   if (len == 0) co_return;
+  const std::uint32_t lane = observer_ ? observer_->on_file_write(*this, offset, len) : 0;
   const std::uint32_t chunk = cluster_.config().image.chunk_bytes;
   const storage::ChunkId first = static_cast<storage::ChunkId>(offset / chunk);
   const storage::ChunkId last = static_cast<storage::ChunkId>((offset + len - 1) / chunk);
@@ -63,10 +67,12 @@ sim::Task VmInstance::file_write(std::uint64_t offset, std::uint64_t len) {
   }
   io_.bytes_written += static_cast<double>(len);
   io_.write_time_s += sim_.now() - t0;
+  if (observer_) observer_->on_op_end(*this, lane);
 }
 
 sim::Task VmInstance::file_read(std::uint64_t offset, std::uint64_t len) {
   if (len == 0) co_return;
+  const std::uint32_t lane = observer_ ? observer_->on_file_read(*this, offset, len) : 0;
   const std::uint32_t chunk = cluster_.config().image.chunk_bytes;
   const storage::ChunkId first = static_cast<storage::ChunkId>(offset / chunk);
   const storage::ChunkId last = static_cast<storage::ChunkId>((offset + len - 1) / chunk);
@@ -77,12 +83,18 @@ sim::Task VmInstance::file_read(std::uint64_t offset, std::uint64_t len) {
   }
   io_.bytes_read += static_cast<double>(len);
   io_.read_time_s += sim_.now() - t0;
+  if (observer_) observer_->on_op_end(*this, lane);
 }
 
-sim::Task VmInstance::fsync() { co_await cache_.fsync(); }
+sim::Task VmInstance::fsync() {
+  const std::uint32_t lane = observer_ ? observer_->on_fsync(*this) : 0;
+  co_await cache_.fsync();
+  if (observer_) observer_->on_op_end(*this, lane);
+}
 
 void VmInstance::drop_file_cache(std::uint64_t offset, std::uint64_t len) {
   if (len == 0) return;
+  if (observer_) observer_->on_drop_cache(*this, offset, len);
   const std::uint32_t chunk = cluster_.config().image.chunk_bytes;
   const storage::ChunkId first = static_cast<storage::ChunkId>(offset / chunk);
   const storage::ChunkId last = static_cast<storage::ChunkId>((offset + len - 1) / chunk);

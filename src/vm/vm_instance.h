@@ -16,6 +16,7 @@
 #include "storage/page_cache.h"
 #include "vm/compute_node.h"
 #include "vm/memory.h"
+#include "vm/workload_observer.h"
 
 namespace hm::vm {
 
@@ -73,6 +74,18 @@ class VmInstance {
   /// Offset of the anonymous working-set region in guest memory.
   std::uint64_t anon_region_offset() const noexcept { return cfg_.memory.base_used_bytes; }
 
+  // --- workload observation (trace recording) --------------------------------
+  /// Attach an observer that sees every workload-API call (null detaches).
+  /// `trace_vm` is the observer's index for this VM (e.g. the trace vm
+  /// field a recorder stamps into records). Pure observation: attaching an
+  /// observer never changes the simulated timeline.
+  void set_observer(WorkloadObserver* o, std::uint32_t trace_vm = 0) noexcept {
+    observer_ = o;
+    trace_vm_ = trace_vm;
+  }
+  WorkloadObserver* observer() const noexcept { return observer_; }
+  std::uint32_t trace_vm() const noexcept { return trace_vm_; }
+
  private:
   sim::Simulator& sim_;
   Cluster& cluster_;
@@ -86,6 +99,8 @@ class VmInstance {
   double cpu_seconds_ = 0;
   core::IoStats io_;
   sim::Rng rng_;
+  WorkloadObserver* observer_ = nullptr;
+  std::uint32_t trace_vm_ = 0;
 };
 
 }  // namespace hm::vm

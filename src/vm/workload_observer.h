@@ -1,0 +1,44 @@
+// Observation interface for the workload API: every VmInstance workload
+// call (compute, buffered file I/O, fsync, cache drop) and every
+// application-level network send reports begin/end through this interface
+// when one is attached. The simulator's behaviour is completely unaffected
+// by observation — callbacks are plain synchronous calls that schedule
+// nothing — so a run records the exact timeline it would have produced
+// anyway. workloads::TraceRecorder is the production implementation; it
+// turns the call stream into a replayable trace (see workloads/trace.h).
+#pragma once
+
+#include <cstdint>
+
+namespace hm::vm {
+
+class VmInstance;
+
+class WorkloadObserver {
+ public:
+  virtual ~WorkloadObserver() = default;
+
+  // Each *_begin call is made when the operation starts executing (i.e. at
+  // the virtual time the workload issued it) and returns a lane token: the
+  // observer's identifier for the concurrency slot the operation occupies.
+  // The matching on_op_end(vm, lane) is called when the operation
+  // completes, freeing the lane.
+  virtual std::uint32_t on_compute(VmInstance& vm, double seconds, double dirty_Bps,
+                                   std::uint64_t ws_bytes) = 0;
+  virtual std::uint32_t on_file_write(VmInstance& vm, std::uint64_t offset,
+                                      std::uint64_t len) = 0;
+  virtual std::uint32_t on_file_read(VmInstance& vm, std::uint64_t offset,
+                                     std::uint64_t len) = 0;
+  virtual std::uint32_t on_fsync(VmInstance& vm) = 0;
+  /// Application-level network send (e.g. CM1 halo exchange). `src`/`dst`
+  /// are the node ids actually used — resolved at send time, so a migrated
+  /// sender records its post-migration location.
+  virtual std::uint32_t on_net_send(VmInstance& vm, std::uint32_t src, std::uint32_t dst,
+                                    double bytes) = 0;
+  /// Synchronous, instantaneous cache drop (fadvise DONTNEED): begin and
+  /// end in one call.
+  virtual void on_drop_cache(VmInstance& vm, std::uint64_t offset, std::uint64_t len) = 0;
+  virtual void on_op_end(VmInstance& vm, std::uint32_t lane) = 0;
+};
+
+}  // namespace hm::vm

@@ -27,16 +27,20 @@ std::vector<int> Cm1Application::neighbours(int rank) const {
 }
 
 namespace {
-sim::Task send_halo(net::FlowNetwork& net, net::NodeId from, net::NodeId to,
-                    double bytes, sim::WaitGroup& wg) {
-  co_await net.transfer(from, to, bytes, net::TrafficClass::kAppComm);
+sim::Task send_halo(vm::VmInstance& vm, net::NodeId from, net::NodeId to, double bytes,
+                    sim::WaitGroup& wg) {
+  // Halo sends are application traffic issued outside the VmInstance file
+  // API, so they report to the workload observer here (trace recording).
+  vm::WorkloadObserver* obs = vm.observer();
+  const std::uint32_t lane = obs ? obs->on_net_send(vm, from, to, bytes) : 0;
+  co_await vm.cluster().network().transfer(from, to, bytes, net::TrafficClass::kAppComm);
+  if (obs) obs->on_op_end(vm, lane);
   wg.done();
 }
 }  // namespace
 
 sim::Task Cm1Application::run_rank(int rank) {
   vm::VmInstance& vm = *ranks_[rank];
-  auto& net = vm.cluster().network();
   const std::vector<int> nbrs = neighbours(rank);
   int dump_idx = 0;
   for (int step = 0; step < cfg_.total_steps(); ++step) {
@@ -48,7 +52,7 @@ sim::Task Cm1Application::run_rank(int rank) {
     sim::WaitGroup wg(sim_);
     for (int nb : nbrs) {
       wg.add();
-      sim_.spawn(send_halo(net, vm.node(), ranks_[nb]->node(),
+      sim_.spawn(send_halo(vm, vm.node(), ranks_[nb]->node(),
                            static_cast<double>(cfg_.halo_bytes), wg));
     }
     co_await wg.wait();

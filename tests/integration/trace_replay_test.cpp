@@ -1,0 +1,180 @@
+// Record→replay equivalence on the full pipeline: a live run recorded via
+// TraceRecorder and then replayed through TraceApplication must reproduce
+// the live run's migration metrics BYTE-identically (downtime, transferred
+// bytes, per-phase/per-class traffic, whole timeline), in both
+// ABLATE_INCREMENTAL regimes. This is the trace axis's determinism
+// contract: the trace carries the workload's op stream with enough fidelity
+// that the simulated system cannot tell the difference. Also pins that
+// attaching a recorder is passive (recorded live run == unrecorded run).
+#include <gtest/gtest.h>
+
+#include "cloud/experiment.h"
+
+namespace hm::cloud {
+namespace {
+
+using storage::kKiB;
+using storage::kMiB;
+
+ExperimentConfig base_config(int incremental) {
+  ExperimentConfig cfg;
+  cfg.approach = core::Approach::kHybrid;
+  cfg.cluster.num_nodes = 10;
+  cfg.cluster.image = storage::ImageConfig{256 * kMiB, static_cast<std::uint32_t>(kMiB)};
+  cfg.cluster.disk = storage::DiskConfig{55e6, 0.0};
+  cfg.cluster.network.incremental = incremental;
+  cfg.vm.memory.ram_bytes = 256 * kMiB;
+  cfg.vm.memory.page_bytes = kMiB;
+  cfg.vm.memory.base_used_bytes = 32 * kMiB;
+  cfg.vm.cache.capacity_bytes = 64 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 32 * kMiB;
+  cfg.vm.cache.write_Bps = 200e6;
+  cfg.max_sim_time = 600.0;
+  return cfg;
+}
+
+ExperimentConfig asyncwr_config(int incremental) {
+  ExperimentConfig cfg = base_config(incremental);
+  cfg.workload = WorkloadKind::kAsyncWr;
+  cfg.asyncwr.iterations = 40;
+  cfg.asyncwr.file_offset = 64 * kMiB;
+  cfg.num_vms = 2;
+  cfg.num_migrations = 2;
+  cfg.num_destinations = 2;
+  cfg.first_migration_at = 1.5;
+  cfg.migration_interval_s = 1.0;
+  return cfg;
+}
+
+ExperimentConfig cm1_config(int incremental) {
+  ExperimentConfig cfg = base_config(incremental);
+  cfg.workload = WorkloadKind::kCm1;
+  cfg.cm1.grid_x = 2;
+  cfg.cm1.grid_y = 2;
+  cfg.cm1.step_compute_s = 0.5;
+  cfg.cm1.steps_per_output = 2;
+  cfg.cm1.num_outputs = 2;
+  cfg.cm1.output_bytes = 8 * kMiB;
+  cfg.cm1.halo_bytes = 256 * kKiB;
+  cfg.cm1.file_offset = 64 * kMiB;
+  cfg.cm1.dirty_Bps = 1e6;
+  cfg.cm1.ws_bytes = 16 * kMiB;
+  cfg.num_migrations = 2;
+  cfg.num_destinations = 2;
+  cfg.first_migration_at = 1.0;
+  cfg.migration_interval_s = 0.7;
+  return cfg;
+}
+
+/// EXPECT_EQ on doubles is exact comparison — that is the point: the replay
+/// must land on the identical bit pattern, not within a tolerance.
+void expect_metrics_identical(const ExperimentResult& live, const ExperimentResult& rep) {
+  ASSERT_EQ(live.migrations.size(), rep.migrations.size());
+  for (std::size_t i = 0; i < live.migrations.size(); ++i) {
+    const core::MigrationRecord& a = live.migrations[i];
+    const core::MigrationRecord& b = rep.migrations[i];
+    EXPECT_EQ(a.vm_id, b.vm_id) << "migration " << i;
+    EXPECT_EQ(a.t_request, b.t_request) << "migration " << i;
+    EXPECT_EQ(a.t_control_transfer, b.t_control_transfer) << "migration " << i;
+    EXPECT_EQ(a.t_source_released, b.t_source_released) << "migration " << i;
+    EXPECT_EQ(a.downtime_s, b.downtime_s) << "migration " << i;
+    EXPECT_EQ(a.memory_rounds, b.memory_rounds) << "migration " << i;
+    EXPECT_EQ(a.memory_bytes_sent, b.memory_bytes_sent) << "migration " << i;
+    EXPECT_EQ(a.storage_chunks_pushed, b.storage_chunks_pushed) << "migration " << i;
+    EXPECT_EQ(a.storage_chunks_pulled, b.storage_chunks_pulled) << "migration " << i;
+  }
+  for (std::size_t c = 0; c < net::kNumTrafficClasses; ++c)
+    EXPECT_EQ(live.traffic_bytes[c], rep.traffic_bytes[c])
+        << net::traffic_class_name(static_cast<net::TrafficClass>(c));
+  EXPECT_EQ(live.total_traffic, rep.total_traffic);
+  EXPECT_EQ(live.migration_traffic, rep.migration_traffic);
+  EXPECT_EQ(live.max_downtime, rep.max_downtime);
+  EXPECT_EQ(live.total_migration_time, rep.total_migration_time);
+  EXPECT_EQ(live.bytes_written, rep.bytes_written);
+  EXPECT_EQ(live.bytes_read, rep.bytes_read);
+  EXPECT_EQ(live.sim_duration, rep.sim_duration);
+}
+
+void run_roundtrip(ExperimentConfig cfg) {
+  // Baseline: the same live run without a recorder — observation must be
+  // passive.
+  const ExperimentResult unrecorded = Experiment(cfg).run();
+
+  workloads::TraceRecorder recorder;
+  ExperimentConfig rec_cfg = cfg;
+  rec_cfg.trace_recorder = &recorder;
+  const ExperimentResult live = Experiment(rec_cfg).run();
+  ASSERT_TRUE(live.completed);
+  ASSERT_TRUE(live.error.empty()) << live.error;
+  // The comparison must not be vacuous: migrations ran and paused the VM.
+  ASSERT_EQ(live.migrations.size(), cfg.num_migrations);
+  EXPECT_GT(live.max_downtime, 0.0);
+  EXPECT_GT(live.traffic(net::TrafficClass::kMemory), 0.0);
+  expect_metrics_identical(unrecorded, live);
+
+  const workloads::TraceData& trace = recorder.data();
+  ASSERT_FALSE(recorder.failed()) << recorder.error();
+  ASSERT_GT(trace.records.size(), 0u);
+
+  cfg.normalize();  // pin num_vms before switching the workload kind
+  ExperimentConfig replay_cfg = cfg;
+  replay_cfg.workload = WorkloadKind::kTrace;
+  replay_cfg.trace.data = &trace;
+  replay_cfg.trace.broadcast = false;
+  const ExperimentResult rep = Experiment(replay_cfg).run();
+  ASSERT_TRUE(rep.error.empty()) << rep.error;
+  ASSERT_TRUE(rep.completed);
+  expect_metrics_identical(live, rep);
+}
+
+TEST(TraceReplay, AsyncWrByteIdenticalIncremental) { run_roundtrip(asyncwr_config(1)); }
+TEST(TraceReplay, AsyncWrByteIdenticalFullSolve) { run_roundtrip(asyncwr_config(0)); }
+TEST(TraceReplay, Cm1ByteIdenticalIncremental) { run_roundtrip(cm1_config(1)); }
+TEST(TraceReplay, Cm1ByteIdenticalFullSolve) { run_roundtrip(cm1_config(0)); }
+
+// Replaying through a trace FILE (streaming reader) is equivalent to
+// replaying the in-memory data.
+TEST(TraceReplay, FileReplayMatchesInMemoryReplay) {
+  ExperimentConfig cfg = asyncwr_config(1);
+  workloads::TraceRecorder recorder;
+  ExperimentConfig rec_cfg = cfg;
+  rec_cfg.trace_recorder = &recorder;
+  const ExperimentResult live = Experiment(rec_cfg).run();
+  ASSERT_TRUE(live.completed);
+  const workloads::TraceData& trace = recorder.data();
+
+  const std::string path = ::testing::TempDir() + "trace_replay_roundtrip.trace";
+  std::string err;
+  ASSERT_TRUE(workloads::write_trace(path, trace, &err)) << err;
+
+  cfg.normalize();
+  ExperimentConfig replay_cfg = cfg;
+  replay_cfg.workload = WorkloadKind::kTrace;
+  replay_cfg.trace.path = path;
+  replay_cfg.trace.broadcast = false;
+  const ExperimentResult rep = Experiment(replay_cfg).run();
+  ASSERT_TRUE(rep.error.empty()) << rep.error;
+  expect_metrics_identical(live, rep);
+  std::remove(path.c_str());
+}
+
+// The record_trace_path convenience writes a loadable trace.
+TEST(TraceReplay, RecordTracePathWritesReplayableFile) {
+  ExperimentConfig cfg = asyncwr_config(1);
+  cfg.num_vms = 1;
+  cfg.num_migrations = 1;
+  const std::string path = ::testing::TempDir() + "trace_record_path.trace";
+  ExperimentConfig rec_cfg = cfg;
+  rec_cfg.record_trace_path = path;
+  const ExperimentResult live = Experiment(rec_cfg).run();
+  ASSERT_TRUE(live.error.empty()) << live.error;
+  workloads::TraceData data;
+  std::string err;
+  ASSERT_TRUE(workloads::load_trace(path, &data, &err)) << err;
+  EXPECT_EQ(data.header.num_vms, 1u);
+  EXPECT_GT(data.records.size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hm::cloud

@@ -202,3 +202,65 @@ TEST(ChunkStore, RedirtyDuringFlushWritesAgain) {
 
 }  // namespace
 }  // namespace hm::storage
+
+// for_each_modified is the ModifiedSet iteration hook trace-driven
+// consumers lean on (workloads/trace.h snapshots, migration round seeding):
+// pin word boundaries, empty/full bitmaps and agreement with
+// modified_set(), including across a write issued between iterations.
+namespace hm::storage {
+namespace {
+
+std::vector<ChunkId> modified_chunks(const ChunkStore& st) {
+  std::vector<ChunkId> out;
+  st.for_each_modified([&](ChunkId c) { out.push_back(c); });
+  return out;
+}
+
+TEST(ChunkStoreForEachModified, EmptyStoreVisitsNothing) {
+  StoreFixture f;
+  EXPECT_TRUE(modified_chunks(f.store).empty());
+}
+
+TEST(ChunkStoreForEachModified, WordBoundaryChunks63To65) {
+  StoreFixture f{ImageConfig{128 * kMiB, 1 * static_cast<std::uint32_t>(kMiB)}};
+  f.run_write(63);
+  f.run_write(64);
+  f.run_write(65);
+  EXPECT_EQ(modified_chunks(f.store), (std::vector<ChunkId>{63, 64, 65}));
+}
+
+TEST(ChunkStoreForEachModified, FullBitmapVisitsEveryChunkAscending) {
+  StoreFixture f;  // 64 chunks of 1 MiB
+  f.s.spawn([](ChunkStore* st) -> sim::Task {
+    for (ChunkId c = 0; c < st->num_chunks(); ++c) co_await st->write_chunk(c);
+  }(&f.store));
+  f.s.run();
+  const std::vector<ChunkId> chunks = modified_chunks(f.store);
+  ASSERT_EQ(chunks.size(), f.store.num_chunks());
+  for (ChunkId c = 0; c < f.store.num_chunks(); ++c) EXPECT_EQ(chunks[c], c);
+}
+
+TEST(ChunkStoreForEachModified, BaseInstallsAreNotModified) {
+  StoreFixture f;
+  f.s.spawn([](ChunkStore* st) -> sim::Task {
+    co_await st->install_base_chunk(3);
+    co_await st->write_chunk(7);
+  }(&f.store));
+  f.s.run();
+  EXPECT_EQ(modified_chunks(f.store), (std::vector<ChunkId>{7}));
+}
+
+TEST(ChunkStoreForEachModified, MatchesModifiedSetAndSurvivesRescan) {
+  StoreFixture f;
+  f.run_write(1);
+  f.run_write(63);
+  const std::vector<ChunkId> first = modified_chunks(f.store);
+  EXPECT_EQ(first, f.store.modified_set());
+  f.run_write(32);  // modify between iterations
+  const std::vector<ChunkId> second = modified_chunks(f.store);
+  EXPECT_EQ(second, (std::vector<ChunkId>{1, 32, 63}));
+  EXPECT_EQ(second, f.store.modified_set());
+}
+
+}  // namespace
+}  // namespace hm::storage

@@ -124,3 +124,74 @@ TEST(GuestMemoryRelease, RetouchAfterReleaseWorks) {
 
 }  // namespace
 }  // namespace hm::vm
+
+// for_each_dirty_page is the iteration hook trace-driven consumers
+// (workloads/trace.h snapshots, migration rounds) lean on: pin its
+// word-boundary behaviour, the empty/full cases, and the semantics of
+// re-dirtying pages DURING iteration.
+namespace hm::vm {
+namespace {
+
+GuestMemoryConfig bare_cfg() {
+  GuestMemoryConfig cfg;
+  cfg.ram_bytes = 128 * kMiB;  // 128 pages: two full bitmap words
+  cfg.page_bytes = kMiB;
+  cfg.base_used_bytes = 0;  // start with nothing dirty
+  return cfg;
+}
+
+std::vector<std::uint64_t> dirty_pages(const GuestMemory& m) {
+  std::vector<std::uint64_t> out;
+  m.for_each_dirty_page([&](std::uint64_t p) { out.push_back(p); });
+  return out;
+}
+
+TEST(GuestMemoryForEachDirty, EmptyBitmapVisitsNothing) {
+  GuestMemory m(bare_cfg());
+  EXPECT_TRUE(dirty_pages(m).empty());
+}
+
+TEST(GuestMemoryForEachDirty, WordBoundaryPages63To65) {
+  GuestMemory m(bare_cfg());
+  m.touch_range(63 * kMiB, 3 * kMiB);  // pages 63 (word 0) and 64, 65 (word 1)
+  EXPECT_EQ(dirty_pages(m), (std::vector<std::uint64_t>{63, 64, 65}));
+}
+
+TEST(GuestMemoryForEachDirty, FullBitmapVisitsEveryPageAscending) {
+  GuestMemory m(bare_cfg());
+  m.touch_range(0, 128 * kMiB);
+  const std::vector<std::uint64_t> pages = dirty_pages(m);
+  ASSERT_EQ(pages.size(), 128u);
+  for (std::uint64_t i = 0; i < 128; ++i) EXPECT_EQ(pages[i], i);
+}
+
+TEST(GuestMemoryForEachDirty, IterationDoesNotClear) {
+  GuestMemory m(bare_cfg());
+  m.touch_range(10 * kMiB, 2 * kMiB);
+  (void)dirty_pages(m);
+  EXPECT_EQ(m.dirty_bytes(), 2 * kMiB);
+  EXPECT_EQ(dirty_pages(m).size(), 2u);  // second pass sees the same set
+}
+
+TEST(GuestMemoryForEachDirty, RedirtyDuringIteration) {
+  // The scan walks packed words and iterates a SNAPSHOT of each word taken
+  // when it reaches it: a page dirtied mid-iteration is visited iff its
+  // word has not been reached yet. Pin both directions so trace consumers
+  // can rely on it.
+  GuestMemory m(bare_cfg());
+  m.touch_range(1 * kMiB, kMiB);   // page 1 (word 0)
+  m.touch_range(70 * kMiB, kMiB);  // page 70 (word 1)
+  std::vector<std::uint64_t> visited;
+  m.for_each_dirty_page([&](std::uint64_t p) {
+    visited.push_back(p);
+    if (p == 1) {
+      m.touch_range(0, kMiB);            // earlier bit in the CURRENT word: skipped
+      m.touch_range(100 * kMiB, kMiB);   // bit in a LATER word: visited
+    }
+  });
+  EXPECT_EQ(visited, (std::vector<std::uint64_t>{1, 70, 100}));
+  EXPECT_EQ(m.dirty_bytes(), 4 * kMiB);  // 0, 1, 70, 100 all dirty afterwards
+}
+
+}  // namespace
+}  // namespace hm::vm

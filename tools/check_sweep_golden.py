@@ -8,8 +8,10 @@ timeline, so any drift here is a behavioural regression hiding behind
 wall-clock noise. Wall-derived fields (wall_ms, events_per_sec,
 flows_per_sec) are host-dependent and excluded.
 
-Usage: check_sweep_golden.py <golden.json> <fresh.json>
-Exit status 0 on match, 1 with a per-field diff otherwise.
+Usage: check_sweep_golden.py <golden.json> <fresh.json> [<golden2> <fresh2> ...]
+Multiple golden/fresh pairs are checked in one invocation (the CI matrix:
+AsyncWR regimes plus the trace-replay sweeps); the exit status is 0 only if
+EVERY pair matches, 1 with a per-field diff otherwise.
 """
 import json
 import sys
@@ -21,26 +23,36 @@ def strip(rows):
     return [{k: v for k, v in row.items() if k not in WALL_FIELDS} for row in rows]
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
+def check_pair(golden_path, fresh_path) -> bool:
+    with open(golden_path) as f:
         golden = strip(json.load(f))
-    with open(sys.argv[2]) as f:
+    with open(fresh_path) as f:
         fresh = strip(json.load(f))
     ok = True
     if len(golden) != len(fresh):
-        print(f"row count differs: golden {len(golden)} vs fresh {len(fresh)}")
+        print(f"{fresh_path}: row count differs: golden {len(golden)} vs fresh {len(fresh)}")
         ok = False
     for g, s in zip(golden, fresh):
         scale = g.get("concurrent_migrations", "?")
         for key in sorted(set(g) | set(s)):
             if g.get(key) != s.get(key):
-                print(f"n={scale} {key}: golden {g.get(key)!r} != fresh {s.get(key)!r}")
+                print(f"{fresh_path}: n={scale} {key}: "
+                      f"golden {g.get(key)!r} != fresh {s.get(key)!r}")
                 ok = False
     if ok:
-        print(f"OK: {sys.argv[2]} matches {sys.argv[1]} in every virtual-time field")
+        print(f"OK: {fresh_path} matches {golden_path} in every virtual-time field")
+    return ok
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if len(args) < 2 or len(args) % 2 != 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for i in range(0, len(args), 2):
+        ok = check_pair(args[i], args[i + 1]) and ok
+    if ok:
         return 0
     print("virtual-time drift detected: if this change is INTENDED to alter "
           "simulated behaviour, regenerate the goldens under tests/golden/")

@@ -26,7 +26,10 @@ void usage() {
       "hybridmig_sim — hybrid local storage transfer simulation (HPDC'12)\n"
       "\n"
       "  --approach=NAME     our-approach | mirror | postcopy | precopy | pvfs-shared\n"
-      "  --workload=NAME     ior | asyncwr | cm1 | none\n"
+      "  --workload=NAME     ior | asyncwr | cm1 | none | trace:SPEC\n"
+      "                      (trace:zipf|phase|burst|scan[:k=v,...] generates a\n"
+      "                       stream; trace:file=PATH replays a recorded trace)\n"
+      "  --record-trace=PATH capture this run's workload stream into a trace file\n"
       "  --vms=N             number of source VMs (default 1; cm1 uses grid)\n"
       "  --migrations=N      how many VMs to migrate (default 1)\n"
       "  --destinations=N    destination nodes (default = migrations)\n"
@@ -99,10 +102,21 @@ int main(int argc, char** argv) {
       else if (*v == "asyncwr") cfg.workload = cloud::WorkloadKind::kAsyncWr;
       else if (*v == "cm1") cfg.workload = cloud::WorkloadKind::kCm1;
       else if (*v == "none") cfg.workload = cloud::WorkloadKind::kNone;
-      else {
+      else if (v->rfind("trace:", 0) == 0 || *v == "trace") {
+        cfg.workload = cloud::WorkloadKind::kTrace;
+        std::string err;
+        if (*v != "trace" && !workloads::parse_trace_spec(*v, &cfg.trace, &err)) {
+          std::cerr << err << "\n";
+          return 2;
+        }
+      } else {
         std::cerr << "unknown workload: " << *v << "\n";
         return 2;
       }
+      continue;
+    }
+    if (auto v = arg_value(arg, "--record-trace")) {
+      cfg.record_trace_path = *v;
       continue;
     }
     if (auto v = arg_value(arg, "--vms")) { cfg.num_vms = std::stoul(*v); continue; }
@@ -159,6 +173,7 @@ int main(int argc, char** argv) {
   cloud::Experiment exp(std::move(cfg));
   cloud::ExperimentResult res = exp.run();
 
+  if (!res.error.empty()) std::cerr << "error: " << res.error << "\n";
   std::cout << "\ncompleted:          " << (res.completed ? "yes" : "NO (guard hit)")
             << "\nsimulated time:     " << cloud::fmt_seconds(res.sim_duration)
             << "\napp execution time: " << cloud::fmt_seconds(res.app_execution_time)

@@ -1,0 +1,169 @@
+// trace_info — inspect, validate and generate workload traces.
+//
+//   trace_info FILE               validate + summarize a trace (streaming,
+//                                 bounded memory; exit 1 on a malformed file)
+//   trace_info FILE --dump[=N]    additionally print the first N records
+//   trace_info --gen SPEC --out FILE [--seed N]
+//                                 generate a trace (SPEC as accepted by
+//                                 --workload=trace:..., e.g. "zipf:dur=30")
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "workloads/trace_gen.h"
+
+using namespace hm;
+using namespace hm::workloads;
+
+namespace {
+
+int generate(const std::string& spec, const std::string& out_path, std::uint64_t seed) {
+  TraceSourceConfig src;
+  std::string err;
+  if (!parse_trace_spec(spec, &src, &err)) {
+    std::fprintf(stderr, "trace_info: %s\n", err.c_str());
+    return 2;
+  }
+  if (!src.path.empty()) {
+    std::fprintf(stderr, "trace_info: --gen expects a generator spec, not file=\n");
+    return 2;
+  }
+  const TraceData data = generate_trace(src.gen, seed);
+  if (!write_trace(out_path, data, &err)) {
+    std::fprintf(stderr, "trace_info: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: pattern=%s seed=%" PRIu64 " records=%zu\n", out_path.c_str(),
+              trace_pattern_name(src.gen.pattern), seed, data.records.size());
+  return 0;
+}
+
+void print_record(std::uint64_t idx, const TraceRecord& r) {
+  std::printf("  [%6" PRIu64 "] t=%-12.6f vm=%-3u lane=%-2u %-11s a=%" PRIu64
+              " b=%" PRIu64 " c=%" PRIu64 "\n",
+              idx, r.t, r.vm, r.lane, trace_op_name(r.op), r.a, r.b, r.c);
+}
+
+int inspect(const std::string& path, std::uint64_t dump) {
+  TraceReader reader;
+  if (!reader.open(path)) {
+    std::fprintf(stderr, "trace_info: %s\n", reader.error().c_str());
+    return 1;
+  }
+  const TraceHeader& h = reader.header();
+  std::printf("%s\n", path.c_str());
+  std::printf("  version      %u\n", h.version);
+  if (!h.name.empty()) std::printf("  name         %s\n", h.name.c_str());
+  std::printf("  num_vms      %u\n", h.num_vms);
+  std::printf("  records      %" PRIu64 "\n", h.records);
+  std::printf("  page_bytes   %" PRIu64 "   (universe %" PRIu64 " pages)\n", h.page_bytes,
+              h.pages);
+  std::printf("  chunk_bytes  %" PRIu64 "   (universe %" PRIu64
+              " chunks, file_offset %" PRIu64 ")\n",
+              h.chunk_bytes, h.chunks, h.file_offset);
+
+  std::map<TraceOp, std::uint64_t> op_count;
+  double t_first = 0, t_last = 0;
+  double compute_s = 0, mem_bytes = 0, write_bytes = 0, read_bytes = 0, net_bytes = 0;
+  util::DirtyBitmap pages_touched(h.pages), chunks_touched(h.chunks);
+  TraceRecord r;
+  std::uint64_t n = 0;
+  while (reader.next(r)) {
+    if (n == 0) t_first = r.t;
+    t_last = r.t;
+    if (n < dump) print_record(n, r);
+    ++op_count[r.op];
+    switch (r.op) {
+      case TraceOp::kCompute:
+        compute_s += std::bit_cast<double>(r.a);
+        break;
+      case TraceOp::kMemDirty:
+        mem_bytes += static_cast<double>(r.b * h.page_bytes);
+        if (h.pages > 0) pages_touched.set_range(r.a, r.a + r.b);
+        break;
+      case TraceOp::kFileWrite:
+        write_bytes += static_cast<double>(r.b);
+        break;
+      case TraceOp::kFileRead:
+        read_bytes += static_cast<double>(r.b);
+        break;
+      case TraceOp::kChunkWrite:
+        write_bytes += static_cast<double>(r.b * h.chunk_bytes);
+        if (h.chunks > 0) chunks_touched.set_range(r.a, r.a + r.b);
+        break;
+      case TraceOp::kChunkRead:
+        read_bytes += static_cast<double>(r.b * h.chunk_bytes);
+        if (h.chunks > 0) chunks_touched.set_range(r.a, r.a + r.b);
+        break;
+      case TraceOp::kNetSend:
+        net_bytes += std::bit_cast<double>(r.c);
+        break;
+      default:
+        break;
+    }
+    ++n;
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "trace_info: %s\n", reader.error().c_str());
+    return 1;
+  }
+  std::printf("  span         %.3f s .. %.3f s\n", t_first, t_last);
+  std::printf("  per-op counts:\n");
+  for (const auto& [op, count] : op_count)
+    std::printf("    %-11s %" PRIu64 "\n", trace_op_name(op), count);
+  std::printf("  guest compute   %.1f s\n", compute_s);
+  std::printf("  memory dirtied  %.1f MB over %" PRIu64 " distinct pages\n",
+              mem_bytes / 1e6, pages_touched.count());
+  std::printf("  chunk footprint %" PRIu64 " distinct chunks\n", chunks_touched.count());
+  std::printf("  file write/read %.1f / %.1f MB, app net %.1f MB\n", write_bytes / 1e6,
+              read_bytes / 1e6, net_bytes / 1e6);
+  std::printf("OK: %" PRIu64 " records valid\n", n);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, gen_spec, out_path;
+  std::uint64_t seed = 42, dump = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* key) -> const char* {
+      const std::size_t klen = std::strlen(key);
+      if (std::strncmp(arg, key, klen) == 0 && arg[klen] == '=') return arg + klen + 1;
+      return nullptr;
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "usage: trace_info FILE [--dump[=N]]\n"
+          "       trace_info --gen SPEC --out FILE [--seed N]\n");
+      return 0;
+    }
+    if (std::strcmp(arg, "--gen") == 0 && i + 1 < argc) { gen_spec = argv[++i]; continue; }
+    if (const char* v = value("--gen")) { gen_spec = v; continue; }
+    if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) { out_path = argv[++i]; continue; }
+    if (const char* v = value("--out")) { out_path = v; continue; }
+    if (const char* v = value("--seed")) { seed = std::strtoull(v, nullptr, 10); continue; }
+    if (std::strcmp(arg, "--dump") == 0) { dump = 32; continue; }
+    if (const char* v = value("--dump")) { dump = std::strtoull(v, nullptr, 10); continue; }
+    if (arg[0] == '-') {
+      std::fprintf(stderr, "trace_info: unknown option %s (try --help)\n", arg);
+      return 2;
+    }
+    path = arg;
+  }
+  if (!gen_spec.empty()) {
+    if (out_path.empty()) {
+      std::fprintf(stderr, "trace_info: --gen requires --out FILE\n");
+      return 2;
+    }
+    return generate(gen_spec, out_path, seed);
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "trace_info: no trace file given (try --help)\n");
+    return 2;
+  }
+  return inspect(path, dump);
+}

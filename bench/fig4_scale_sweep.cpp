@@ -36,15 +36,26 @@
 // seeded from the experiment seed, so trace sweeps carry the same
 // determinism contract (and CI golden gate) as the AsyncWR ones.
 //
+// The fifth argument selects the fault regime: "none" (default) or any
+// --faults spec ("faults:rand:crashes=2,degrades=4", "src-crash@40+15", ...)
+// replayed identically at every concurrency point. Fault plans are seeded
+// from the experiment seed, so fault sweeps are golden-gateable like the
+// rest — and CI runs the same fault golden under both solver regimes to
+// pin the determinism contract down under failure timelines. Recovery
+// metrics (retries, re-transferred bytes, fault downtime, time-to-recover)
+// appear as extra JSON fields only for fault regimes, keeping the committed
+// fault-free goldens byte-identical.
+//
 // Usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking] [stagger_s]
-//                         [asyncwr|trace:SPEC]
-//        (defaults: 256 oversub 0 asyncwr)
+//                         [asyncwr|trace:SPEC] [none|faults:SPEC]
+//        (defaults: 256 oversub 0 asyncwr none)
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "bench_common.h"
+#include "sim/fault_plan.h"
 
 using namespace hm;
 using namespace hm::bench;
@@ -112,20 +123,34 @@ int main(int argc, char** argv) {
       nonblocking = true;
     } else if (std::strcmp(argv[2], "oversub") != 0) {
       std::cerr << "usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking]"
-                   " [stagger_s] [asyncwr|trace:SPEC]\n";
+                   " [stagger_s] [asyncwr|trace:SPEC] [none|faults:SPEC]\n";
       return 2;
     }
   }
   const double stagger_s = argc > 3 ? std::strtod(argv[3], nullptr) : 0.0;
   const std::string workload = argc > 4 ? argv[4] : "asyncwr";
+  const std::string faults_arg = argc > 5 ? argv[5] : "none";
+  sim::FaultSpec faults;
+  {
+    std::string err;
+    if (!sim::parse_fault_spec(faults_arg, &faults, &err)) {
+      std::cerr << "fig4_scale_sweep: " << err << "\n";
+      return 2;
+    }
+  }
+  bool any_error = false;
   std::cout << "[\n";
   bool first = true;
   for (std::size_t n = 2; n <= max_n; n *= 2) {
-    cloud::Experiment exp(scale_config(n, nonblocking, stagger_s, workload));
+    cloud::ExperimentConfig cfg = scale_config(n, nonblocking, stagger_s, workload);
+    cfg.faults = faults;
+    cloud::Experiment exp(std::move(cfg));
     const ExperimentResult r = exp.run();
     if (!r.error.empty()) {
-      std::cerr << "fig4_scale_sweep: " << r.error << "\n";
-      return 1;
+      // Keep sweeping (and keep the JSON well-formed): the row carries the
+      // error and the process exit code reports the failure.
+      std::cerr << "fig4_scale_sweep: n=" << n << ": " << r.error << "\n";
+      any_error = true;
     }
     const double wall_s = r.wall_ms / 1e3;
     const double epochs = r.engine_recomputes ? static_cast<double>(r.engine_recomputes) : 1.0;
@@ -133,9 +158,11 @@ int main(int argc, char** argv) {
     first = false;
     std::cout << "  {\"concurrent_migrations\": " << n
               << ", \"core\": \"" << (nonblocking ? "nonblocking" : "oversub") << "\"";
-    // The workload field appears only for non-default regimes, keeping the
-    // committed AsyncWR goldens byte-compatible.
+    // The workload/faults/error fields appear only for non-default regimes
+    // (or on failure), keeping the committed AsyncWR goldens byte-compatible.
     if (workload != "asyncwr") std::cout << ", \"workload\": \"" << workload << "\"";
+    if (faults.enabled()) std::cout << ", \"faults\": \"" << faults_arg << "\"";
+    if (!r.error.empty()) std::cout << ", \"error\": \"" << r.error << "\"";
     std::cout << ", \"stagger_s\": " << stagger_s
               << ", \"completed\": " << (r.completed ? "true" : "false")
               << ", \"sim_s\": " << r.sim_duration
@@ -153,12 +180,21 @@ int main(int argc, char** argv) {
               << ", \"frames_reused\": " << r.engine_frames_reused
               << ", \"frame_heap_allocs\": " << r.engine_frame_heap_allocs
               << ", \"avg_migration_s\": " << r.avg_migration_time
-              << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024)
-              << "}";
+              << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024);
+    if (faults.enabled()) {
+      std::cout << ", \"faults_injected\": " << r.faults_injected
+                << ", \"retries\": " << r.total_retries
+                << ", \"abandoned\": " << r.migrations_abandoned
+                << ", \"retransferred_gb\": "
+                << r.retransferred_bytes / (1024.0 * 1024 * 1024)
+                << ", \"fault_downtime_s\": " << r.fault_downtime_s
+                << ", \"max_time_to_recover_s\": " << r.max_time_to_recover;
+    }
+    std::cout << "}";
     std::cerr << "fig4_scale: n=" << n << " wall=" << r.wall_ms << " ms, "
               << r.engine_events << " events, "
               << (r.engine_flows_resolved / epochs) << " flows-resolved/epoch\n";
   }
   std::cout << "\n]\n";
-  return 0;
+  return any_error ? 1 : 0;
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "cloud/fault_injector.h"
 #include "sim/frame_pool.h"
 
 namespace hm::cloud {
@@ -171,6 +172,16 @@ ExperimentResult Experiment::run() {
     }
   }
 
+  // --- fault plan -----------------------------------------------------------
+  std::unique_ptr<FaultInjector> injector;
+  if (cfg_.faults.enabled()) {
+    sim::FaultPlan plan = sim::build_fault_plan(
+        cfg_.faults, cluster.rng(), static_cast<std::uint32_t>(cfg_.num_migrations));
+    injector = std::make_unique<FaultInjector>(simulator, cluster, mw, std::move(plan),
+                                               cfg_.num_vms, cfg_.num_destinations);
+    injector->arm();
+  }
+
   // --- run -------------------------------------------------------------------
   auto finished = [&] {
     return workload_done.count() == 0 && migrations_done.count() == 0;
@@ -208,6 +219,17 @@ ExperimentResult Experiment::run() {
   res.total_migration_time = mw.metrics().total_migration_time();
   res.avg_migration_time = mw.metrics().avg_migration_time();
   res.max_downtime = mw.metrics().max_downtime();
+
+  if (injector) {
+    res.faults_injected = injector->faults_applied();
+    res.fault_downtime_s = injector->fault_pause_s();
+  }
+  for (const core::MigrationRecord& m : res.migrations) {
+    res.total_retries += m.retries;
+    res.retransferred_bytes += m.retransferred_bytes;
+    res.migrations_abandoned += m.abandoned ? 1 : 0;
+    res.max_time_to_recover = std::max(res.max_time_to_recover, m.time_to_recover());
+  }
 
   auto& network = cluster.network();
   res.engine_events = simulator.events_processed();

@@ -12,6 +12,7 @@
 
 #include "cloud/middleware.h"
 #include "core/metrics.h"
+#include "sim/fault_plan.h"
 #include "workloads/asyncwr.h"
 #include "workloads/cm1.h"
 #include "workloads/ior.h"
@@ -59,6 +60,11 @@ struct ExperimentConfig {
   /// Hard stop (safety against non-converging runs); 0 = run to completion.
   double max_sim_time = 0;
 
+  /// Fault-injection axis: scripted or seeded fault plan replayed through
+  /// the simulator (see sim/fault_plan.h for the --faults grammar). Random
+  /// draws fork the experiment seed, so fault runs stay deterministic.
+  sim::FaultSpec faults{};
+
   std::uint64_t seed = 42;
 
   /// Ensure the cluster is large enough for sources + destinations and that
@@ -79,6 +85,14 @@ struct ExperimentResult {
   double total_migration_time = 0;
   double avg_migration_time = 0;
   double max_downtime = 0;
+
+  // Fault-axis recovery metrics (all zero when no faults are configured).
+  std::uint32_t faults_injected = 0;  // fault events applied
+  int total_retries = 0;              // aborted migration attempts, summed
+  int migrations_abandoned = 0;       // gave up after max_attempts
+  double retransferred_bytes = 0;     // wire work redone across retries
+  double fault_downtime_s = 0;        // guest pause from crashed hosts
+  double max_time_to_recover = 0;     // worst abort -> control-transfer gap
 
   std::array<double, net::kNumTrafficClasses> traffic_bytes{};
   double total_traffic = 0;

@@ -1,0 +1,126 @@
+#include "cloud/fault_injector.h"
+
+namespace hm::cloud {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, vm::Cluster& cluster, Middleware& mw,
+                             sim::FaultPlan plan, std::size_t num_vms,
+                             std::size_t num_destinations)
+    : sim_(sim),
+      cluster_(cluster),
+      mw_(mw),
+      plan_(std::move(plan)),
+      num_vms_(num_vms),
+      num_destinations_(num_destinations == 0 ? 1 : num_destinations),
+      down_holds_(cluster.size(), 0),
+      paused_vms_(cluster.size()),
+      down_since_(cluster.size(), 0) {}
+
+net::NodeId FaultInjector::resolve_node(const sim::FaultEvent& ev) const {
+  const std::size_t k = num_vms_ > 0 ? ev.target % num_vms_ : 0;
+  switch (ev.kind) {
+    case sim::FaultKind::kDestCrash:
+    case sim::FaultKind::kSlowReceiver:
+      // Destination of migration #k under the experiment's round-robin map.
+      return static_cast<net::NodeId>(num_vms_ + k % num_destinations_);
+    default:
+      return static_cast<net::NodeId>(k);  // source node of migration #k
+  }
+}
+
+void FaultInjector::arm() {
+  for (const sim::FaultEvent& ev : plan_.events) {
+    slots_.push_back(Slot{this, ev, resolve_node(ev)});
+    Slot* s = &slots_.back();
+    sim_.schedule_at(ev.at, [s] { s->self->apply(*s); });
+    sim_.schedule_at(ev.at + ev.duration_s, [s] { s->self->restore(*s); });
+  }
+}
+
+void FaultInjector::apply(Slot& s) {
+  auto& net = cluster_.network();
+  ++faults_applied_;
+  switch (s.ev.kind) {
+    case sim::FaultKind::kSourceCrash:
+    case sim::FaultKind::kDestCrash:
+      crash_node(s.node);
+      break;
+    case sim::FaultKind::kLinkDegrade:
+      net.scale_node_capacity(s.node, s.ev.factor, s.ev.factor);
+      break;
+    case sim::FaultKind::kLinkFlap:
+      net.set_link_flapped(s.node, true);
+      break;
+    case sim::FaultKind::kSlowReceiver:
+      net.scale_node_capacity(s.node, 1.0, s.ev.factor);
+      break;
+    case sim::FaultKind::kRepoOutage:
+      if (outage_holds_++ == 0) set_repo_available(false);
+      break;
+  }
+}
+
+void FaultInjector::restore(Slot& s) {
+  auto& net = cluster_.network();
+  switch (s.ev.kind) {
+    case sim::FaultKind::kSourceCrash:
+    case sim::FaultKind::kDestCrash:
+      reboot_node(s.node);
+      break;
+    case sim::FaultKind::kLinkDegrade:
+      net.scale_node_capacity(s.node, 1.0 / s.ev.factor, 1.0 / s.ev.factor);
+      break;
+    case sim::FaultKind::kLinkFlap:
+      net.set_link_flapped(s.node, false);
+      break;
+    case sim::FaultKind::kSlowReceiver:
+      net.scale_node_capacity(s.node, 1.0, 1.0 / s.ev.factor);
+      break;
+    case sim::FaultKind::kRepoOutage:
+      if (--outage_holds_ == 0) set_repo_available(true);
+      break;
+  }
+}
+
+void FaultInjector::crash_node(net::NodeId n) {
+  if (down_holds_[n]++ != 0) return;  // already down (overlapping windows)
+  // Order matters: fail the node's flows first (their continuations are
+  // queued on the fast lane, not yet resumed), then flag affected sessions
+  // aborted — by the time a failed transfer observes `false`, aborted() is
+  // already true.
+  cluster_.network().set_node_up(n, false);
+  mw_.on_node_down(n);
+  // The crash freezes every guest hosted there until the node reboots
+  // (fail-recover model: host RAM and local disk survive the reboot).
+  for (std::size_t i = 0; i < mw_.vm_count(); ++i) {
+    vm::VmInstance& v = mw_.vm(i);
+    if (v.node() == n) {
+      v.pause();
+      paused_vms_[n].push_back(v.id());
+    }
+  }
+  down_since_[n] = sim_.now();
+}
+
+void FaultInjector::reboot_node(net::NodeId n) {
+  if (--down_holds_[n] != 0) return;
+  cluster_.network().set_node_up(n, true);
+  const double down_for = sim_.now() - down_since_[n];
+  for (int id : paused_vms_[n]) {
+    for (std::size_t i = 0; i < mw_.vm_count(); ++i) {
+      vm::VmInstance& v = mw_.vm(i);
+      if (v.id() == id) {
+        v.resume();
+        fault_pause_s_ += down_for;
+        break;
+      }
+    }
+  }
+  paused_vms_[n].clear();
+}
+
+void FaultInjector::set_repo_available(bool up) {
+  cluster_.repository().set_available(up);
+  if (cluster_.pvfs() != nullptr) cluster_.pvfs()->set_available(up);
+}
+
+}  // namespace hm::cloud

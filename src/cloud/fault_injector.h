@@ -1,0 +1,71 @@
+// Replays a sim::FaultPlan through the ordinary simulator lanes: every
+// fault is a pair of scheduled events (apply at `at`, restore at
+// `at + duration_s`) acting on the cluster — node crash/reboot, NIC
+// capacity scaling, link flaps, repository/PVFS outage windows — plus the
+// middleware hook that aborts in-flight migration attempts whose endpoints
+// just died. Because the plan is materialized up front from the experiment
+// seed and the injector only uses scheduled timers, fault runs inherit the
+// engine's determinism contract unchanged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cloud/middleware.h"
+#include "sim/fault_plan.h"
+
+namespace hm::cloud {
+
+class FaultInjector {
+ public:
+  /// `num_vms`/`num_destinations` mirror the experiment's migration
+  /// schedule: migration #k runs from node k to node num_vms + k %
+  /// num_destinations, which is how a FaultEvent::target resolves to nodes.
+  FaultInjector(sim::Simulator& sim, vm::Cluster& cluster, Middleware& mw,
+                sim::FaultPlan plan, std::size_t num_vms,
+                std::size_t num_destinations);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule apply/restore timers for every planned event.
+  void arm();
+
+  std::uint32_t faults_applied() const noexcept { return faults_applied_; }
+  /// Cumulative guest pause time attributable to crashed hosts (summed over
+  /// paused VMs) — the downtime-inflation component of the recovery metrics.
+  double fault_pause_s() const noexcept { return fault_pause_s_; }
+
+ private:
+  /// Stable capture block for the two-word timer closures.
+  struct Slot {
+    FaultInjector* self;
+    sim::FaultEvent ev;
+    net::NodeId node = 0;  // resolved target node (node-scoped kinds)
+  };
+
+  net::NodeId resolve_node(const sim::FaultEvent& ev) const;
+  void apply(Slot& s);
+  void restore(Slot& s);
+  void crash_node(net::NodeId n);
+  void reboot_node(net::NodeId n);
+  void set_repo_available(bool up);
+
+  sim::Simulator& sim_;
+  vm::Cluster& cluster_;
+  Middleware& mw_;
+  sim::FaultPlan plan_;
+  std::size_t num_vms_;
+  std::size_t num_destinations_;
+  std::deque<Slot> slots_;  // deque: addresses must survive the timers
+  // Overlapping windows on the same resource are hold-counted: the resource
+  // goes down on 0 -> 1 and comes back on 1 -> 0.
+  std::vector<std::uint32_t> down_holds_;
+  std::vector<std::vector<int>> paused_vms_;  // VM ids frozen per crashed node
+  std::vector<double> down_since_;
+  std::uint32_t outage_holds_ = 0;
+  std::uint32_t faults_applied_ = 0;
+  double fault_pause_s_ = 0;
+};
+
+}  // namespace hm::cloud

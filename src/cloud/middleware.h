@@ -27,6 +27,11 @@ struct ApproachConfig {
   core::PrecopyConfig precopy{};
   core::MirrorConfig mirror{};
   vm::HypervisorConfig hypervisor{};
+  /// Fault recovery: how often an aborted migration is retried and how long
+  /// the middleware waits (on top of both endpoints being back up) before
+  /// re-issuing MIGRATION_REQUEST.
+  int max_attempts = 8;
+  double retry_backoff_s = 1.0;
 };
 
 class Middleware {
@@ -41,7 +46,16 @@ class Middleware {
   vm::VmInstance& deploy(net::NodeId node, vm::VmConfig vm_cfg = {});
 
   /// Live-migrate `vm` to `dst`; completes when the source is released.
+  /// Fault-aborted attempts are retried (up to max_attempts), reusing partial
+  /// destination chunk state when the destination survived the fault.
   sim::Task migrate(vm::VmInstance& vm, net::NodeId dst);
+
+  /// Fault-injection hook: `n` just crashed. Aborts every in-flight
+  /// migration attempt that still depends on `n` and has not yet moved
+  /// control. Called synchronously by the injector *after* the network
+  /// failed the node's flows but *before* any failed transfer resumes, so
+  /// sessions observe aborted() the moment their co_await returns false.
+  void on_node_down(net::NodeId n);
 
   core::Metrics& metrics() noexcept { return metrics_; }
   const ApproachConfig& config() const noexcept { return cfg_; }
@@ -71,6 +85,11 @@ class Middleware {
   core::Metrics metrics_;
   std::vector<std::unique_ptr<VmSlot>> slots_;
   std::vector<std::unique_ptr<core::StorageMigrationSession>> sessions_;
+  std::vector<core::StorageMigrationSession*> active_sessions_;
+  /// Partial destination replicas discarded on retry (destination crashed or
+  /// target changed). In-flight host-bus/flusher work may still reference
+  /// them, so they are parked until teardown instead of destroyed mid-run.
+  std::vector<std::unique_ptr<storage::ChunkStore>> retired_stores_;
   int next_vm_id_ = 0;
 };
 

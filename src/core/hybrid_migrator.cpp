@@ -63,8 +63,11 @@ double HybridSession::wire_bytes(ChunkId c) {
 }
 
 // Algorithm 1: RemainingSet <- ModifiedSet, WriteCount <- 0, start push.
+// On a retry with an adopted partial destination, chunks already current
+// there are skipped — that is the resumed work.
 void HybridSession::start() {
   src_store_->for_each_modified([this](ChunkId c) {
+    if (has_resume_ && resume_valid_.test(c)) return;
     add_remaining(c);
     if (cfg_.push_enabled) {
       push_queue_.push_back(c);
@@ -107,8 +110,14 @@ sim::Task HybridSession::push_task() {
     }
     remove_remaining(c);
     co_await src_store_->read_chunk(c);
-    co_await net.transfer(src_node_, dst_node_, wire_bytes(c),
-                          net::TrafficClass::kStoragePush);
+    if (!co_await net.transfer(src_node_, dst_node_, wire_bytes(c),
+                               net::TrafficClass::kStoragePush)) {
+      // An endpoint crashed under the push: the chunk never arrived, so it
+      // goes back into RemainingSet (the retry re-pushes it). The loop head
+      // observes stop_push_, which the abort raised.
+      add_remaining(c);
+      continue;
+    }
     co_await dst_store_->write_chunk(c);
     ++chunks_pushed_;
     ++transfer_count_[c];
@@ -221,11 +230,23 @@ sim::Task HybridSession::do_pull(ChunkId c, bool on_demand) {
   inflight_slot_[c] = slot;
   ++active_pulls_;
   auto& net = cluster_.network();
-  co_await net.transfer(dst_node_, src_node_, cfg_.pull_request_bytes,
-                        net::TrafficClass::kControl);
-  co_await src_store_->read_chunk(c);
-  co_await net.transfer(src_node_, dst_node_, wire_bytes(c),
-                        net::TrafficClass::kStoragePull);
+  // Pulls run only after control transfer, where aborts no longer happen:
+  // a crashed endpoint is waited out (rebooted) and the pull retried, so
+  // the destination never loses a chunk it already committed to fetch.
+  for (;;) {
+    if (!co_await net.transfer(dst_node_, src_node_, cfg_.pull_request_bytes,
+                               net::TrafficClass::kControl)) {
+      co_await net.wait_node_up(dst_node_);
+      co_await net.wait_node_up(src_node_);
+      continue;
+    }
+    co_await src_store_->read_chunk(c);
+    if (co_await net.transfer(src_node_, dst_node_, wire_bytes(c),
+                              net::TrafficClass::kStoragePull))
+      break;
+    co_await net.wait_node_up(dst_node_);
+    co_await net.wait_node_up(src_node_);
+  }
   if (!pull_slab_[slot].cancelled) {
     co_await dst_store_->write_chunk(c);
   }
@@ -253,12 +274,16 @@ sim::Task HybridSession::pre_control_transfer() {
   stop_push_ = true;
   push_wakeup_.notify_all();
   co_await push_stopped_.wait();
+  if (aborted_) co_return;  // fault hit during the push drain: no handoff
 
   // Ship RemainingSet + WriteCount to the destination.
   const double list_bytes =
       cfg_.list_entry_bytes * static_cast<double>(in_remaining_.count()) + 64;
-  co_await cluster_.network().transfer(src_node_, dst_node_, list_bytes,
-                                       net::TrafficClass::kControl);
+  if (!co_await cluster_.network().transfer(src_node_, dst_node_, list_bytes,
+                                            net::TrafficClass::kControl)) {
+    aborted_ = true;  // a crash raced the handoff: control must not move
+    co_return;
+  }
   // Pre-size the pull log so steady-state pulls never grow it (the
   // allocation-regression suite pins the pull phase at zero heap traffic).
   pull_log_.reserve(pull_log_.size() + in_remaining_.count());
@@ -278,6 +303,30 @@ sim::Task HybridSession::wait_source_released() {
   assert(pull_started_ && control_transferred_);
   maybe_release_source();
   co_await source_released_.wait();
+}
+
+void HybridSession::abort() {
+  StorageMigrationSession::abort();
+  // Wind down the push loop; an idle push task wakes, sees stop_push_ and
+  // exits. Pulls cannot be running (aborts only happen before control
+  // transfer), so there is no slab to tear down here — do_pull slots are
+  // recycled on their own completion path.
+  stop_push_ = true;
+  push_wakeup_.notify_all();
+}
+
+std::unique_ptr<storage::ChunkStore> HybridSession::take_partial_destination(
+    util::DirtyBitmap* valid_out) {
+  if (control_transferred_ || dst_store_owned_ == nullptr) return nullptr;
+  // Current at the destination = pushed there and not re-dirtied since
+  // (a later source write puts the chunk back into RemainingSet).
+  valid_out->resize(dst_store_owned_->num_chunks());
+  valid_out->clear();
+  dst_store_owned_->for_each_modified([&](ChunkId c) {
+    if (!in_remaining_.test(c)) valid_out->set(c);
+  });
+  dst_store_ = nullptr;
+  return std::move(dst_store_owned_);
 }
 
 }  // namespace hm::core

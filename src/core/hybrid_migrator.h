@@ -81,6 +81,9 @@ class HybridSession final : public StorageMigrationSession {
   sim::Task wait_source_released() override;
   sim::Task vm_read(ChunkId c) override;
   sim::Task vm_write(ChunkId c) override;
+  void abort() override;
+  std::unique_ptr<storage::ChunkStore> take_partial_destination(
+      util::DirtyBitmap* valid_out) override;
 
   // --- introspection (tests / benches) -------------------------------------
   std::uint32_t write_count(ChunkId c) const { return write_count_[c]; }

@@ -37,9 +37,23 @@ struct MigrationRecord {
   double storage_chunks_pushed = 0;  // active phase transfers
   double storage_chunks_pulled = 0;  // passive phase transfers
 
+  // --- fault/recovery accounting (fault-injection axis) ---------------------
+  int retries = 0;                  // aborted attempts before this one
+  double retransferred_bytes = 0;   // work thrown away by aborted attempts
+  double t_first_abort = 0;         // first fault-induced abort (0 = none)
+  bool abandoned = false;           // gave up after max_attempts
+
   /// Paper definition: "time elapsed between the moment when the migration
   /// has been initiated and the source has been relinquished".
   double migration_time() const noexcept { return t_source_released - t_request; }
+
+  /// Fault to re-established control transfer; 0 when no fault hit this
+  /// migration (or it never completed).
+  double time_to_recover() const noexcept {
+    return (t_first_abort > 0 && t_control_transfer > t_first_abort)
+               ? t_control_transfer - t_first_abort
+               : 0;
+  }
 
   /// Residual-dependency window: time during which the VM already runs on
   /// the destination but still depends on the source for disk state. Zero

@@ -62,7 +62,12 @@ sim::Task MigrationManager::local_read(ChunkId c) {
   co_await replica_->read_chunk(c);
 }
 
-sim::Task MigrationManager::local_write(ChunkId c) { co_await replica_->write_chunk(c); }
+sim::Task MigrationManager::local_write(ChunkId c) {
+  // A source write between migration attempts makes any preserved
+  // destination copy of the chunk stale.
+  if (resume_) resume_->valid.reset(c);
+  co_await replica_->write_chunk(c);
+}
 
 StorageMigrationSession::StorageMigrationSession(sim::Simulator& sim, vm::Cluster& cluster,
                                                  MigrationManager* mgr, net::NodeId dst_node,
@@ -87,6 +92,23 @@ void StorageMigrationSession::transfer_control() {
   src_store_owned_ = mgr_->switch_to(std::move(dst_store_owned_), dst_node_);
   src_store_ = src_store_owned_.get();
   control_transferred_ = true;
+}
+
+void StorageMigrationSession::abort() { aborted_ = true; }
+
+void StorageMigrationSession::adopt_destination(
+    std::unique_ptr<storage::ChunkStore> store, util::DirtyBitmap valid) {
+  if (store == nullptr) return;
+  assert(!control_transferred_);
+  dst_store_owned_ = std::move(store);
+  dst_store_ = dst_store_owned_.get();
+  resume_valid_ = std::move(valid);
+  has_resume_ = true;
+}
+
+std::unique_ptr<storage::ChunkStore> StorageMigrationSession::take_partial_destination(
+    util::DirtyBitmap*) {
+  return nullptr;
 }
 
 sim::Task StorageMigrationSession::storage_round() { co_return; }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "core/metrics.h"
@@ -19,6 +20,7 @@
 #include "sim/task.h"
 #include "storage/chunk_store.h"
 #include "storage/page_cache.h"
+#include "util/bitmap.h"
 #include "vm/compute_node.h"
 
 namespace hm::core {
@@ -60,6 +62,21 @@ class MigrationManager final : public storage::BlockBackend {
 
   std::uint64_t repo_fetches() const noexcept { return repo_fetches_; }
 
+  // --- abort/retry bookkeeping (fault axis) ---------------------------------
+  /// Partial destination replica preserved across an aborted attempt.
+  /// `valid` marks chunks whose content in `dst_store` is still current;
+  /// local_write() keeps it honest while the VM runs between attempts
+  /// (a source write makes the destination copy stale). The state is only
+  /// reusable while the destination node's crash epoch is unchanged — a
+  /// destination crash loses the un-synced partial replica.
+  struct ResumeState {
+    std::unique_ptr<storage::ChunkStore> dst_store;
+    util::DirtyBitmap valid{0};
+    net::NodeId dst_node = 0;
+    std::uint64_t dst_epoch = 0;
+  };
+  std::optional<ResumeState>& resume_state() noexcept { return resume_; }
+
  private:
   sim::Simulator& sim_;
   vm::Cluster& cluster_;
@@ -70,6 +87,7 @@ class MigrationManager final : public storage::BlockBackend {
   // Deduplicate concurrent on-demand fetches of the same base chunk.
   std::unordered_map<ChunkId, std::shared_ptr<sim::Event>> inflight_fetch_;
   std::uint64_t repo_fetches_ = 0;
+  std::optional<ResumeState> resume_;
 };
 
 /// Strategy interface for one live storage migration (source + destination
@@ -117,6 +135,29 @@ class StorageMigrationSession {
   virtual sim::Task vm_read(ChunkId c);
   virtual sim::Task vm_write(ChunkId c);
 
+  // --- fault handling: abort / retry / resume -------------------------------
+  /// Flag the session aborted (a fault hit an endpoint before control
+  /// moved). The data-path loops observe the flag — and their failed
+  /// transfers — and wind down; the hypervisor bails out after its next
+  /// await. Idempotent.
+  virtual void abort();
+  bool aborted() const noexcept { return aborted_; }
+  net::NodeId source_node() const noexcept { return src_node_; }
+  net::NodeId destination_node() const noexcept { return dst_node_; }
+
+  /// Retry support: before start(), replace the destination replica with
+  /// partial state preserved from a previous attempt; `valid` marks the
+  /// chunks already current there, which the strategy skips when seeding
+  /// its transfer set.
+  void adopt_destination(std::unique_ptr<storage::ChunkStore> store,
+                         util::DirtyBitmap valid);
+  /// After an abort: relinquish the partial destination replica together
+  /// with the set of still-current chunks (written out through valid_out).
+  /// Returns null when the strategy keeps no resumable state or control
+  /// already moved.
+  virtual std::unique_ptr<storage::ChunkStore> take_partial_destination(
+      util::DirtyBitmap* valid_out);
+
   bool control_transferred() const noexcept { return control_transferred_; }
   MigrationRecord& record() noexcept { return rec_; }
 
@@ -134,6 +175,11 @@ class StorageMigrationSession {
   std::unique_ptr<storage::ChunkStore> src_store_owned_;
   storage::ChunkStore* src_store_ = nullptr;
   bool control_transferred_ = false;
+  bool aborted_ = false;
+  // Chunks already current at the adopted destination replica (see
+  // adopt_destination); only meaningful while has_resume_ is set.
+  util::DirtyBitmap resume_valid_{0};
+  bool has_resume_ = false;
   MigrationRecord& rec_;
 };
 

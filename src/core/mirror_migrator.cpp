@@ -11,7 +11,34 @@ MirrorSession::MirrorSession(sim::Simulator& sim, vm::Cluster& cluster,
       bg_done_(sim),
       drain_(sim) {}
 
-void MirrorSession::start() { sim_.spawn(background_copy()); }
+void MirrorSession::start() {
+  if (has_resume_) {
+    // Chunks preserved at an adopted destination need no re-mirroring.
+    for (ChunkId c = 0; c < mirrored_.size(); ++c)
+      if (resume_valid_.test(c)) mirrored_[c] = 1;
+  }
+  sim_.spawn(background_copy());
+}
+
+void MirrorSession::abort() {
+  StorageMigrationSession::abort();
+  // Unblock pre_control_transfer / wait_ready_to_complete; the background
+  // task itself bails at the next loop head or failed transfer.
+  bg_done_.set();
+  drain_.notify_all();
+}
+
+std::unique_ptr<storage::ChunkStore> MirrorSession::take_partial_destination(
+    util::DirtyBitmap* valid_out) {
+  if (control_transferred_ || dst_store_owned_ == nullptr) return nullptr;
+  valid_out->resize(dst_store_owned_->num_chunks());
+  valid_out->clear();
+  dst_store_owned_->for_each_modified([&](ChunkId c) {
+    if (mirrored_[c]) valid_out->set(c);
+  });
+  dst_store_ = nullptr;
+  return std::move(dst_store_owned_);
+}
 
 sim::Task MirrorSession::background_copy() {
   auto& net = cluster_.network();
@@ -26,6 +53,7 @@ sim::Task MirrorSession::background_copy() {
   }
   std::size_t i = 0;
   while (i < snapshot.size()) {
+    if (aborted_) break;
     std::vector<ChunkId> batch;
     while (i < snapshot.size() && batch.size() < cfg_.batch_chunks) {
       const ChunkId c = snapshot[i++];
@@ -41,8 +69,10 @@ sim::Task MirrorSession::background_copy() {
         co_await src_store_->disk().read(chunk_bytes);
       }
     }
-    co_await net.transfer(src_node_, dst_node_, chunk_bytes * static_cast<double>(batch.size()),
-                          net::TrafficClass::kStoragePush);
+    if (!co_await net.transfer(src_node_, dst_node_,
+                               chunk_bytes * static_cast<double>(batch.size()),
+                               net::TrafficClass::kStoragePush))
+      break;  // crash under the batch; the retry re-streams un-mirrored chunks
     for (ChunkId c : batch) {
       co_await dst_store_->write_chunk(c);
       mirrored_[c] = 1;
@@ -55,13 +85,16 @@ sim::Task MirrorSession::background_copy() {
 
 sim::Task MirrorSession::mirror_remote_write(ChunkId c, sim::WaitGroup& wg) {
   auto& net = cluster_.network();
-  co_await net.transfer(src_node_, dst_node_, src_store_->image().chunk_bytes,
-                        net::TrafficClass::kStoragePush);
-  co_await dst_store_->write_chunk(c);
-  mirrored_[c] = 1;
-  ++writes_mirrored_;
-  rec_.storage_chunks_pushed += 1;
-  wg.done();
+  const bool ok = co_await net.transfer(src_node_, dst_node_,
+                                        src_store_->image().chunk_bytes,
+                                        net::TrafficClass::kStoragePush);
+  if (ok && !aborted_) {
+    co_await dst_store_->write_chunk(c);
+    mirrored_[c] = 1;
+    ++writes_mirrored_;
+    rec_.storage_chunks_pushed += 1;
+  }
+  wg.done();  // the guest write must never deadlock on a failed mirror leg
 }
 
 // Writes complete on the source only after they also complete on the
@@ -91,7 +124,8 @@ sim::Task MirrorSession::wait_ready_to_complete() { co_await bg_done_.wait(); }
 // paused-VM part only drains the last in-flight mirrored writes.
 sim::Task MirrorSession::pre_control_transfer() {
   co_await bg_done_.wait();
-  while (inflight_writes_ > 0) co_await drain_.wait();
+  if (aborted_) co_return;
+  while (inflight_writes_ > 0 && !aborted_) co_await drain_.wait();
 }
 
 sim::Task MirrorSession::wait_source_released() { co_return; }

@@ -31,6 +31,9 @@ class MirrorSession final : public StorageMigrationSession {
   sim::Task pre_control_transfer() override;
   sim::Task wait_source_released() override;
   sim::Task vm_write(ChunkId c) override;
+  void abort() override;
+  std::unique_ptr<storage::ChunkStore> take_partial_destination(
+      util::DirtyBitmap* valid_out) override;
   bool ready_to_complete() const override { return bg_done_.is_set(); }
   sim::Task wait_ready_to_complete() override;
 

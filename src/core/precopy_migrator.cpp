@@ -15,9 +15,11 @@ PrecopySession::PrecopySession(sim::Simulator& sim, vm::Cluster& cluster,
 
 void PrecopySession::start() {
   // Bulk phase: every chunk of the qcow2 snapshot (= every modified chunk)
-  // is queued for the first round.
+  // is queued for the first round; on a retry, chunks already current at
+  // the adopted destination are skipped.
   mgr_->replica().for_each_modified([this](ChunkId c) {
     cow_.on_write(c);
+    if (has_resume_ && resume_valid_.test(c)) return;
     dirty_.set(c);
   });
 }
@@ -40,10 +42,12 @@ sim::Task PrecopySession::send_chunks(const std::vector<ChunkId>& chunks) {
   const double chunk_bytes = src_store_->image().chunk_bytes;
   std::size_t i = 0;
   while (i < chunks.size()) {
+    if (aborted_) break;
     const std::size_t n = std::min<std::size_t>(cfg_.batch_chunks, chunks.size() - i);
     for (std::size_t k = 0; k < n; ++k) co_await src_store_->read_chunk(chunks[i + k]);
-    co_await net.transfer(src_node_, dst_node_, chunk_bytes * static_cast<double>(n),
-                          net::TrafficClass::kStoragePush, cfg_.rate_cap_Bps);
+    if (!co_await net.transfer(src_node_, dst_node_, chunk_bytes * static_cast<double>(n),
+                               net::TrafficClass::kStoragePush, cfg_.rate_cap_Bps))
+      break;  // crash under the batch: it never arrived
     for (std::size_t k = 0; k < n; ++k) {
       co_await dst_store_->write_chunk(chunks[i + k]);
       ++send_count_[chunks[i + k]];
@@ -52,6 +56,9 @@ sim::Task PrecopySession::send_chunks(const std::vector<ChunkId>& chunks) {
     }
     i += n;
   }
+  // Everything unsent goes back into the dirty set so the retry (or the
+  // next round) re-streams it.
+  for (; i < chunks.size(); ++i) dirty_.set(chunks[i]);
 }
 
 // One block-migration round: snapshot the dirty set (word-granular drain)
@@ -71,5 +78,18 @@ sim::Task PrecopySession::pre_control_transfer() { co_await storage_round(); }
 // The destination holds the full snapshot at control transfer; the source
 // is released immediately (Table 1 semantics).
 sim::Task PrecopySession::wait_source_released() { co_return; }
+
+std::unique_ptr<storage::ChunkStore> PrecopySession::take_partial_destination(
+    util::DirtyBitmap* valid_out) {
+  if (control_transferred_ || dst_store_owned_ == nullptr) return nullptr;
+  // Current at the destination = sent there and not re-dirtied since.
+  valid_out->resize(dst_store_owned_->num_chunks());
+  valid_out->clear();
+  dst_store_owned_->for_each_modified([&](ChunkId c) {
+    if (!dirty_.test(c)) valid_out->set(c);
+  });
+  dst_store_ = nullptr;
+  return std::move(dst_store_owned_);
+}
 
 }  // namespace hm::core

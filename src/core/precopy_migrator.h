@@ -35,6 +35,8 @@ class PrecopySession final : public StorageMigrationSession {
   sim::Task pre_control_transfer() override;
   sim::Task wait_source_released() override;
   sim::Task vm_write(ChunkId c) override;
+  std::unique_ptr<storage::ChunkStore> take_partial_destination(
+      util::DirtyBitmap* valid_out) override;
 
   bool converges_with_memory() const override { return true; }
   double residual_storage_bytes() const override;

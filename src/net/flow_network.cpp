@@ -93,8 +93,14 @@ std::uint32_t FlowNetwork::alloc_flow_slot() {
 
 double FlowNetwork::constraint_cap(std::uint32_t c) const noexcept {
   const std::size_t n = nodes_.size();
-  if (c < n) return nodes_[c].egress_Bps;
-  if (c < 2 * n) return nodes_[c - n].ingress_Bps;
+  if (c < n) {
+    const Node& nd = nodes_[c];
+    return nd.flap_holds ? 0.0 : nd.egress_Bps * nd.egress_scale;
+  }
+  if (c < 2 * n) {
+    const Node& nd = nodes_[c - n];
+    return nd.flap_holds ? 0.0 : nd.ingress_Bps * nd.ingress_scale;
+  }
   if (c == 2 * n) return cfg_.fabric_Bps;
   const std::size_t g = groups_.size();
   const std::size_t up_base = 2 * n + 1;
@@ -227,6 +233,14 @@ void FlowNetwork::start_leg(FlowOp* op) {
 }
 
 void FlowNetwork::begin_flow(FlowOp* op) {
+  if (!nodes_[op->src].up || !nodes_[op->dst].up) {
+    // An endpoint crashed before the leg's latency elapsed: the flow never
+    // materializes and its bytes are never counted. Step through the same
+    // zero-delay event a completion would use.
+    op->failed = true;
+    sim_.post([](void* p, void*) { auto* o = static_cast<FlowOp*>(p); o->step(o); }, op);
+    return;
+  }
   traffic_[static_cast<std::size_t>(op->cls)] += op->bytes;
 
   advance_to_now();
@@ -269,6 +283,85 @@ void FlowNetwork::begin_flow(FlowOp* op) {
   // event, so every other arrival in this virtual instant shares it. The
   // flow carries rate 0 for zero virtual time, which integrates to nothing.
   mark_dirty();
+}
+
+// --- fault injection ---------------------------------------------------------
+
+void FlowNetwork::dirty_node_components(NodeId n) {
+  const std::size_t nn = nodes_.size();
+  const std::uint32_t cs[2] = {n, static_cast<std::uint32_t>(nn + n)};
+  for (const std::uint32_t c : cs) {
+    if (c >= nic_owner_.size()) continue;
+    const std::uint32_t owner = nic_owner_[c];
+    if (owner != kNilIndex && comps_[owner].in_use &&
+        comps_[owner].gen == nic_owner_gen_[c])
+      comps_[owner].dirty = true;
+  }
+}
+
+void FlowNetwork::set_node_up(NodeId n, bool up) {
+  Node& nd = nodes_[n];
+  if (nd.up == up) return;
+  nd.up = up;
+  if (!up) {
+    ++nd.epoch;  // anything staged on the node is lost
+    fail_flows_at(n);
+    return;
+  }
+  if (up_waiters_.size() < nodes_.size()) up_waiters_.resize(nodes_.size());
+  for (sim::WaitNode* w = up_waiters_[n].drain(); w != nullptr; w = w->next)
+    sim_.post(w->fn, w->a, w->b);
+}
+
+void FlowNetwork::scale_node_capacity(NodeId n, double egress_mult,
+                                      double ingress_mult) {
+  Node& nd = nodes_[n];
+  nd.egress_scale *= egress_mult;
+  nd.ingress_scale *= ingress_mult;
+  dirty_node_components(n);
+  mark_dirty();
+}
+
+void FlowNetwork::set_link_flapped(NodeId n, bool flapped) {
+  Node& nd = nodes_[n];
+  if (flapped)
+    ++nd.flap_holds;
+  else if (nd.flap_holds > 0)
+    --nd.flap_holds;
+  dirty_node_components(n);
+  mark_dirty();
+}
+
+void FlowNetwork::fail_flows_at(NodeId n) {
+  advance_to_now();
+  finished_scratch_.clear();
+  live_bits_.for_each_set([&](std::uint64_t s) {
+    const Flow& f = flow_slots_[s].flow;
+    if (f.src == n || f.dst == n)
+      finished_scratch_.push_back(static_cast<std::uint32_t>(s));
+  });
+  if (finished_scratch_.empty()) return;
+  if (settle_pending_) {
+    // The inline solve below covers any arrivals already queued this instant.
+    settle_timer_.cancel();
+    settle_pending_ = false;
+  }
+  // Same ordering discipline as on_completion_timer: step the ops while the
+  // slots are alive, free the slots before the solve.
+  for (const std::uint32_t slot : finished_scratch_) {
+    FlowSlot& fs = flow_slots_[slot];
+    FlowOp* op = fs.op;
+    op->failed = true;
+    // The un-sent remainder never crossed the wire: uncount it (bytes are
+    // charged in full at flow start).
+    traffic_[static_cast<std::size_t>(op->cls)] -= fs.flow.remaining;
+    fs.flow.proj = -1.0;  // any completion-heap entries turn stale
+    sim_.post([](void* p, void*) { auto* o = static_cast<FlowOp*>(p); o->step(o); },
+              op);
+    release_flow_slot(slot);
+  }
+  solve_epoch();
+  schedule_completion();
 }
 
 void FlowNetwork::advance_to_now() {

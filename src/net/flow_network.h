@@ -169,6 +169,12 @@ class FlowNetwork {
     double bytes = 0.0;
     double cap = kUnlimitedRate;
     TrafficClass cls = TrafficClass::kControl;
+    // Set when an endpoint crashed: the leg is torn down, its un-transferred
+    // bytes are credited back to the traffic counters, and the continuation
+    // is stepped exactly once through the normal completion event — so the
+    // awaiting coroutine unwinds along the ordinary resume path and can
+    // observe the failure from await_resume().
+    bool failed = false;
   };
 
   /// Frameless single-transfer awaitable (see FlowOp). Non-copyable: the
@@ -185,7 +191,9 @@ class FlowNetwork {
       op_.cont = h;
       op_.net->start_leg(&op_);
     }
-    void await_resume() const noexcept {}
+    /// True if the transfer completed; false if an endpoint crashed
+    /// mid-flight (the flow was torn down and un-sent bytes uncounted).
+    bool await_resume() const noexcept { return !op_.failed; }
 
    private:
     friend class FlowNetwork;
@@ -222,7 +230,8 @@ class FlowNetwork {
       }
       begin_response();  // empty request: straight to the payload leg
     }
-    void await_resume() const noexcept {}
+    /// True if both legs completed; false if either leg failed.
+    bool await_resume() const noexcept { return !op_.failed; }
 
    private:
     friend class FlowNetwork;
@@ -240,11 +249,11 @@ class FlowNetwork {
     }
     static void on_step(FlowOp* op) {
       auto* self = static_cast<RequestResponseAwaiter*>(op->self);
-      if (!self->response_started_) {
+      if (!op->failed && !self->response_started_) {
         self->begin_response();
         return;
       }
-      op->cont.resume();
+      op->cont.resume();  // done — or a leg failed: skip straight out
     }
     void begin_response() {
       response_started_ = true;
@@ -285,6 +294,57 @@ class FlowNetwork {
     return RequestResponseAwaiter{*this, requester, responder, request_bytes,
                                   response_bytes, response_cls};
   }
+
+  // --- fault injection -----------------------------------------------------
+  // Faults are ordinary state changes applied at the current virtual time;
+  // they dirty the affected components through the same mechanism as flow
+  // arrivals, so the incremental solver re-settles deterministically and
+  // stays byte-identical to the full re-solve.
+
+  /// Mark a node down (crash) or back up (reboot). Going down fails every
+  /// live flow touching the node (their FlowOps are stepped with
+  /// failed=true, un-sent bytes are uncounted) and rejects new flows until
+  /// the node returns; going up wakes wait_node_up() waiters.
+  void set_node_up(NodeId n, bool up);
+  bool node_up(NodeId n) const noexcept { return nodes_[n].up; }
+  /// Incarnation counter: bumped every time the node goes down. Lets a
+  /// retry decide whether state staged on the node survived (same epoch)
+  /// or was lost in a crash (epoch advanced).
+  std::uint64_t node_epoch(NodeId n) const noexcept { return nodes_[n].epoch; }
+
+  /// Suspend until the node is up (immediate when it already is). Intrusive
+  /// waiter — no allocation.
+  class [[nodiscard]] NodeUpAwaiter {
+   public:
+    bool await_ready() const noexcept { return net_->node_up(n_); }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      node_.bind(h);
+      net_->up_waiters_[n_].push(&node_);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class FlowNetwork;
+    NodeUpAwaiter(FlowNetwork& net, NodeId n) noexcept : net_(&net), n_(n) {}
+    FlowNetwork* net_;
+    NodeId n_;
+    sim::WaitNode node_;
+  };
+  NodeUpAwaiter wait_node_up(NodeId n) {
+    if (up_waiters_.size() < nodes_.size()) up_waiters_.resize(nodes_.size());
+    return NodeUpAwaiter{*this, n};
+  }
+
+  /// Multiplicatively scale a node's NIC capacities (degraded-rate window /
+  /// slow receiver). Restore by applying the reciprocal. Dirties the
+  /// components owning the node's NIC constraints so the next settle
+  /// re-solves them.
+  void scale_node_capacity(NodeId n, double egress_mult, double ingress_mult);
+  /// Link flap: while any hold is active the node's NIC capacities read as
+  /// zero (flows through it stall at rate 0 but stay queued). Hold-counted
+  /// so overlapping flap windows nest.
+  void set_link_flapped(NodeId n, bool flapped);
+  bool link_flapped(NodeId n) const noexcept { return nodes_[n].flap_holds > 0; }
 
   // --- accounting ---------------------------------------------------------
   double traffic_bytes(TrafficClass cls) const noexcept {
@@ -358,6 +418,12 @@ class FlowNetwork {
     double egress_Bps;
     double ingress_Bps;
     SwitchGroupId group;
+    // Fault state (see "fault injection" above).
+    double egress_scale = 1.0;
+    double ingress_scale = 1.0;
+    std::uint32_t flap_holds = 0;
+    bool up = true;
+    std::uint64_t epoch = 0;  // bumped on every crash
   };
   struct Group {
     double uplink_Bps;
@@ -415,6 +481,13 @@ class FlowNetwork {
   void release_component(std::uint32_t id) noexcept;
   void detach_from_component(FlowSlot& fs) noexcept;
 
+  /// Tear down every live flow with an endpoint at `n` (crash): credit back
+  /// un-transferred bytes, step the ops with failed=true, release the slots
+  /// and re-settle.
+  void fail_flows_at(NodeId n);
+  /// Dirty the components owning node n's NIC constraints (capacity change).
+  void dirty_node_components(NodeId n);
+
   void advance_to_now();
   void solve_epoch();
   void water_fill(std::size_t first_item, std::size_t n_items);
@@ -428,6 +501,8 @@ class FlowNetwork {
   FlowNetworkConfig cfg_;
   std::vector<Node> nodes_;
   std::vector<Group> groups_;
+  // Per-node reboot waiters (grown lazily by wait_node_up/set_node_up).
+  std::vector<sim::WaiterList> up_waiters_;
 
   // Slab of flow slots. A flat vector: slots hold no non-movable members
   // anymore (the done Event became the op pointer) and no reference into the

@@ -1,0 +1,199 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
+
+namespace hm::sim {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+constexpr KindName kKindNames[] = {
+    {FaultKind::kSourceCrash, "src-crash"}, {FaultKind::kDestCrash, "dst-crash"},
+    {FaultKind::kLinkDegrade, "degrade"},   {FaultKind::kLinkFlap, "flap"},
+    {FaultKind::kSlowReceiver, "slow-recv"}, {FaultKind::kRepoOutage, "repo-outage"},
+};
+
+double clamp_factor(double f) {
+  if (!(f > 0.0)) return 1e-3;
+  return f > 1.0 ? 1.0 : f;
+}
+
+bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string buf(s);
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+bool parse_u32(std::string_view s, std::uint32_t* out) {
+  double d = 0;
+  if (!parse_double(s, &d) || d < 0 || d != static_cast<std::uint32_t>(d))
+    return false;
+  *out = static_cast<std::uint32_t>(d);
+  return true;
+}
+
+bool fail(std::string* err, std::string msg) {
+  if (err) *err = std::move(msg);
+  return false;
+}
+
+bool parse_event(std::string_view tok, FaultEvent* ev, std::string* err) {
+  const auto at_pos = tok.find('@');
+  if (at_pos == std::string_view::npos)
+    return fail(err, "fault event '" + std::string(tok) + "' missing '@TIME'");
+  const std::string_view kind = tok.substr(0, at_pos);
+  bool known = false;
+  for (const auto& kn : kKindNames) {
+    if (kind == kn.name) {
+      ev->kind = kn.kind;
+      known = true;
+      break;
+    }
+  }
+  if (!known)
+    return fail(err, "unknown fault kind '" + std::string(kind) +
+                         "' (src-crash|dst-crash|degrade|flap|slow-recv|repo-outage)");
+  std::string_view rest = tok.substr(at_pos + 1);
+  const auto next_mod = [&] { return rest.find_first_of("+*#"); };
+  auto mod = next_mod();
+  if (!parse_double(rest.substr(0, mod), &ev->at) || ev->at < 0)
+    return fail(err, "bad fault time in '" + std::string(tok) + "'");
+  while (mod != std::string_view::npos) {
+    const char sep = rest[mod];
+    rest = rest.substr(mod + 1);
+    mod = next_mod();
+    const std::string_view val = rest.substr(0, mod);
+    switch (sep) {
+      case '+':
+        if (!parse_double(val, &ev->duration_s) || ev->duration_s <= 0)
+          return fail(err, "bad fault duration in '" + std::string(tok) + "'");
+        break;
+      case '*':
+        if (!parse_double(val, &ev->factor))
+          return fail(err, "bad fault factor in '" + std::string(tok) + "'");
+        ev->factor = clamp_factor(ev->factor);
+        break;
+      case '#':
+        if (!parse_u32(val, &ev->target))
+          return fail(err, "bad fault target in '" + std::string(tok) + "'");
+        break;
+    }
+  }
+  return true;
+}
+
+bool parse_rand(std::string_view body, FaultRandSpec* rs, std::string* err) {
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view kv = body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{}
+                                           : body.substr(comma + 1);
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos)
+      return fail(err, "fault rand spec expects k=v, got '" + std::string(kv) + "'");
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+    bool ok = true;
+    if (key == "crashes") ok = parse_u32(val, &rs->crashes);
+    else if (key == "dst-crashes") ok = parse_u32(val, &rs->dst_crashes);
+    else if (key == "degrades") ok = parse_u32(val, &rs->degrades);
+    else if (key == "flaps") ok = parse_u32(val, &rs->flaps);
+    else if (key == "slow") ok = parse_u32(val, &rs->slow);
+    else if (key == "outages") ok = parse_u32(val, &rs->outages);
+    else if (key == "from") ok = parse_double(val, &rs->from) && rs->from >= 0;
+    else if (key == "span") ok = parse_double(val, &rs->span) && rs->span > 0;
+    else if (key == "dur") ok = parse_double(val, &rs->dur) && rs->dur > 0;
+    else if (key == "factor") {
+      ok = parse_double(val, &rs->factor);
+      rs->factor = clamp_factor(rs->factor);
+    } else {
+      return fail(err, "unknown fault rand key '" + std::string(key) + "'");
+    }
+    if (!ok)
+      return fail(err, "bad value for fault rand key '" + std::string(key) + "'");
+  }
+  return true;
+}
+
+void sort_plan(FaultPlan* plan) {
+  std::stable_sort(plan->events.begin(), plan->events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return std::tie(a.at, a.kind, a.target) <
+                            std::tie(b.at, b.kind, b.target);
+                   });
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) noexcept {
+  for (const auto& kn : kKindNames)
+    if (kn.kind == k) return kn.name;
+  return "?";
+}
+
+bool parse_fault_spec(std::string_view arg, FaultSpec* out, std::string* err) {
+  *out = FaultSpec{};
+  if (arg.rfind("faults:", 0) == 0) arg = arg.substr(7);
+  if (arg.empty() || arg == "none") return true;
+  if (arg.rfind("rand:", 0) == 0) {
+    out->rand = true;
+    return parse_rand(arg.substr(5), &out->rand_spec, err);
+  }
+  while (!arg.empty()) {
+    const auto semi = arg.find(';');
+    const std::string_view tok = arg.substr(0, semi);
+    arg = semi == std::string_view::npos ? std::string_view{} : arg.substr(semi + 1);
+    if (tok.empty()) continue;
+    FaultEvent ev{};
+    if (!parse_event(tok, &ev, err)) return false;
+    out->scripted.push_back(ev);
+  }
+  return true;
+}
+
+FaultPlan build_fault_plan(const FaultSpec& spec, const Rng& rng,
+                           std::uint32_t num_migrations) {
+  FaultPlan plan;
+  plan.events = spec.scripted;
+  if (spec.rand) {
+    Rng r = rng.fork("fault-plan");
+    const FaultRandSpec& rs = spec.rand_spec;
+    // Fixed category order: adding a category at the end never perturbs the
+    // draws consumed by earlier ones.
+    const struct {
+      FaultKind kind;
+      std::uint32_t count;
+    } cats[] = {
+        {FaultKind::kSourceCrash, rs.crashes},
+        {FaultKind::kDestCrash, rs.dst_crashes},
+        {FaultKind::kLinkDegrade, rs.degrades},
+        {FaultKind::kLinkFlap, rs.flaps},
+        {FaultKind::kSlowReceiver, rs.slow},
+        {FaultKind::kRepoOutage, rs.outages},
+    };
+    for (const auto& cat : cats) {
+      for (std::uint32_t i = 0; i < cat.count; ++i) {
+        FaultEvent ev;
+        ev.kind = cat.kind;
+        ev.at = r.uniform_real(rs.from, rs.from + rs.span);
+        ev.duration_s = std::max(0.5, r.exponential(rs.dur));
+        ev.factor = rs.factor;
+        ev.target = num_migrations > 0
+                        ? static_cast<std::uint32_t>(r.uniform(num_migrations))
+                        : 0;
+        plan.events.push_back(ev);
+      }
+    }
+  }
+  sort_plan(&plan);
+  return plan;
+}
+
+}  // namespace hm::sim

@@ -1,0 +1,82 @@
+// Deterministic fault plans: a seed- or script-driven list of fault events
+// (node crashes, link flaps, degraded-rate windows, slow receivers,
+// repository outages) that an injector replays through the ordinary
+// Simulator lanes. Faults are just scheduled events, so the engine's
+// determinism contract extends to them unchanged: the same (spec, seed)
+// pair produces the identical fault timeline, and therefore the identical
+// virtual-time metrics, in both solver regimes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace hm::sim {
+
+enum class FaultKind : std::uint8_t {
+  kSourceCrash,   // source node of migration #target crashes, reboots after duration
+  kDestCrash,     // destination node of migration #target crashes + reboots
+  kLinkDegrade,   // source-node NIC capacity scaled by `factor` for duration
+  kLinkFlap,      // source-node link hard-down (capacity 0) for duration
+  kSlowReceiver,  // destination-node ingress scaled by `factor` for duration
+  kRepoOutage,    // repository / PVFS servers unavailable for duration
+};
+const char* fault_kind_name(FaultKind k) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDegrade;
+  double at = 0.0;          // virtual time the fault strikes
+  double duration_s = 10.0; // window length (for crashes: reboot delay)
+  double factor = 0.25;     // capacity multiplier for degrade / slow-recv
+  std::uint32_t target = 0; // migration index the fault is aimed at
+};
+
+/// Materialized plan: events sorted by (at, kind, target).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  bool enabled() const noexcept { return !events.empty(); }
+};
+
+/// Knobs for the "rand:" spec form — per-category counts plus the shared
+/// time window and default severity the draws use.
+struct FaultRandSpec {
+  std::uint32_t crashes = 0;      // source-node crashes
+  std::uint32_t dst_crashes = 0;  // destination-node crashes
+  std::uint32_t degrades = 0;
+  std::uint32_t flaps = 0;
+  std::uint32_t slow = 0;
+  std::uint32_t outages = 0;
+  double from = 100.0;   // window start for fault times
+  double span = 200.0;   // fault times drawn uniformly in [from, from+span)
+  double dur = 10.0;     // mean duration (exponential draw, floored)
+  double factor = 0.25;  // degrade / slow-recv capacity multiplier
+};
+
+/// Parsed --faults=SPEC, before seeding. Grammar (optional "faults:" prefix):
+///   SPEC   := "none" | EVENT (';' EVENT)* | "rand:" k=v (',' k=v)*
+///   EVENT  := KIND '@' T ['+' DUR] ['*' FACTOR] ['#' TARGET]
+///   KIND   := src-crash | dst-crash | degrade | flap | slow-recv | repo-outage
+/// rand keys: crashes, dst-crashes, degrades, flaps, slow, outages (counts),
+/// from, span, dur (seconds), factor (capacity multiplier in (0,1]).
+struct FaultSpec {
+  std::vector<FaultEvent> scripted;
+  bool rand = false;
+  FaultRandSpec rand_spec{};
+  bool enabled() const noexcept { return rand || !scripted.empty(); }
+};
+
+/// Parse a --faults argument. Returns false with *err set on a malformed
+/// spec; factors are clamped into (0, 1].
+bool parse_fault_spec(std::string_view arg, FaultSpec* out, std::string* err);
+
+/// Materialize a plan: scripted events verbatim, random events drawn from
+/// rng.fork("fault-plan") in a fixed category order (so adding a category
+/// never perturbs the draws of existing ones). Targets are drawn uniformly
+/// over [0, num_migrations). The result is sorted by (at, kind, target).
+FaultPlan build_fault_plan(const FaultSpec& spec, const Rng& rng,
+                           std::uint32_t num_migrations);
+
+}  // namespace hm::sim

@@ -5,7 +5,7 @@
 namespace hm::storage {
 
 Pvfs::Pvfs(sim::Simulator& sim, net::FlowNetwork& net, PvfsConfig cfg)
-    : sim_(sim), net_(net), cfg_(cfg) {}
+    : sim_(sim), net_(net), cfg_(cfg), available_(sim) {}
 
 void Pvfs::add_server(net::NodeId node, Disk* disk) {
   servers_.push_back(Server{node, disk});
@@ -28,16 +28,22 @@ std::vector<Pvfs::Extent> Pvfs::extents_of(std::uint64_t offset, std::uint64_t l
 sim::Task Pvfs::do_extent(net::NodeId client, Extent e, bool is_write,
                           sim::WaitGroup& wg) {
   const Server& srv = servers_[e.server];
-  if (is_write) {
-    co_await net_.transfer(client, srv.node, static_cast<double>(e.bytes),
-                           net::TrafficClass::kPvfsData);
-    if (cfg_.server_disk_io && srv.disk != nullptr)
-      co_await srv.disk->write(static_cast<double>(e.bytes));
-  } else {
-    if (cfg_.server_disk_io && srv.disk != nullptr)
-      co_await srv.disk->read(static_cast<double>(e.bytes));
-    co_await net_.transfer(srv.node, client, static_cast<double>(e.bytes),
-                           net::TrafficClass::kPvfsData);
+  for (;;) {
+    bool ok;
+    if (is_write) {
+      ok = co_await net_.transfer(client, srv.node, static_cast<double>(e.bytes),
+                                  net::TrafficClass::kPvfsData);
+      if (ok && cfg_.server_disk_io && srv.disk != nullptr)
+        co_await srv.disk->write(static_cast<double>(e.bytes));
+    } else {
+      if (cfg_.server_disk_io && srv.disk != nullptr)
+        co_await srv.disk->read(static_cast<double>(e.bytes));
+      ok = co_await net_.transfer(srv.node, client, static_cast<double>(e.bytes),
+                                  net::TrafficClass::kPvfsData);
+    }
+    if (ok) break;
+    co_await net_.wait_node_up(client);  // crashed endpoint: retry after reboot
+    co_await net_.wait_node_up(srv.node);
   }
   wg.done();
 }
@@ -46,9 +52,14 @@ sim::Task Pvfs::write(net::NodeId client, std::uint64_t offset, std::uint64_t le
   assert(!servers_.empty());
   ++ops_;
   bytes_written_ += len;
+  co_await available_.wait_open();
   // Metadata round trip to the primary server + server-side processing.
-  co_await net_.request_response(client, servers_[0].node, cfg_.rpc_bytes, cfg_.rpc_bytes,
-                                 net::TrafficClass::kControl);
+  while (!co_await net_.request_response(client, servers_[0].node, cfg_.rpc_bytes,
+                                         cfg_.rpc_bytes, net::TrafficClass::kControl)) {
+    co_await net_.wait_node_up(client);
+    co_await net_.wait_node_up(servers_[0].node);
+    co_await available_.wait_open();
+  }
   co_await sim_.delay(cfg_.server_op_latency_s);
   sim::WaitGroup wg(sim_);
   for (const Extent& e : extents_of(offset, len)) {
@@ -62,8 +73,13 @@ sim::Task Pvfs::read(net::NodeId client, std::uint64_t offset, std::uint64_t len
   assert(!servers_.empty());
   ++ops_;
   bytes_read_ += len;
-  co_await net_.request_response(client, servers_[0].node, cfg_.rpc_bytes, cfg_.rpc_bytes,
-                                 net::TrafficClass::kControl);
+  co_await available_.wait_open();
+  while (!co_await net_.request_response(client, servers_[0].node, cfg_.rpc_bytes,
+                                         cfg_.rpc_bytes, net::TrafficClass::kControl)) {
+    co_await net_.wait_node_up(client);
+    co_await net_.wait_node_up(servers_[0].node);
+    co_await available_.wait_open();
+  }
   co_await sim_.delay(cfg_.server_op_latency_s);
   sim::WaitGroup wg(sim_);
   for (const Extent& e : extents_of(offset, len)) {

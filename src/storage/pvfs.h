@@ -48,6 +48,14 @@ class Pvfs {
   std::uint64_t bytes_read() const noexcept { return bytes_read_; }
   std::uint64_t ops() const noexcept { return ops_; }
 
+  /// Fault injection: while unavailable new ops park on the gate until
+  /// service returns; ops whose transfers fail (crashed endpoint) wait for
+  /// the node to reboot and retry.
+  void set_available(bool up) {
+    up ? available_.open() : available_.close();
+  }
+  bool available() const noexcept { return available_.is_open(); }
+
  private:
   struct Server {
     net::NodeId node;
@@ -65,6 +73,7 @@ class Pvfs {
   net::FlowNetwork& net_;
   PvfsConfig cfg_;
   std::vector<Server> servers_;
+  sim::Gate available_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t ops_ = 0;

@@ -6,7 +6,7 @@ namespace hm::storage {
 
 Repository::Repository(sim::Simulator& sim, net::FlowNetwork& net, ImageConfig img,
                        RepositoryConfig cfg)
-    : sim_(sim), net_(net), img_(img), cfg_(cfg) {}
+    : sim_(sim), net_(net), img_(img), cfg_(cfg), available_(sim) {}
 
 void Repository::add_storage_node(net::NodeId node, Disk* disk) {
   servers_.push_back(Server{node, disk});
@@ -20,9 +20,21 @@ net::NodeId Repository::owner_of(ChunkId c) const noexcept {
 sim::Task Repository::fetch_chunk(net::NodeId reader, ChunkId c) {
   assert(!servers_.empty());
   const Server& srv = servers_[c % servers_.size()];
-  co_await net_.transfer(reader, srv.node, cfg_.request_bytes, net::TrafficClass::kControl);
-  if (srv.disk != nullptr) co_await srv.disk->read(img_.chunk_bytes);
-  co_await net_.transfer(srv.node, reader, img_.chunk_bytes, net::TrafficClass::kRepoRead);
+  for (;;) {
+    co_await available_.wait_open();
+    if (!co_await net_.transfer(reader, srv.node, cfg_.request_bytes,
+                                net::TrafficClass::kControl)) {
+      co_await net_.wait_node_up(reader);
+      co_await net_.wait_node_up(srv.node);
+      continue;  // an endpoint crashed mid-request: retry after reboot
+    }
+    if (srv.disk != nullptr) co_await srv.disk->read(img_.chunk_bytes);
+    if (co_await net_.transfer(srv.node, reader, img_.chunk_bytes,
+                               net::TrafficClass::kRepoRead))
+      break;
+    co_await net_.wait_node_up(reader);
+    co_await net_.wait_node_up(srv.node);
+  }
   ++chunks_served_;
 }
 

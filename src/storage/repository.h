@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/flow_network.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "storage/chunk_store.h"
 #include "storage/disk.h"
@@ -43,6 +44,14 @@ class Repository {
   std::uint64_t chunks_served() const noexcept { return chunks_served_; }
   const ImageConfig& image() const noexcept { return img_; }
 
+  /// Fault injection: while unavailable new fetches park on the gate until
+  /// service returns (crashed endpoints are handled separately — a fetch
+  /// whose transfer fails waits for the node to reboot and retries).
+  void set_available(bool up) {
+    up ? available_.open() : available_.close();
+  }
+  bool available() const noexcept { return available_.is_open(); }
+
  private:
   struct Server {
     net::NodeId node;
@@ -54,6 +63,7 @@ class Repository {
   ImageConfig img_;
   RepositoryConfig cfg_;
   std::vector<Server> servers_;
+  sim::Gate available_;
   std::uint64_t chunks_served_ = 0;
 };
 

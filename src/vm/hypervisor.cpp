@@ -19,14 +19,18 @@ sim::Task Hypervisor::live_migrate(sim::Simulator& sim, net::FlowNetwork& net,
   int round = 0;
   double final_dirty = 0;
   for (;;) {
-    co_await net.transfer(src_node, dst_node, to_send, net::TrafficClass::kMemory,
-                          cfg.migration_speed_Bps);
-    rec.memory_bytes_sent += to_send;
+    const bool sent = co_await net.transfer(src_node, dst_node, to_send,
+                                            net::TrafficClass::kMemory,
+                                            cfg.migration_speed_Bps);
+    if (sent) rec.memory_bytes_sent += to_send;
+    if (!sent) storage.abort();
+    if (storage.aborted()) co_return;  // CpuLoadGuard unwinds via RAII
     ++round;
     if (storage.converges_with_memory()) {
       // QEMU block migration: stream the dirty chunk backlog in the same
       // migration channel before re-examining convergence.
       co_await storage.storage_round();
+      if (storage.aborted()) co_return;
     }
     const double dirty = static_cast<double>(mem.take_dirty_round());
     const double resid = storage.residual_storage_bytes();
@@ -35,11 +39,12 @@ sim::Task Hypervisor::live_migrate(sim::Simulator& sim, net::FlowNetwork& net,
       // Forced stop: ship whatever is left, blowing the downtime target —
       // the non-convergence pathology of pre-copy.
       if (!storage.ready_to_complete()) co_await storage.wait_ready_to_complete();
+      if (storage.aborted()) co_return;
       final_dirty = dirty + static_cast<double>(mem.take_dirty_round());
       break;
     }
     if (dirty + resid <= downtime_budget) {
-      if (storage.ready_to_complete()) {
+      if (storage.ready_to_complete() && !storage.aborted()) {
         final_dirty = dirty;
         break;
       }
@@ -47,6 +52,7 @@ sim::Task Hypervisor::live_migrate(sim::Simulator& sim, net::FlowNetwork& net,
       // (e.g. mirroring's bulk copy): wait, then iterate the dirtying that
       // accumulated in the meantime.
       co_await storage.wait_ready_to_complete();
+      if (storage.aborted()) co_return;
     }
     to_send = dirty;
   }
@@ -54,13 +60,23 @@ sim::Task Hypervisor::live_migrate(sim::Simulator& sim, net::FlowNetwork& net,
   // Stop-and-copy: pause the guest, flush the residue + device state.
   vm.pause();
   const double t_pause = sim.now();
-  co_await net.transfer(src_node, dst_node, final_dirty + cfg.device_state_bytes,
-                        net::TrafficClass::kMemory, cfg.migration_speed_Bps);
-  rec.memory_bytes_sent += final_dirty + cfg.device_state_bytes;
+  const bool residue_sent =
+      co_await net.transfer(src_node, dst_node, final_dirty + cfg.device_state_bytes,
+                            net::TrafficClass::kMemory, cfg.migration_speed_Bps);
+  if (residue_sent) rec.memory_bytes_sent += final_dirty + cfg.device_state_bytes;
+  if (!residue_sent) storage.abort();
+  if (storage.aborted()) {
+    vm.resume();  // the guest keeps running at the source; the retry restarts
+    co_return;
+  }
 
   // SYNC on the virtual disk (TRANSFER_IO_CONTROL for our approach; final
   // dirty-chunk round for precopy; write drain for mirror; no-op for pvfs).
   co_await storage.pre_control_transfer();
+  if (storage.aborted()) {
+    vm.resume();
+    co_return;
+  }
 
   // Control moves: the VM now runs on the destination.
   storage.transfer_control();

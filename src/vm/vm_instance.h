@@ -4,6 +4,7 @@
 // the paper's Figure 4(c)) and the file I/O API workloads use.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 
@@ -44,8 +45,16 @@ class VmInstance {
   Cluster& cluster() noexcept { return cluster_; }
 
   // --- execution control (hypervisor) ---------------------------------------
-  void pause() noexcept { run_gate_.close(); }
-  void resume() { run_gate_.open(); }
+  // Depth-counted: the hypervisor's stop-and-copy pause and a fault
+  // injector's crash pause can overlap, and the VM runs again only once
+  // every pauser has resumed it.
+  void pause() noexcept {
+    if (pause_depth_++ == 0) run_gate_.close();
+  }
+  void resume() {
+    assert(pause_depth_ > 0);
+    if (--pause_depth_ == 0) run_gate_.open();
+  }
   bool running() const noexcept { return run_gate_.is_open(); }
   sim::Gate& run_gate() noexcept { return run_gate_; }
 
@@ -96,6 +105,7 @@ class VmInstance {
   storage::BlockBackend& backend_;
   storage::PageCache cache_;
   sim::Gate run_gate_;
+  std::uint32_t pause_depth_ = 0;
   double cpu_seconds_ = 0;
   core::IoStats io_;
   sim::Rng rng_;

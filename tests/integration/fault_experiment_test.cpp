@@ -1,0 +1,139 @@
+// End-to-end fault-injection runs: crashes, outages and degradation windows
+// threaded through full experiments. Asserts the recovery metrics
+// (retries, re-transferred bytes, fault downtime, time-to-recover) and the
+// determinism contract — same seed and fault spec, byte-identical virtual
+// timeline.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cloud/experiment.h"
+
+namespace hm::cloud {
+namespace {
+
+using storage::kMiB;
+
+/// Same scaled-down scenario as experiment_test.cpp, plus a fault spec.
+ExperimentConfig fault_config(core::Approach a, const std::string& spec) {
+  ExperimentConfig cfg;
+  cfg.approach = a;
+  cfg.cluster.num_nodes = 8;
+  cfg.cluster.image = storage::ImageConfig{512 * kMiB, static_cast<std::uint32_t>(kMiB)};
+  cfg.cluster.disk = storage::DiskConfig{55e6, 0.0};
+  cfg.vm.memory.ram_bytes = 512 * kMiB;
+  cfg.vm.memory.page_bytes = kMiB;
+  cfg.vm.memory.base_used_bytes = 64 * kMiB;
+  cfg.vm.cache.capacity_bytes = 128 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 64 * kMiB;
+  cfg.vm.cache.write_Bps = 200e6;
+  cfg.workload = WorkloadKind::kIor;
+  cfg.ior.iterations = 3;
+  cfg.ior.file_bytes = 96 * kMiB;
+  cfg.ior.block_bytes = kMiB;
+  cfg.ior.file_offset = 128 * kMiB;
+  cfg.first_migration_at = 2.0;
+  cfg.max_sim_time = 600.0;
+  std::string err;
+  EXPECT_TRUE(sim::parse_fault_spec(spec, &cfg.faults, &err)) << err;
+  return cfg;
+}
+
+TEST(FaultExperiment, SourceCrashAbortsThenRetriesToCompletion) {
+  // Crash the migrating VM's host 0.2 s into the active phase — well before
+  // control can have moved — and bring it back 4 s later.
+  Experiment exp(fault_config(core::Approach::kHybrid, "src-crash@2.2+4"));
+  ExperimentResult res = exp.run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.faults_injected, 1u);
+  ASSERT_EQ(res.migrations.size(), 1u);
+  EXPECT_GE(res.total_retries, 1);
+  EXPECT_EQ(res.migrations_abandoned, 0);
+  EXPECT_GT(res.fault_downtime_s, 0.0);  // the guest was paused on the dead host
+  EXPECT_GT(res.max_time_to_recover, 0.0);
+  EXPECT_GT(res.migrations[0].t_first_abort, 0.0);
+  EXPECT_GT(res.migrations[0].t_control_transfer, res.migrations[0].t_first_abort);
+}
+
+TEST(FaultExperiment, DestCrashLosesPartialReplicaAndRetransfers) {
+  Experiment exp(fault_config(core::Approach::kHybrid, "dst-crash@2.3+4"));
+  ExperimentResult res = exp.run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_GE(res.total_retries, 1);
+  // The destination's partial replica died with the node: every chunk
+  // pushed before the crash crosses the wire again.
+  EXPECT_GT(res.retransferred_bytes, 0.0);
+}
+
+TEST(FaultExperiment, SameSeedSameFaultsByteIdenticalTimeline) {
+  const char* spec = "src-crash@2.2+4;degrade@8+5*0.25;flap@15+2";
+  ExperimentResult a = Experiment(fault_config(core::Approach::kHybrid, spec)).run();
+  ExperimentResult b = Experiment(fault_config(core::Approach::kHybrid, spec)).run();
+  EXPECT_DOUBLE_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_DOUBLE_EQ(a.total_traffic, b.total_traffic);
+  EXPECT_DOUBLE_EQ(a.avg_migration_time, b.avg_migration_time);
+  EXPECT_DOUBLE_EQ(a.retransferred_bytes, b.retransferred_bytes);
+  EXPECT_DOUBLE_EQ(a.fault_downtime_s, b.fault_downtime_s);
+  EXPECT_DOUBLE_EQ(a.max_time_to_recover, b.max_time_to_recover);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+}
+
+TEST(FaultExperiment, SeededRandomPlanAppliesEveryCategory) {
+  Experiment exp(fault_config(
+      core::Approach::kHybrid,
+      // All six categories strike inside [2, 5) — early enough that every
+      // event lands before the (short) experiment finishes.
+      "rand:crashes=1,dst-crashes=1,degrades=1,flaps=1,slow=1,outages=1,"
+      "from=2,span=3,dur=3"));
+  ExperimentResult res = exp.run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.faults_injected, 6u);
+}
+
+TEST(FaultExperiment, RepositoryOutageIsWaitedOut) {
+  Experiment exp(fault_config(core::Approach::kHybrid, "repo-outage@2.5+5"));
+  ExperimentResult res = exp.run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.faults_injected, 1u);
+  EXPECT_EQ(res.migrations_abandoned, 0);
+}
+
+TEST(FaultExperiment, EveryApproachSurvivesASourceCrash) {
+  for (core::Approach a :
+       {core::Approach::kHybrid, core::Approach::kMirror, core::Approach::kPostcopy,
+        core::Approach::kPrecopy, core::Approach::kPvfsShared}) {
+    Experiment exp(fault_config(a, "src-crash@2.2+4"));
+    ExperimentResult res = exp.run();
+    EXPECT_TRUE(res.completed) << core::approach_name(a) << ": " << res.error;
+    ASSERT_EQ(res.migrations.size(), 1u) << core::approach_name(a);
+    EXPECT_GT(res.migrations[0].t_control_transfer, 0.0) << core::approach_name(a);
+    EXPECT_EQ(res.migrations_abandoned, 0) << core::approach_name(a);
+  }
+}
+
+TEST(FaultExperiment, SingleAttemptCrashAbandonsButExperimentCompletes) {
+  ExperimentConfig cfg = fault_config(core::Approach::kHybrid, "src-crash@2.2+4");
+  cfg.approach_cfg.max_attempts = 1;
+  Experiment exp(std::move(cfg));
+  ExperimentResult res = exp.run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.migrations_abandoned, 1);
+  ASSERT_EQ(res.migrations.size(), 1u);
+  EXPECT_TRUE(res.migrations[0].abandoned);
+  EXPECT_DOUBLE_EQ(res.migrations[0].t_control_transfer, 0.0);
+}
+
+TEST(FaultExperiment, FaultFreeSpecLeavesMetricsZero) {
+  ExperimentConfig cfg = fault_config(core::Approach::kHybrid, "none");
+  EXPECT_FALSE(cfg.faults.enabled());
+  ExperimentResult res = Experiment(std::move(cfg)).run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_EQ(res.faults_injected, 0u);
+  EXPECT_EQ(res.total_retries, 0);
+  EXPECT_DOUBLE_EQ(res.retransferred_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(res.fault_downtime_s, 0.0);
+}
+
+}  // namespace
+}  // namespace hm::cloud

@@ -1,0 +1,122 @@
+// --faults spec parsing and deterministic plan materialization.
+#include "sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.h"
+
+namespace hm::sim {
+namespace {
+
+FaultSpec parse_ok(const char* arg) {
+  FaultSpec spec;
+  std::string err;
+  EXPECT_TRUE(parse_fault_spec(arg, &spec, &err)) << arg << ": " << err;
+  return spec;
+}
+
+TEST(FaultPlan, NoneAndEmptyDisable) {
+  EXPECT_FALSE(parse_ok("none").enabled());
+  EXPECT_FALSE(parse_ok("").enabled());
+}
+
+TEST(FaultPlan, ScriptedEventWithAllModifiers) {
+  FaultSpec spec = parse_ok("degrade@40+15*0.5#3");
+  ASSERT_EQ(spec.scripted.size(), 1u);
+  const FaultEvent& e = spec.scripted[0];
+  EXPECT_EQ(e.kind, FaultKind::kLinkDegrade);
+  EXPECT_DOUBLE_EQ(e.at, 40.0);
+  EXPECT_DOUBLE_EQ(e.duration_s, 15.0);
+  EXPECT_DOUBLE_EQ(e.factor, 0.5);
+  EXPECT_EQ(e.target, 3u);
+}
+
+TEST(FaultPlan, ScriptedListParsesEveryKind) {
+  FaultSpec spec = parse_ok(
+      "src-crash@10;dst-crash@20;degrade@30;flap@40;slow-recv@50;repo-outage@60");
+  ASSERT_EQ(spec.scripted.size(), 6u);
+  EXPECT_EQ(spec.scripted[0].kind, FaultKind::kSourceCrash);
+  EXPECT_EQ(spec.scripted[1].kind, FaultKind::kDestCrash);
+  EXPECT_EQ(spec.scripted[2].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(spec.scripted[3].kind, FaultKind::kLinkFlap);
+  EXPECT_EQ(spec.scripted[4].kind, FaultKind::kSlowReceiver);
+  EXPECT_EQ(spec.scripted[5].kind, FaultKind::kRepoOutage);
+}
+
+TEST(FaultPlan, OptionalFaultsPrefixIsAccepted) {
+  FaultSpec spec = parse_ok("faults:src-crash@5+2");
+  ASSERT_EQ(spec.scripted.size(), 1u);
+  EXPECT_EQ(spec.scripted[0].kind, FaultKind::kSourceCrash);
+  EXPECT_DOUBLE_EQ(spec.scripted[0].duration_s, 2.0);
+}
+
+TEST(FaultPlan, RandSpecParsesKeys) {
+  FaultSpec spec =
+      parse_ok("rand:crashes=2,dst-crashes=1,degrades=4,flaps=3,slow=2,outages=1,"
+               "from=20,span=120,dur=8,factor=0.5");
+  EXPECT_TRUE(spec.rand);
+  EXPECT_EQ(spec.rand_spec.crashes, 2u);
+  EXPECT_EQ(spec.rand_spec.dst_crashes, 1u);
+  EXPECT_EQ(spec.rand_spec.degrades, 4u);
+  EXPECT_EQ(spec.rand_spec.flaps, 3u);
+  EXPECT_EQ(spec.rand_spec.slow, 2u);
+  EXPECT_EQ(spec.rand_spec.outages, 1u);
+  EXPECT_DOUBLE_EQ(spec.rand_spec.from, 20.0);
+  EXPECT_DOUBLE_EQ(spec.rand_spec.span, 120.0);
+  EXPECT_DOUBLE_EQ(spec.rand_spec.dur, 8.0);
+  EXPECT_DOUBLE_EQ(spec.rand_spec.factor, 0.5);
+}
+
+TEST(FaultPlan, MalformedSpecsAreRejected) {
+  for (const char* bad :
+       {"bogus@10", "src-crash", "src-crash@", "degrade@x", "rand:nope=3",
+        "src-crash@10+", "degrade@10*"}) {
+    FaultSpec spec;
+    std::string err;
+    EXPECT_FALSE(parse_fault_spec(bad, &spec, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(FaultPlan, BuildIsDeterministicSortedAndTargeted) {
+  FaultSpec spec = parse_ok("rand:crashes=3,degrades=5,flaps=2,from=10,span=50");
+  const Rng rng(1234);
+  const FaultPlan a = build_fault_plan(spec, rng, /*num_migrations=*/4);
+  const FaultPlan b = build_fault_plan(spec, rng, /*num_migrations=*/4);
+  ASSERT_EQ(a.events.size(), 10u);
+  ASSERT_EQ(b.events.size(), 10u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << i;
+    EXPECT_DOUBLE_EQ(a.events[i].at, b.events[i].at) << i;
+    EXPECT_DOUBLE_EQ(a.events[i].duration_s, b.events[i].duration_s) << i;
+    EXPECT_EQ(a.events[i].target, b.events[i].target) << i;
+  }
+  EXPECT_TRUE(std::is_sorted(a.events.begin(), a.events.end(),
+                             [](const FaultEvent& x, const FaultEvent& y) {
+                               return x.at < y.at;
+                             }));
+  for (const FaultEvent& e : a.events) {
+    EXPECT_GE(e.at, 10.0);
+    EXPECT_LT(e.at, 60.0);
+    EXPECT_LT(e.target, 4u);
+    EXPECT_GT(e.duration_s, 0.0);
+  }
+}
+
+TEST(FaultPlan, ScriptedEventsPassThroughBuildVerbatim) {
+  FaultSpec spec = parse_ok("flap@30+2;src-crash@10+5#1");
+  const Rng rng(7);
+  const FaultPlan plan = build_fault_plan(spec, rng, 2);
+  ASSERT_EQ(plan.events.size(), 2u);
+  // Sorted by time: the crash at t=10 comes first.
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kSourceCrash);
+  EXPECT_DOUBLE_EQ(plan.events[0].at, 10.0);
+  EXPECT_EQ(plan.events[0].target, 1u);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kLinkFlap);
+  EXPECT_DOUBLE_EQ(plan.events[1].at, 30.0);
+}
+
+}  // namespace
+}  // namespace hm::sim

@@ -1,0 +1,173 @@
+// Timer cancellation edge cases for both lanes: slab-backed schedule()
+// timers and fast-lane post_cancellable() handles. The fault axis leans on
+// these (the flow network retracts pending settle epochs while failing a
+// crashed node's flows), so cancel-after-fire and cancel-during-drain must
+// be exactly inert — no spurious execution, no cancellation of an unrelated
+// entry that later reused the slot.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hm::sim {
+namespace {
+
+TEST(TimerCancel, ScheduledTimerCancelBeforeFire) {
+  Simulator s;
+  int fired = 0;
+  Simulator::Timer t = s.schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(t.active());
+  t.cancel();
+  EXPECT_FALSE(t.active());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerCancel, ScheduledTimerCancelAfterFireIsInert) {
+  Simulator s;
+  int fired = 0;
+  Simulator::Timer t = s.schedule(1.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.active());
+  t.cancel();  // must be a no-op, not a crash or a double-free
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerCancel, StaleHandleDoesNotCancelSlotReuse) {
+  Simulator s;
+  int first = 0, second = 0;
+  Simulator::Timer t = s.schedule(1.0, [&] { ++first; });
+  s.run();
+  // The fired timer's slab slot is free; the next schedule may reuse it.
+  // The stale handle's generation must not match the new occupant.
+  for (int i = 0; i < 8; ++i) s.schedule(1.0, [&] { ++second; });
+  t.cancel();
+  s.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 8);
+}
+
+TEST(TimerCancel, CancelledSlotReusedTimerStillFires) {
+  Simulator s;
+  int a = 0, b = 0;
+  Simulator::Timer t = s.schedule(1.0, [&] { ++a; });
+  t.cancel();
+  Simulator::Timer u = s.schedule(1.0, [&] { ++b; });
+  t.cancel();  // double-cancel of the old entry, after possible slot reuse
+  s.run();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_FALSE(u.active());
+}
+
+TEST(TimerCancel, FastLaneCancelBeforeFire) {
+  Simulator s;
+  int fired = 0;
+  Simulator::Timer t = s.post_cancellable(
+      [](void* a, void*) { ++*static_cast<int*>(a); }, &fired);
+  EXPECT_TRUE(t.active());
+  t.cancel();
+  EXPECT_FALSE(t.active());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerCancel, FastLaneCancelAfterFireIsInert) {
+  Simulator s;
+  int fired = 0;
+  Simulator::Timer t = s.post_cancellable(
+      [](void* a, void*) { ++*static_cast<int*>(a); }, &fired);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.active());
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerCancel, FastLaneStaleIndexNeverRevalidates) {
+  Simulator s;
+  int first = 0, second = 0;
+  Simulator::Timer t = s.post_cancellable(
+      [](void* a, void*) { ++*static_cast<int*>(a); }, &first);
+  s.run();
+  // The ring has wrapped past the old index; the monotone pop count must
+  // keep the stale handle inert even as new entries occupy the same ring
+  // position.
+  for (int i = 0; i < 64; ++i)
+    s.post([](void* a, void*) { ++*static_cast<int*>(a); }, &second);
+  EXPECT_FALSE(t.active());
+  t.cancel();
+  s.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 64);
+}
+
+struct DrainCtx {
+  Simulator* s;
+  Simulator::Timer victim;
+  std::vector<int>* order;
+};
+
+TEST(TimerCancel, CancelDuringDrainRetractsQueuedEntry) {
+  // A fast-lane callback cancels a later entry already sitting in the ring
+  // (the flow network does exactly this when a crash retracts a pending
+  // settle). The cancelled entry must be skipped inside the same drain.
+  Simulator s;
+  std::vector<int> order;
+  DrainCtx ctx{&s, {}, &order};
+  s.post(
+      [](void* p, void*) {
+        auto* c = static_cast<DrainCtx*>(p);
+        c->order->push_back(1);
+        c->victim.cancel();
+      },
+      &ctx);
+  ctx.victim = s.post_cancellable(
+      [](void* p, void*) { static_cast<DrainCtx*>(p)->order->push_back(2); }, &ctx);
+  s.post([](void* p, void*) { static_cast<DrainCtx*>(p)->order->push_back(3); }, &ctx);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(TimerCancel, CancelSelfDuringDrainIsInert) {
+  // An entry cancelling itself while it runs: the handle's index has
+  // already been popped, so the cancel must not touch the ring.
+  Simulator s;
+  std::vector<int> order;
+  DrainCtx ctx{&s, {}, &order};
+  ctx.victim = s.post_cancellable(
+      [](void* p, void*) {
+        auto* c = static_cast<DrainCtx*>(p);
+        c->order->push_back(1);
+        c->victim.cancel();
+      },
+      &ctx);
+  s.post([](void* p, void*) { static_cast<DrainCtx*>(p)->order->push_back(2); }, &ctx);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerCancel, CancelInterleavesWithTimedEvents) {
+  // Fast-lane cancellation must not disturb (t, seq) ordering of the slab
+  // lane running at the same instant.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(1.0, [&] {
+    order.push_back(1);
+    Simulator::Timer t = s.post_cancellable(
+        [](void* o, void*) { static_cast<std::vector<int>*>(o)->push_back(99); },
+        &order);
+    t.cancel();
+  });
+  s.schedule(1.0, [&] { order.push_back(2); });
+  s.schedule(2.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hm::sim

@@ -8,26 +8,35 @@ timeline, so any drift here is a behavioural regression hiding behind
 wall-clock noise. Wall-derived fields (wall_ms, events_per_sec,
 flows_per_sec) are host-dependent and excluded.
 
-Usage: check_sweep_golden.py <golden.json> <fresh.json> [<golden2> <fresh2> ...]
+Usage: check_sweep_golden.py [--ignore-solver-work]
+           <golden.json> <fresh.json> [<golden2> <fresh2> ...]
 Multiple golden/fresh pairs are checked in one invocation (the CI matrix:
-AsyncWR regimes plus the trace-replay sweeps); the exit status is 0 only if
-EVERY pair matches, 1 with a per-field diff otherwise.
+AsyncWR regimes plus the trace-replay and fault sweeps); the exit status is
+0 only if EVERY pair matches, 1 with a per-field diff otherwise.
+
+--ignore-solver-work additionally excludes the solver-work counters
+(solver_components, flows_resolved, flows_resolved_per_epoch, escalations).
+Those legitimately differ between the incremental and full-solve regimes
+(ABLATE_INCREMENTAL) while every virtual-time field stays byte-identical —
+use the flag when gating a fullsolve run against an incremental golden.
 """
 import json
 import sys
 
 WALL_FIELDS = {"wall_ms", "events_per_sec", "flows_per_sec"}
+SOLVER_WORK_FIELDS = {"solver_components", "flows_resolved",
+                      "flows_resolved_per_epoch", "escalations"}
 
 
-def strip(rows):
-    return [{k: v for k, v in row.items() if k not in WALL_FIELDS} for row in rows]
+def strip(rows, ignored):
+    return [{k: v for k, v in row.items() if k not in ignored} for row in rows]
 
 
-def check_pair(golden_path, fresh_path) -> bool:
+def check_pair(golden_path, fresh_path, ignored) -> bool:
     with open(golden_path) as f:
-        golden = strip(json.load(f))
+        golden = strip(json.load(f), ignored)
     with open(fresh_path) as f:
-        fresh = strip(json.load(f))
+        fresh = strip(json.load(f), ignored)
     ok = True
     if len(golden) != len(fresh):
         print(f"{fresh_path}: row count differs: golden {len(golden)} vs fresh {len(fresh)}")
@@ -46,12 +55,16 @@ def check_pair(golden_path, fresh_path) -> bool:
 
 def main() -> int:
     args = sys.argv[1:]
+    ignored = set(WALL_FIELDS)
+    if args and args[0] == "--ignore-solver-work":
+        ignored |= SOLVER_WORK_FIELDS
+        args = args[1:]
     if len(args) < 2 or len(args) % 2 != 0:
         print(__doc__, file=sys.stderr)
         return 2
     ok = True
     for i in range(0, len(args), 2):
-        ok = check_pair(args[i], args[i + 1]) and ok
+        ok = check_pair(args[i], args[i + 1], ignored) and ok
     if ok:
         return 0
     print("virtual-time drift detected: if this change is INTENDED to alter "

@@ -39,6 +39,11 @@ void usage() {
       "  --chunk-kib=N       chunk/stripe size in KiB (default 256)\n"
       "  --grid=XxY          cm1 rank grid (default 8x8)\n"
       "  --iterations=N      workload iterations (ior default 30, asyncwr 1800)\n"
+      "  --faults=SPEC       inject faults: scripted events\n"
+      "                      (KIND@T[+DUR][*FACTOR][#TARGET] joined by ';',\n"
+      "                       KIND = src-crash|dst-crash|degrade|flap|slow-recv|\n"
+      "                       repo-outage) or seeded draws\n"
+      "                      (rand:crashes=N,degrades=N,...,from=T,span=T,dur=T)\n"
       "  --seed=N            RNG seed (default 42)\n"
       "  --baseline          disable migrations (reference run)\n"
       "  --list              print the approach summary (paper Table 1)\n";
@@ -151,6 +156,14 @@ int main(int argc, char** argv) {
       continue;
     }
     if (auto v = arg_value(arg, "--iterations")) { iterations = std::stoi(*v); continue; }
+    if (auto v = arg_value(arg, "--faults")) {
+      std::string err;
+      if (!sim::parse_fault_spec(*v, &cfg.faults, &err)) {
+        std::cerr << err << "\n";
+        return 2;
+      }
+      continue;
+    }
     if (auto v = arg_value(arg, "--seed")) { cfg.seed = std::stoull(*v); continue; }
     std::cerr << "unknown argument: " << arg << " (try --help)\n";
     return 2;
@@ -180,6 +193,15 @@ int main(int argc, char** argv) {
             << "\navg migration time: " << cloud::fmt_seconds(res.avg_migration_time)
             << "\nmax downtime:       " << cloud::fmt_double(res.max_downtime * 1e3, 1)
             << " ms\n";
+  if (res.faults_injected > 0) {
+    std::cout << "\nfault axis:         " << res.faults_injected << " faults injected"
+              << "\n  retries:          " << res.total_retries
+              << " (abandoned: " << res.migrations_abandoned << ")"
+              << "\n  re-transferred:   " << cloud::fmt_bytes(res.retransferred_bytes)
+              << "\n  fault downtime:   " << cloud::fmt_seconds(res.fault_downtime_s)
+              << "\n  time-to-recover:  " << cloud::fmt_seconds(res.max_time_to_recover)
+              << " (max)\n";
+  }
   std::cout << "\ntraffic by class:\n";
   for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i) {
     const auto cls = static_cast<net::TrafficClass>(i);

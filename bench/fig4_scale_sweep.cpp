@@ -46,9 +46,16 @@
 // appear as extra JSON fields only for fault regimes, keeping the committed
 // fault-free goldens byte-identical.
 //
+// The sixth argument sets the shard count: every experiment in the sweep
+// runs on that many parallel in-process simulator shards (see
+// cloud/shard_plan.h). The sharded timeline is byte-identical to shards=1
+// in every virtual-time field; only the wall-clock fields move, so a
+// shards=N sweep gates against the same committed goldens via
+// check_sweep_golden.py --shards.
+//
 // Usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking] [stagger_s]
-//                         [asyncwr|trace:SPEC] [none|faults:SPEC]
-//        (defaults: 256 oversub 0 asyncwr none)
+//                         [asyncwr|trace:SPEC] [none|faults:SPEC] [shards]
+//        (defaults: 256 oversub 0 asyncwr none 1)
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -123,13 +130,15 @@ int main(int argc, char** argv) {
       nonblocking = true;
     } else if (std::strcmp(argv[2], "oversub") != 0) {
       std::cerr << "usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking]"
-                   " [stagger_s] [asyncwr|trace:SPEC] [none|faults:SPEC]\n";
+                   " [stagger_s] [asyncwr|trace:SPEC] [none|faults:SPEC] [shards]\n";
       return 2;
     }
   }
   const double stagger_s = argc > 3 ? std::strtod(argv[3], nullptr) : 0.0;
   const std::string workload = argc > 4 ? argv[4] : "asyncwr";
   const std::string faults_arg = argc > 5 ? argv[5] : "none";
+  const std::uint32_t shards =
+      argc > 6 ? static_cast<std::uint32_t>(std::strtoul(argv[6], nullptr, 10)) : 1;
   sim::FaultSpec faults;
   {
     std::string err;
@@ -144,6 +153,7 @@ int main(int argc, char** argv) {
   for (std::size_t n = 2; n <= max_n; n *= 2) {
     cloud::ExperimentConfig cfg = scale_config(n, nonblocking, stagger_s, workload);
     cfg.faults = faults;
+    cfg.shards = shards;
     cloud::Experiment exp(std::move(cfg));
     const ExperimentResult r = exp.run();
     if (!r.error.empty()) {
@@ -162,6 +172,7 @@ int main(int argc, char** argv) {
     // (or on failure), keeping the committed AsyncWR goldens byte-compatible.
     if (workload != "asyncwr") std::cout << ", \"workload\": \"" << workload << "\"";
     if (faults.enabled()) std::cout << ", \"faults\": \"" << faults_arg << "\"";
+    if (shards != 1) std::cout << ", \"shards\": " << r.shards_used;
     if (!r.error.empty()) std::cout << ", \"error\": \"" << r.error << "\"";
     std::cout << ", \"stagger_s\": " << stagger_s
               << ", \"completed\": " << (r.completed ? "true" : "false")

@@ -3,8 +3,10 @@
 // These bound how large a scenario the harness can simulate per wall-second.
 #include <benchmark/benchmark.h>
 
+#include "cloud/experiment.h"
 #include "net/flow_network.h"
 #include "sim/random.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "storage/chunk_store.h"
@@ -351,6 +353,68 @@ void BM_ChunkStoreWrites(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ChunkStoreWrites)->Arg(1000)->Arg(10000);
+
+// Settle-epoch rendezvous cost: N shard threads spinning through the
+// EpochBarrier + mailbox exchange (one small message to every peer per
+// epoch). Bounds how fine an epoch granularity the conservative-window
+// PDES mode can afford before synchronization dominates.
+void BM_ShardBarrier(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  constexpr int kEpochsPerIter = 200;
+  std::uint64_t epochs = 0;
+  for (auto _ : state) {
+    sim::ShardedSimulator sim(shards);
+    const auto st = sim.run_epochs([&](std::uint32_t s) {
+      for (int e = 0; e < kEpochsPerIter; ++e) {
+        for (std::uint32_t to = 0; to < shards; ++to)
+          if (to != s) sim.post(s, to, static_cast<double>(e), s);
+        benchmark::DoNotOptimize(sim.exchange(s).size());
+      }
+    });
+    epochs += st.epochs;
+  }
+  state.SetItemsProcessed(state.iterations() * kEpochsPerIter);
+  state.counters["epochs/sec"] =
+      benchmark::Counter(static_cast<double>(epochs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+// One decomposable sweep point (staggered AsyncWR fleet on a non-blocking
+// core) at 1/2/4/8 simulator shards: the multicore speedup curve for the
+// independent-slice mode, timeline byte-identical across all arguments.
+void BM_ShardedSweepPoint(benchmark::State& state) {
+  using storage::kMiB;
+  cloud::ExperimentConfig cfg;
+  cfg.approach = core::Approach::kHybrid;
+  cfg.cluster.image = storage::ImageConfig{256 * kMiB, 256 * static_cast<std::uint32_t>(1024)};
+  cfg.cluster.disk = storage::DiskConfig{55e6, 0.0};
+  cfg.cluster.network.fabric_Bps = net::kUnlimitedRate;
+  cfg.vm.memory.ram_bytes = 256 * kMiB;
+  cfg.vm.memory.page_bytes = 256 * 1024;
+  cfg.vm.memory.base_used_bytes = 64 * kMiB;
+  cfg.vm.cache.capacity_bytes = 192 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 64 * kMiB;
+  cfg.vm.cache.write_Bps = 200e6;
+  cfg.workload = cloud::WorkloadKind::kAsyncWr;
+  cfg.asyncwr.iterations = 120;
+  cfg.asyncwr.file_offset = 64 * kMiB;
+  cfg.num_vms = 64;
+  cfg.num_migrations = 64;
+  cfg.num_destinations = 64;
+  cfg.first_migration_at = 5.0;
+  cfg.migration_interval_s = 0.05;
+  cfg.shards = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    cloud::Experiment exp(cfg);
+    const cloud::ExperimentResult res = exp.run();
+    events += res.engine_events;
+    benchmark::DoNotOptimize(res.sim_duration);
+  }
+  state.counters["events/sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedSweepPoint)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -5,7 +5,9 @@
 #include <chrono>
 
 #include "cloud/fault_injector.h"
+#include "cloud/shard_plan.h"
 #include "sim/frame_pool.h"
+#include "sim/sharded.h"
 
 namespace hm::cloud {
 
@@ -24,6 +26,7 @@ void ExperimentConfig::normalize() {
   if (workload == WorkloadKind::kCm1) num_vms = static_cast<std::size_t>(cm1.ranks());
   num_migrations = std::min(num_migrations, num_vms);
   if (num_destinations == 0) num_destinations = 1;
+  if (shards == 0) shards = 1;
   const std::size_t needed = num_vms + num_destinations;
   if (cluster.num_nodes < needed) cluster.num_nodes = needed;
   cluster.enable_pvfs = (approach == core::Approach::kPvfsShared);
@@ -66,9 +69,27 @@ struct MigLaunch {
 
 }  // namespace
 
-ExperimentResult Experiment::run() {
+struct Experiment::SliceDetail {
+  struct VmAgg {
+    std::uint32_t id;  // global VM id
+    core::IoStats io;
+    double cpu_seconds;
+  };
+  /// Per owned VM, ascending id — lets the merge re-accumulate the per-VM
+  /// doubles in global VM order, the same order the single-shard loop uses.
+  std::vector<VmAgg> per_vm;
+  /// Global launch indices of the slice's migrations, ascending; parallel
+  /// to the slice result's `migrations` records.
+  std::vector<std::uint32_t> launch_ks;
+  /// Runtime coupling guard: any base-image fetch means a repository stripe
+  /// on a foreign-owned node served traffic this slice cannot account for.
+  std::uint64_t repo_chunks_served = 0;
+};
+
+ExperimentResult Experiment::run_slice(const std::vector<std::uint32_t>* owned,
+                                       SliceDetail* detail) const {
   // Everything below (setup included) runs on this thread, so the
-  // thread-local frame pool's counters bracket the whole experiment.
+  // thread-local frame pool's counters bracket the whole slice.
   const sim::FramePool::Stats frames_before = sim::FramePool::local().stats();
   // NOTE: the simulator must be declared first (destroyed last) so pending
   // event closures never outlive it.
@@ -77,10 +98,16 @@ ExperimentResult Experiment::run() {
   Middleware mw(simulator, cluster, cfg_.approach_cfg);
 
   const std::size_t n_vms = cfg_.num_vms;
+  // Global ids of the VMs this slice owns (all of them on the single-shard
+  // path). Each shard holds a full cluster replica with the global node
+  // numbering, so VM i always deploys on node i regardless of slicing.
+  const std::size_t n_owned = owned ? owned->size() : n_vms;
   std::vector<vm::VmInstance*> vms;
-  vms.reserve(n_vms);
-  for (std::size_t i = 0; i < n_vms; ++i)
-    vms.push_back(&mw.deploy(static_cast<net::NodeId>(i), cfg_.vm));
+  vms.reserve(n_owned);
+  for (std::size_t idx = 0; idx < n_owned; ++idx) {
+    const auto gid = static_cast<std::uint32_t>(owned ? (*owned)[idx] : idx);
+    vms.push_back(&mw.deploy(static_cast<net::NodeId>(gid), cfg_.vm, static_cast<int>(gid)));
+  }
 
   ExperimentResult res;
 
@@ -155,24 +182,32 @@ ExperimentResult Experiment::run() {
   }
 
   // --- migration schedule ---------------------------------------------------
+  // Launch k targets VM k with destination n_vms + (k % num_destinations);
+  // times and schedule order depend only on the global index, so a slice
+  // schedules its owned subset identically to the full run.
   sim::WaitGroup migrations_done(simulator);
   std::vector<MigLaunch> launches;
   if (cfg_.perform_migrations) {
-    launches.reserve(cfg_.num_migrations);  // addresses must survive the timers
-    for (std::size_t k = 0; k < cfg_.num_migrations; ++k) {
+    launches.reserve(n_owned);  // addresses must survive the timers
+    for (std::size_t idx = 0; idx < n_owned; ++idx) {
+      const std::size_t k = owned ? (*owned)[idx] : idx;
+      if (k >= cfg_.num_migrations) continue;
       const double at = cfg_.first_migration_at + static_cast<double>(k) *
                                                       cfg_.migration_interval_s;
       const net::NodeId dst =
           static_cast<net::NodeId>(n_vms + (k % cfg_.num_destinations));
-      launches.push_back(MigLaunch{&simulator, &mw, vms[k], &migrations_done, dst});
+      launches.push_back(MigLaunch{&simulator, &mw, vms[idx], &migrations_done, dst});
       migrations_done.add();
       simulator.schedule(at, [l = &launches.back()] {
         l->sim->spawn(migrate_and_signal(l->mw, l->target, l->dst, l->done));
       });
+      if (detail != nullptr) detail->launch_ks.push_back(static_cast<std::uint32_t>(k));
     }
   }
 
   // --- fault plan -----------------------------------------------------------
+  // Faults statically collapse the plan to one shard, so the injector only
+  // ever arms on the full (owned == nullptr) path.
   std::unique_ptr<FaultInjector> injector;
   if (cfg_.faults.enabled()) {
     sim::FaultPlan plan = sim::build_fault_plan(
@@ -250,13 +285,18 @@ ExperimentResult Experiment::run() {
       res.total_traffic - network.traffic_bytes(net::TrafficClass::kAppComm);
 
   double wtime = 0, rtime = 0;
-  for (auto* v : vms) {
+  for (std::size_t idx = 0; idx < vms.size(); ++idx) {
+    vm::VmInstance* v = vms[idx];
     const core::IoStats& io = v->io_stats();
     res.bytes_written += io.bytes_written;
     res.bytes_read += io.bytes_read;
     wtime += io.write_time_s;
     rtime += io.read_time_s;
     res.cpu_seconds_total += v->cpu_seconds();
+    if (detail != nullptr) {
+      const auto gid = static_cast<std::uint32_t>(owned ? (*owned)[idx] : idx);
+      detail->per_vm.push_back(SliceDetail::VmAgg{gid, io, v->cpu_seconds()});
+    }
   }
   res.write_Bps = wtime > 0 ? res.bytes_written / wtime : 0;
   res.read_Bps = rtime > 0 ? res.bytes_read / rtime : 0;
@@ -269,7 +309,124 @@ ExperimentResult Experiment::run() {
       res.app_execution_time = simulator.now() - workload_started_at;
       break;
   }
+  if (detail != nullptr) detail->repo_chunks_served = cluster.repository().chunks_served();
+  // Reclaim daemons still parked on awaitables (writeback loops, truncated
+  // workloads) while the cluster they reference is alive: frame destructors
+  // may touch backend objects, and the cluster dies before the simulator in
+  // this scope's reverse destruction order.
+  simulator.destroy_detached();
   return res;
+}
+
+ExperimentResult Experiment::run_sharded(const ShardPlan& plan) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint32_t n = plan.shard_count();
+  std::vector<ExperimentResult> parts(n);
+  std::vector<SliceDetail> details(n);
+  sim::ShardedSimulator shards(n);
+  shards.run([&](std::uint32_t s) { parts[s] = run_slice(&plan.slices[s], &details[s]); });
+
+  // Conservative runtime guards: anything a slice cannot prove independent
+  // (a repository fetch from a stripe another shard owns, a max_sim_time
+  // truncation whose cut point depends on the global interleave, any error
+  // whose text mentions global state) reruns single-shard. Correctness is
+  // never traded for wall-clock.
+  bool fallback = false;
+  for (std::uint32_t s = 0; s < n && !fallback; ++s)
+    fallback = !parts[s].completed || !parts[s].error.empty() ||
+               details[s].repo_chunks_served > 0;
+  if (fallback) {
+    ExperimentResult res = run_slice(nullptr, nullptr);
+    res.shards_used = 1;
+    return res;
+  }
+
+  // --- deterministic merge --------------------------------------------------
+  // Every reduction replicates the accumulation order of the single-shard
+  // collect pass: migration records by global launch index, per-VM doubles
+  // in global VM order, spans as maxima. Traffic and byte counters are sums
+  // of integer-valued doubles, so shard-order summation is exact.
+  ExperimentResult res;
+  res.approach = parts[0].approach;
+  res.workload = parts[0].workload;
+  res.completed = true;
+  for (const ExperimentResult& p : parts) {
+    res.sim_duration = std::max(res.sim_duration, p.sim_duration);
+    res.app_execution_time = std::max(res.app_execution_time, p.app_execution_time);
+    res.engine_events += p.engine_events;
+    res.engine_flows += p.engine_flows;
+    res.engine_recomputes += p.engine_recomputes;
+    res.engine_components += p.engine_components;
+    res.engine_flows_resolved += p.engine_flows_resolved;
+    res.engine_escalations += p.engine_escalations;
+    res.engine_frames += p.engine_frames;
+    res.engine_frames_reused += p.engine_frames_reused;
+    res.engine_frame_heap_allocs += p.engine_frame_heap_allocs;
+    for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
+      res.traffic_bytes[i] += p.traffic_bytes[i];
+  }
+  for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
+    res.total_traffic += res.traffic_bytes[i];
+  res.migration_traffic =
+      res.total_traffic - res.traffic(net::TrafficClass::kAppComm);
+
+  // Migration records, ordered by global launch index (each slice's list is
+  // already ascending and the slices are disjoint — a k-way merge).
+  std::vector<std::pair<std::uint32_t, const core::MigrationRecord*>> recs;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    assert(details[s].launch_ks.size() == parts[s].migrations.size());
+    for (std::size_t j = 0; j < parts[s].migrations.size(); ++j)
+      recs.emplace_back(details[s].launch_ks[j], &parts[s].migrations[j]);
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  res.migrations.reserve(recs.size());
+  for (const auto& [k, rec] : recs) res.migrations.push_back(*rec);
+  for (const core::MigrationRecord& m : res.migrations) {
+    res.total_migration_time += m.migration_time();
+    res.max_downtime = std::max(res.max_downtime, m.downtime_s);
+    res.total_retries += m.retries;
+    res.retransferred_bytes += m.retransferred_bytes;
+    res.migrations_abandoned += m.abandoned ? 1 : 0;
+    res.max_time_to_recover = std::max(res.max_time_to_recover, m.time_to_recover());
+  }
+  res.avg_migration_time =
+      res.migrations.empty() ? 0 : res.total_migration_time / res.migrations.size();
+
+  // Per-VM doubles in global VM order (slices hold disjoint ascending ids).
+  std::vector<const SliceDetail::VmAgg*> by_vm;
+  for (const SliceDetail& d : details)
+    for (const SliceDetail::VmAgg& a : d.per_vm) by_vm.push_back(&a);
+  std::sort(by_vm.begin(), by_vm.end(),
+            [](const SliceDetail::VmAgg* a, const SliceDetail::VmAgg* b) {
+              return a->id < b->id;
+            });
+  double wtime = 0, rtime = 0;
+  for (const SliceDetail::VmAgg* a : by_vm) {
+    res.bytes_written += a->io.bytes_written;
+    res.bytes_read += a->io.bytes_read;
+    wtime += a->io.write_time_s;
+    rtime += a->io.read_time_s;
+    res.cpu_seconds_total += a->cpu_seconds;
+  }
+  res.write_Bps = wtime > 0 ? res.bytes_written / wtime : 0;
+  res.read_Bps = rtime > 0 ? res.bytes_read / rtime : 0;
+
+  res.shards_used = n;
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  return res;
+}
+
+ExperimentResult Experiment::run() {
+  const ShardPlan plan = plan_shards(cfg_);
+  if (plan.shard_count() <= 1) {
+    ExperimentResult res = run_slice(nullptr, nullptr);
+    res.shards_used = 1;
+    return res;
+  }
+  return run_sharded(plan);
 }
 
 ExperimentResult run_baseline(ExperimentConfig cfg) {

@@ -65,6 +65,15 @@ struct ExperimentConfig {
   /// draws fork the experiment seed, so fault runs stay deterministic.
   sim::FaultSpec faults{};
 
+  /// Simulator shards for this one experiment (parallel in-process). The
+  /// deterministic partitioner (cloud/shard_plan.h) decomposes the VM fleet
+  /// into constraint-graph components and runs them on worker threads drawn
+  /// from sim::WorkerBudget; any coupled regime (finite shared constraints,
+  /// CM1/IOR, faults, PVFS, trace recording) conservatively collapses to
+  /// one shard. Every virtual-time field of the result is byte-identical
+  /// for any shard count — only wall_ms may change.
+  std::uint32_t shards = 1;
+
   std::uint64_t seed = 42;
 
   /// Ensure the cluster is large enough for sources + destinations and that
@@ -122,6 +131,10 @@ struct ExperimentResult {
   std::uint64_t engine_frames = 0;
   std::uint64_t engine_frames_reused = 0;
   std::uint64_t engine_frame_heap_allocs = 0;
+  /// Shards that actually ran (after partitioning and conservative
+  /// fallback). 1 whenever the plan collapsed — tests use this to tell a
+  /// genuinely parallel run from a vacuous one.
+  std::uint32_t shards_used = 1;
   double wall_ms = 0;                   // host wall-clock for the run loop
 
   double traffic(net::TrafficClass c) const {
@@ -129,16 +142,32 @@ struct ExperimentResult {
   }
 };
 
+struct ShardPlan;
+
 class Experiment {
  public:
   explicit Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) { cfg_.normalize(); }
 
-  /// Run the full simulation and collect metrics.
+  /// Run the full simulation and collect metrics. With cfg.shards > 1 and a
+  /// decomposable scenario, component slices run on parallel simulator
+  /// shards and the results are merged deterministically; the virtual-time
+  /// fields are byte-identical to the single-shard run either way.
   ExperimentResult run();
 
   const ExperimentConfig& config() const noexcept { return cfg_; }
 
  private:
+  /// Per-slice raw material the deterministic merge needs at finer grain
+  /// than ExperimentResult's aggregates (accumulation order matters).
+  struct SliceDetail;
+
+  /// One simulator slice over the owned VM ids (nullptr = all VMs — the
+  /// exact legacy single-shard path). Thread-safe: touches only locals and
+  /// the const config.
+  ExperimentResult run_slice(const std::vector<std::uint32_t>* owned,
+                             SliceDetail* detail) const;
+  ExperimentResult run_sharded(const ShardPlan& plan) const;
+
   ExperimentConfig cfg_;
 };
 

@@ -15,8 +15,13 @@ Middleware::Middleware(sim::Simulator& sim, vm::Cluster& cluster, ApproachConfig
 }
 
 vm::VmInstance& Middleware::deploy(net::NodeId node, vm::VmConfig vm_cfg) {
+  return deploy(node, std::move(vm_cfg), next_vm_id_);
+}
+
+vm::VmInstance& Middleware::deploy(net::NodeId node, vm::VmConfig vm_cfg, int vm_id) {
   auto slot = std::make_unique<VmSlot>();
-  const int id = next_vm_id_++;
+  const int id = vm_id;
+  next_vm_id_ = std::max(next_vm_id_, id + 1);
   storage::BlockBackend* backend = nullptr;
   if (cfg_.approach == core::Approach::kPvfsShared) {
     slot->pvfs_backend = std::make_unique<storage::PvfsBackend>(

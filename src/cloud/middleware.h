@@ -45,6 +45,11 @@ class Middleware {
   /// storage (backed by the striped repository for base content).
   vm::VmInstance& deploy(net::NodeId node, vm::VmConfig vm_cfg = {});
 
+  /// Deploy with an explicit VM id. Sharded experiment slices use this so a
+  /// slice's VMs keep their fleet-global ids (and hence the RNG streams those
+  /// ids key) no matter which subset of VMs the slice owns.
+  vm::VmInstance& deploy(net::NodeId node, vm::VmConfig vm_cfg, int vm_id);
+
   /// Live-migrate `vm` to `dst`; completes when the source is released.
   /// Fault-aborted attempts are retried (up to max_attempts), reusing partial
   /// destination chunk state when the destination survived the fault.

@@ -1,0 +1,82 @@
+#include "cloud/shard_plan.h"
+
+#include <cmath>
+
+#include "net/shard_partition.h"
+
+namespace hm::cloud {
+
+namespace {
+
+ShardPlan single(std::size_t n_vms, std::string reason) {
+  ShardPlan plan;
+  plan.coupled_reason = std::move(reason);
+  plan.slices.emplace_back();
+  plan.slices[0].reserve(n_vms);
+  for (std::uint32_t i = 0; i < n_vms; ++i) plan.slices[0].push_back(i);
+  return plan;
+}
+
+/// Statically known cross-slice coupling, or empty if decomposable.
+std::string coupling_reason(const ExperimentConfig& cfg) {
+  if (cfg.faults.enabled()) return "fault injection spans shards";
+  if (cfg.approach == core::Approach::kPvfsShared || cfg.cluster.enable_pvfs)
+    return "PVFS stripes across all nodes";
+  if (std::isfinite(cfg.cluster.network.fabric_Bps))
+    return "finite fabric aggregate couples all flows";
+  if (cfg.cluster.nodes_per_switch > 0 && std::isfinite(cfg.cluster.switch_uplink_Bps))
+    return "finite switch uplinks couple racks";
+  switch (cfg.workload) {
+    case WorkloadKind::kCm1:
+      return "CM1 halo exchange spans VMs";
+    case WorkloadKind::kIor:
+      return "IOR reads fetch from the striped repository";
+    case WorkloadKind::kTrace:
+      if (!cfg.trace.broadcast) return "non-broadcast trace replay indexes VMs globally";
+      break;
+    default:
+      break;
+  }
+  if (cfg.trace_recorder != nullptr || !cfg.record_trace_path.empty())
+    return "trace recording observes every VM";
+  return {};
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const ExperimentConfig& cfg) {
+  const std::size_t n_vms = cfg.num_vms;
+  if (cfg.shards <= 1 || n_vms <= 1) return single(n_vms, {});
+  std::string reason = coupling_reason(cfg);
+  if (!reason.empty()) return single(n_vms, std::move(reason));
+
+  // Constraint-graph edges: each VM pins its home node's NICs for its whole
+  // life; a migrated VM additionally pins its destination's. Destination
+  // nodes are assigned round-robin, so distinct migrations sharing a
+  // destination merge into one component here — exactly as their flows
+  // would merge in the solver.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n_vms + cfg.num_migrations);
+  for (std::uint32_t i = 0; i < n_vms; ++i)
+    edges.emplace_back(i, i);  // VM i deploys on node i
+  if (cfg.perform_migrations) {
+    for (std::uint32_t k = 0; k < cfg.num_migrations; ++k) {
+      const auto dst = static_cast<std::uint32_t>(n_vms + (k % cfg.num_destinations));
+      edges.emplace_back(k, dst);
+    }
+  }
+  const net::ShardAssignment asg =
+      net::partition_items(n_vms, cfg.cluster.num_nodes, edges, cfg.shards);
+
+  ShardPlan plan;
+  plan.components = asg.components;
+  if (asg.bins_used <= 1) return single(n_vms, "single connected component");
+  std::vector<std::vector<std::uint32_t>> bins(cfg.shards);
+  for (std::uint32_t i = 0; i < n_vms; ++i)
+    bins[asg.shard_of_item[i]].push_back(i);
+  for (auto& b : bins)
+    if (!b.empty()) plan.slices.push_back(std::move(b));  // VM ids already ascending
+  return plan;
+}
+
+}  // namespace hm::cloud

@@ -1,0 +1,56 @@
+// Static coupling analysis + slice planning for sharded experiments.
+//
+// The sharded execution contract is byte-identity: every virtual-time field
+// of the merged result must equal the single-shard run's. That is provable
+// only when the slices are causally independent — no finite network
+// constraint, no storage service, no workload channel and no fault event
+// spans two slices. plan_shards() decides that *conservatively* from the
+// ExperimentConfig alone:
+//
+//  * Couplers that collapse the plan to one shard: a finite fabric
+//    aggregate, finite switch uplinks (oversubscribed cores serialize every
+//    flow through shared constraints with zero lookahead), PVFS (striped
+//    across all nodes), CM1/IOR workloads (halo exchange / repository
+//    reads), non-broadcast trace replay (absolute VM indices), trace
+//    recording (observes every VM), and fault injection (a crash fails
+//    flows of every VM on the node, and plan draws share one RNG stream).
+//
+//  * Otherwise VMs partition by the connected components of their planned
+//    NIC endpoint sets (home node + migration destination) — the same
+//    component structure FlowNetwork::solve_epoch maintains dynamically —
+//    via net::partition_items.
+//
+// Residual couplings only observable at runtime (a repository fetch from a
+// foreign-owned stripe, a max_sim_time truncation whose cut point depends
+// on the global interleave) are caught by the executor's guards, which
+// rerun the experiment single-shard. Wrong-but-fast is never an outcome;
+// the fallback costs wall-clock only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/experiment.h"
+
+namespace hm::cloud {
+
+struct ShardPlan {
+  /// Slices that actually run (non-empty, ascending VM ids inside each).
+  /// Size 1 means the plan collapsed — the executor takes the exact
+  /// single-shard code path.
+  std::vector<std::vector<std::uint32_t>> slices;
+  /// Why the plan collapsed to one shard (empty when it sharded).
+  std::string coupled_reason;
+  /// Connected components found (0 when coupling was static).
+  std::uint32_t components = 0;
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(slices.size());
+  }
+};
+
+/// Deterministic: same (normalized) config => same plan.
+ShardPlan plan_shards(const ExperimentConfig& cfg);
+
+}  // namespace hm::cloud

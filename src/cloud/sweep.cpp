@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/worker_budget.h"
+
 namespace hm::cloud {
 
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepItem>& items,
@@ -23,13 +25,16 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepItem>& items,
     }
   };
 
-  if (threads == 1) {
-    worker();
-    return results;
-  }
+  // Extra workers beyond the caller come out of the shared process budget,
+  // so a sweep of sharded experiments (sweep threads x shard workers)
+  // cannot oversubscribe the machine: whatever this layer takes, the shard
+  // layer no longer can, and vice versa. The caller always participates,
+  // so the sweep completes even with an empty budget.
+  sim::WorkerGrant grant(sim::WorkerBudget::instance(), threads - 1);
   std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  pool.reserve(grant.granted());
+  for (unsigned t = 0; t < grant.granted(); ++t) pool.emplace_back(worker);
+  worker();
   for (auto& th : pool) th.join();
   return results;
 }

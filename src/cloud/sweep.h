@@ -17,7 +17,11 @@ struct SweepItem {
 };
 
 /// Run all experiments, using up to `threads` worker threads (0 = hardware
-/// concurrency). Results are returned in input order.
+/// concurrency). Results are returned in input order. Extra threads beyond
+/// the calling one are drawn from sim::WorkerBudget, the same pool sharded
+/// experiments draw shard workers from, so sweep x shard parallelism never
+/// oversubscribes the machine; the grant is best-effort and affects
+/// wall-clock only.
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepItem>& items,
                                         unsigned threads = 0);
 

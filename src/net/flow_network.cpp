@@ -142,6 +142,7 @@ std::uint32_t FlowNetwork::alloc_component() {
   ++c.gen;  // invalidates NIC-owner entries from previous occupants
   c.dirty = false;
   c.in_use = true;
+  c.split_risk = false;
   ++live_components_;
   return id;
 }
@@ -174,7 +175,10 @@ void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
       it->second.rate -= f.rate;
     }
   }
-  // The departure dirties its component so the survivors get re-solved.
+  // The departure dirties its component so the survivors get re-solved —
+  // and may split it, so the merge-only membership fast path is off the
+  // table until the next item-level rebuild re-derives the partition.
+  if (fs.comp != kNilIndex) comps_[fs.comp].split_risk = true;
   detach_from_component(fs);
   for (std::uint8_t k = 2; k < fs.n_constraints; ++k) {
     if (fs.constraints[k] < shared_users_.size()) --shared_users_[fs.constraints[k]];
@@ -560,6 +564,7 @@ void FlowNetwork::solve_epoch() {
   // component, ablated-off, or any flow after a topology change (incidence
   // ids shift with node count).
   items_.clear();
+  bool any_split_risk = false;
   live_bits_.for_each_set([&](std::uint64_t s) {
     const std::uint32_t slot = static_cast<std::uint32_t>(s);
     FlowSlot& fs = flow_slots_[slot];
@@ -570,8 +575,10 @@ void FlowNetwork::solve_epoch() {
     const bool affected = !incremental_ || topo_changed || fs.comp == kNilIndex ||
                           comps_[fs.comp].dirty;
     if (!affected) return;
+    const std::uint32_t prev = fs.comp;  // kNil for this epoch's arrivals
+    if (prev != kNilIndex && comps_[prev].split_risk) any_split_risk = true;
     detach_from_component(fs);
-    items_.push_back(SolverItem{&fs.flow, slot, 0.0, false, 0, {}, 0});
+    items_.push_back(SolverItem{&fs.flow, slot, 0.0, false, 0, prev, {}, 0});
   });
 
   bool escalated = false;
@@ -592,16 +599,70 @@ void FlowNetwork::solve_epoch() {
       return i;
     };
     for (std::uint32_t i = 0; i < items_.size(); ++i) items_[i].uf_parent = i;
-    for (std::uint32_t i = 0; i < items_.size(); ++i) {
-      const FlowSlot& fs = flow_slots_[items_[i].slot];
-      for (int k = 0; k < 2; ++k) {
-        const std::uint32_t c = fs.constraints[k];
-        if (citem_epoch_[c] != pgen) {
-          citem_epoch_[c] = pgen;
-          citem_[c] = i;
+    const auto link = [&](std::uint32_t a, std::uint32_t b) {
+      std::uint32_t ra = find_root(a), rb = find_root(b);
+      if (ra != rb) items_[std::max(ra, rb)].uf_parent = std::min(ra, rb);
+    };
+    // Merge-only fast path: no split-risk member and an unchanged topology
+    // means membership can only have grown. Union each item into its
+    // previous component's representative (first member in slot order), then
+    // bridge the arrivals — the only items that can connect two previous
+    // components, since published components never share a NIC constraint.
+    // The union rule keeps the minimal item index as root either way, so the
+    // resulting partition, group numbering and item order are identical to
+    // the item-level rebuild below (see the header's membership fast path
+    // invariant).
+    const bool merge_only = incremental_ && !topo_changed && !any_split_risk;
+    if (merge_only) {
+      ++membership_fast_epochs_;
+      if (comp_map_epoch_.size() < comps_.size()) {
+        comp_map_epoch_.resize(comps_.size(), 0);
+        comp_map_.resize(comps_.size(), kNilIndex);
+      }
+      ++comp_map_gen_;
+      for (std::uint32_t i = 0; i < items_.size(); ++i) {
+        const std::uint32_t prev = items_[i].prev_comp;
+        if (prev == kNilIndex) continue;
+        if (comp_map_epoch_[prev] != comp_map_gen_) {
+          comp_map_epoch_[prev] = comp_map_gen_;
+          comp_map_[prev] = i;
         } else {
-          std::uint32_t ra = find_root(i), rb = find_root(citem_[c]);
-          if (ra != rb) items_[std::max(ra, rb)].uf_parent = std::min(ra, rb);
+          link(i, comp_map_[prev]);
+        }
+      }
+      for (std::uint32_t i = 0; i < items_.size(); ++i) {
+        if (items_[i].prev_comp != kNilIndex) continue;  // arrivals only
+        const FlowSlot& fs = flow_slots_[items_[i].slot];
+        for (int k = 0; k < 2; ++k) {
+          const std::uint32_t c = fs.constraints[k];
+          // Arrival-to-arrival sharing through the constraint-seed map.
+          if (citem_epoch_[c] != pgen) {
+            citem_epoch_[c] = pgen;
+            citem_[c] = i;
+          } else {
+            link(i, citem_[c]);
+          }
+          // Arrival-to-previous-component bridging through the NIC-owner
+          // map. A live owner is necessarily collected this epoch (the
+          // arrival dirtied it in begin_flow), so it has a representative.
+          if (c >= nic_owner_.size()) continue;
+          const std::uint32_t owner = nic_owner_[c];
+          if (owner != kNilIndex && nic_owner_gen_[c] == comps_[owner].gen &&
+              comp_map_epoch_[owner] == comp_map_gen_)
+            link(i, comp_map_[owner]);
+        }
+      }
+    } else {
+      for (std::uint32_t i = 0; i < items_.size(); ++i) {
+        const FlowSlot& fs = flow_slots_[items_[i].slot];
+        for (int k = 0; k < 2; ++k) {
+          const std::uint32_t c = fs.constraints[k];
+          if (citem_epoch_[c] != pgen) {
+            citem_epoch_[c] = pgen;
+            citem_[c] = i;
+          } else {
+            link(i, citem_[c]);
+          }
         }
       }
     }
@@ -678,8 +739,8 @@ void FlowNetwork::solve_epoch() {
       live_bits_.for_each_set([&](std::uint64_t s) {
         FlowSlot& fs = flow_slots_[s];
         detach_from_component(fs);  // clean components join the mega solve
-        items_.push_back(
-            SolverItem{&fs.flow, static_cast<std::uint32_t>(s), 0.0, false, 0, {}, 0});
+        items_.push_back(SolverItem{&fs.flow, static_cast<std::uint32_t>(s), 0.0, false,
+                                    0, kNilIndex, {}, 0});
       });
       water_fill_escalated();
       n_groups = 1;
@@ -699,6 +760,11 @@ void FlowNetwork::solve_epoch() {
   }
   for (std::size_t g = 0; g < n_groups; ++g) {
     const std::uint32_t comp = alloc_component();
+    // An escalated publish artificially merges every live flow — including
+    // NIC-disconnected ones — into a single component. Only the item-level
+    // rebuild can split it back, so the merge-only fast path must not trust
+    // its membership.
+    comps_[comp].split_risk = escalated;
     comps_[comp].count = group_start_[g + 1] - group_start_[g];
     for (std::uint32_t i = group_start_[g]; i < group_start_[g + 1]; ++i) {
       FlowSlot& fs = flow_slots_[items_[i].slot];

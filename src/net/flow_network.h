@@ -78,6 +78,22 @@
 // component each epoch) byte-identical to the incremental mode, which the
 // randomized equivalence suite asserts.
 //
+// Membership fast path (merge-only epochs): arrivals and capacity changes
+// can only MERGE components, never split them — splits require a departure
+// (or an escalated publish, whose mega-component was never NIC-connected).
+// Components carry a split_risk flag, set by real departures and escalated
+// publishes; when no affected item comes from a split-risk component (and
+// the topology is unchanged), the epoch derives membership by unioning each
+// item with its previous component's representative (O(1) per item) and
+// running constraint union-find over the arrivals only, bridging into
+// previous components through the NIC-owner map. Published components never
+// share a NIC constraint, so arrivals are the only possible bridges, and
+// the union rule (root = minimal item index) makes the resulting partition,
+// group order and in-group item order identical to the item-level rebuild —
+// the counters and rates cannot tell the paths apart. Epochs with a
+// split-risk member fall back to the item-level rebuild, which re-splits
+// exactly.
+//
 // Introspection: solved_component_count() counts component water-fills,
 // touched_flow_count() counts flow re-solves (both cumulative), so benches
 // can report flows-re-solved-per-epoch; escalation_count() says how often
@@ -372,6 +388,11 @@ class FlowNetwork {
   std::uint64_t touched_flow_count() const noexcept { return touched_flows_; }
   /// Epochs where a violated shared constraint forced a global solve.
   std::uint64_t escalation_count() const noexcept { return escalations_; }
+  /// Epochs whose component membership came from the merge-only fast path
+  /// (no split-risk member: unions across arrivals instead of the
+  /// item-level rebuild). Tests assert it is exercised; the partition is
+  /// provably identical either way.
+  std::uint64_t membership_fast_epochs() const noexcept { return membership_fast_epochs_; }
   /// Live connected components right now (0 when idle).
   std::size_t component_count() const noexcept { return live_components_; }
   bool incremental_enabled() const noexcept { return incremental_; }
@@ -439,6 +460,12 @@ class FlowNetwork {
     std::uint32_t gen = 0;
     bool dirty = false;
     bool in_use = false;
+    // Membership may have shrunk (a real departure) or was never
+    // NIC-connected to begin with (escalated publish merges every live flow
+    // into one component). Either way the merge-only membership fast path
+    // is unsound for this component and the epoch falls back to the
+    // item-level union-find rebuild, which re-splits it exactly.
+    bool split_risk = false;
   };
   /// Lazily-invalidated projected completion; stale when the generation or
   /// the projection no longer matches the flow.
@@ -552,6 +579,7 @@ class FlowNetwork {
   std::uint64_t solved_components_ = 0;
   std::uint64_t touched_flows_ = 0;
   std::uint64_t escalations_ = 0;
+  std::uint64_t membership_fast_epochs_ = 0;
   double traffic_[kNumTrafficClasses] = {};
 
   // scratch buffers for the solver (avoid per-epoch allocations)
@@ -561,6 +589,7 @@ class FlowNetwork {
     double alloc;
     bool frozen;
     std::uint32_t uf_parent;   // union-find over affected items
+    std::uint32_t prev_comp;   // component before this epoch (kNil = arrival)
     std::uint32_t cidx[5];     // compact constraint indices for one water-fill
     std::uint8_t n_cidx;
   };
@@ -584,6 +613,12 @@ class FlowNetwork {
   std::vector<std::uint64_t> citem_epoch_;
   std::uint64_t citem_gen_used_ = 0;
   std::vector<std::uint32_t> finished_scratch_;
+  // Epoch-stamped previous-component -> representative-item map for the
+  // merge-only membership fast path (indexed by component id; ids released
+  // during the collect pass stay valid keys until publish re-allocates).
+  std::vector<std::uint32_t> comp_map_;
+  std::vector<std::uint64_t> comp_map_epoch_;
+  std::uint64_t comp_map_gen_ = 0;
 
   // Persistent compact arena for the escalated global solve: dense
   // constraint indices assigned on first use and kept alive across epochs

@@ -26,10 +26,23 @@ Simulator::Timer Simulator::schedule_at(double t, SmallFn fn) {
   return Timer{this, slot, s.gen};
 }
 
+void Simulator::destroy_detached() noexcept {
+  while (detached_head_) {
+    Task::promise_type* p = detached_head_;
+    p->det_unlink();
+    Task::Handle::from_promise(*p).destroy();
+  }
+}
+
 void Simulator::spawn(Task t) {
   Task::Handle h = t.release();
   if (!h) return;
-  h.promise().detached = true;
+  Task::promise_type& p = h.promise();
+  p.detached = true;
+  p.det_head = &detached_head_;
+  p.det_next = detached_head_;
+  if (detached_head_) detached_head_->det_prev = &p;
+  detached_head_ = &p;
   post(std::coroutine_handle<>(h));
 }
 

@@ -36,6 +36,17 @@ namespace hm::sim {
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator() { destroy_detached(); }
+
+  /// Destroy every detached task still suspended (background daemons, or a
+  /// max_sim_time truncation leaving coroutines parked on awaitables):
+  /// frame-local destructors run, so frame-owned resources are reclaimed
+  /// instead of leaking with the frame slab. The destructor calls this as a
+  /// backstop, but a harness whose frames reference objects that die before
+  /// the simulator (declaration order) must call it explicitly first, while
+  /// those objects are alive. Must not be called while the run loop is
+  /// executing.
+  void destroy_detached() noexcept;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -285,6 +296,7 @@ class Simulator {
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  Task::promise_type* detached_head_ = nullptr;  // live detached tasks
 };
 
 }  // namespace hm::sim

@@ -25,6 +25,24 @@ class [[nodiscard]] Task {
     std::coroutine_handle<> continuation = nullptr;
     std::exception_ptr exception = nullptr;
     bool detached = false;
+    // Intrusive membership in the spawning simulator's live-detached list.
+    // A detached task normally reclaims itself at final suspend; tasks
+    // still suspended when the simulator is torn down (a max_sim_time
+    // truncation) are destroyed through this list instead, so frame-owned
+    // resources never outlive the run. det_head points at the list head in
+    // the owning Simulator; null for structured (awaited) tasks.
+    promise_type** det_head = nullptr;
+    promise_type* det_prev = nullptr;
+    promise_type* det_next = nullptr;
+
+    void det_unlink() noexcept {
+      if (!det_head) return;
+      if (det_prev) det_prev->det_next = det_next;
+      else *det_head = det_next;
+      if (det_next) det_next->det_prev = det_prev;
+      det_head = nullptr;
+      det_prev = det_next = nullptr;
+    }
 
     // Frames come from the thread-local size-bucketed pool, so steady-state
     // coroutine churn performs no heap allocation. The sized delete is the
@@ -48,6 +66,7 @@ class [[nodiscard]] Task {
           // A detached task owns itself; reclaim the frame on completion.
           // Exceptions cannot propagate anywhere from a detached task.
           if (p.exception) std::terminate();
+          p.det_unlink();
           h.destroy();
         }
         return next;

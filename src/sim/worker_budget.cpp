@@ -1,0 +1,15 @@
+#include "sim/worker_budget.h"
+
+#include <thread>
+
+namespace hm::sim {
+
+WorkerBudget& WorkerBudget::instance() {
+  static WorkerBudget budget([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0u;
+  }());
+  return budget;
+}
+
+}  // namespace hm::sim

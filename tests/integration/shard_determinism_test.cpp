@@ -1,0 +1,320 @@
+// Sharded-experiment determinism contract: with cfg.shards > 1 and a
+// decomposable scenario, the merged result must be BYTE-identical to the
+// single-shard run in every virtual-time field — migration records, traffic
+// by class, workload aggregates, solver work counters — for any shard
+// count, in both solver regimes. Coupled regimes (CM1, faults) and runtime
+// guard trips (max_sim_time truncation) must fall back to one shard
+// transparently. Scheduler-implementation counters (engine_events, frame
+// counters) legitimately differ — a finished slice stops stepping at its
+// own last event and frame pools are per-thread — and are the only fields
+// excluded here; see tools/check_sweep_golden.py --shards for the same
+// split applied to the CI sweep gates.
+#include <gtest/gtest.h>
+
+#include "cloud/experiment.h"
+#include "cloud/shard_plan.h"
+#include "net/flow_network.h"
+#include "sim/fault_plan.h"
+
+namespace hm::cloud {
+namespace {
+
+using storage::kKiB;
+using storage::kMiB;
+
+/// Decomposable AsyncWR fleet: unlimited fabric (non-blocking core), flat
+/// topology, one distinct destination per migration => every VM is its own
+/// constraint-graph component.
+ExperimentConfig decomposable_config(int incremental) {
+  ExperimentConfig cfg;
+  cfg.approach = core::Approach::kHybrid;
+  cfg.cluster.image = storage::ImageConfig{64 * kMiB, static_cast<std::uint32_t>(kMiB)};
+  cfg.cluster.disk = storage::DiskConfig{55e6, 0.0};
+  cfg.cluster.network.incremental = incremental;
+  cfg.cluster.network.fabric_Bps = net::kUnlimitedRate;
+  cfg.vm.memory.ram_bytes = 64 * kMiB;
+  cfg.vm.memory.page_bytes = 256 * kKiB;
+  cfg.vm.memory.base_used_bytes = 16 * kMiB;
+  cfg.vm.cache.capacity_bytes = 32 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 16 * kMiB;
+  cfg.vm.cache.write_Bps = 200e6;
+  cfg.workload = WorkloadKind::kAsyncWr;
+  cfg.asyncwr.iterations = 20;
+  cfg.asyncwr.file_offset = 32 * kMiB;
+  cfg.num_vms = 8;
+  cfg.num_migrations = 8;
+  cfg.num_destinations = 8;
+  cfg.first_migration_at = 1.5;
+  cfg.migration_interval_s = 0.5;  // staggered: distinct event timestamps
+  cfg.max_sim_time = 600.0;
+  return cfg;
+}
+
+/// EXPECT_EQ on doubles is exact comparison — that is the point: the
+/// sharded run must land on the identical bit pattern, not within a
+/// tolerance. `exact_epochs` additionally compares settle-epoch counts;
+/// burst/broadcast scenarios batch same-timestamp churn of several
+/// components into shared epochs a sharded run cannot share (same work,
+/// more epochs), so those pass false. `exact_work` compares the solver
+/// work counters (components water-filled, flows resolved): they sum
+/// exactly in the incremental regime (work is component-scoped), but a
+/// full re-solve (ABLATE_INCREMENTAL=off) touches every live flow each
+/// epoch, so a global run does strictly more work than the shards' local
+/// full-solves — the same split check_sweep_golden.py makes with
+/// --ignore-solver-work.
+void expect_identical(const ExperimentResult& ref, const ExperimentResult& got,
+                      bool exact_epochs, bool exact_work = true) {
+  EXPECT_EQ(ref.completed, got.completed);
+  EXPECT_EQ(ref.error, got.error);
+  EXPECT_EQ(ref.sim_duration, got.sim_duration);
+  EXPECT_EQ(ref.app_execution_time, got.app_execution_time);
+
+  ASSERT_EQ(ref.migrations.size(), got.migrations.size());
+  for (std::size_t i = 0; i < ref.migrations.size(); ++i) {
+    const core::MigrationRecord& a = ref.migrations[i];
+    const core::MigrationRecord& b = got.migrations[i];
+    EXPECT_EQ(a.vm_id, b.vm_id) << "migration " << i;
+    EXPECT_EQ(a.t_request, b.t_request) << "migration " << i;
+    EXPECT_EQ(a.t_control_transfer, b.t_control_transfer) << "migration " << i;
+    EXPECT_EQ(a.t_source_released, b.t_source_released) << "migration " << i;
+    EXPECT_EQ(a.downtime_s, b.downtime_s) << "migration " << i;
+    EXPECT_EQ(a.memory_rounds, b.memory_rounds) << "migration " << i;
+    EXPECT_EQ(a.memory_bytes_sent, b.memory_bytes_sent) << "migration " << i;
+    EXPECT_EQ(a.storage_chunks_pushed, b.storage_chunks_pushed) << "migration " << i;
+    EXPECT_EQ(a.storage_chunks_pulled, b.storage_chunks_pulled) << "migration " << i;
+  }
+  EXPECT_EQ(ref.total_migration_time, got.total_migration_time);
+  EXPECT_EQ(ref.avg_migration_time, got.avg_migration_time);
+  EXPECT_EQ(ref.max_downtime, got.max_downtime);
+
+  for (std::size_t c = 0; c < net::kNumTrafficClasses; ++c)
+    EXPECT_EQ(ref.traffic_bytes[c], got.traffic_bytes[c])
+        << net::traffic_class_name(static_cast<net::TrafficClass>(c));
+  EXPECT_EQ(ref.total_traffic, got.total_traffic);
+  EXPECT_EQ(ref.migration_traffic, got.migration_traffic);
+
+  EXPECT_EQ(ref.bytes_written, got.bytes_written);
+  EXPECT_EQ(ref.bytes_read, got.bytes_read);
+  EXPECT_EQ(ref.write_Bps, got.write_Bps);
+  EXPECT_EQ(ref.read_Bps, got.read_Bps);
+  EXPECT_EQ(ref.cpu_seconds_total, got.cpu_seconds_total);
+
+  EXPECT_EQ(ref.faults_injected, got.faults_injected);
+  EXPECT_EQ(ref.total_retries, got.total_retries);
+  EXPECT_EQ(ref.migrations_abandoned, got.migrations_abandoned);
+  EXPECT_EQ(ref.retransferred_bytes, got.retransferred_bytes);
+  EXPECT_EQ(ref.fault_downtime_s, got.fault_downtime_s);
+  EXPECT_EQ(ref.max_time_to_recover, got.max_time_to_recover);
+
+  // Flows started is a simulated quantity and always sums exactly;
+  // scheduler bookkeeping (events, frames) is never compared.
+  EXPECT_EQ(ref.engine_flows, got.engine_flows);
+  EXPECT_EQ(ref.engine_escalations, got.engine_escalations);
+  if (exact_work) {
+    EXPECT_EQ(ref.engine_components, got.engine_components);
+    EXPECT_EQ(ref.engine_flows_resolved, got.engine_flows_resolved);
+  }
+  if (exact_epochs) EXPECT_EQ(ref.engine_recomputes, got.engine_recomputes);
+}
+
+ExperimentResult run_with_shards(ExperimentConfig cfg, std::uint32_t shards) {
+  cfg.shards = shards;
+  return Experiment(std::move(cfg)).run();
+}
+
+TEST(ShardPlanning, CoupledRegimesCollapseToOneShard) {
+  ExperimentConfig base = decomposable_config(1);
+  base.shards = 4;
+  base.normalize();
+  EXPECT_GT(plan_shards(base).shard_count(), 1u);
+  EXPECT_TRUE(plan_shards(base).coupled_reason.empty());
+
+  auto reason = [](ExperimentConfig cfg) {
+    cfg.normalize();
+    const ShardPlan plan = plan_shards(cfg);
+    EXPECT_EQ(plan.shard_count(), 1u);
+    return plan.coupled_reason;
+  };
+
+  {
+    ExperimentConfig c = base;
+    c.shards = 1;
+    EXPECT_EQ(plan_shards(c).shard_count(), 1u);  // sharding not requested
+  }
+  {
+    ExperimentConfig c = base;
+    c.workload = WorkloadKind::kCm1;
+    EXPECT_FALSE(reason(c).empty());
+  }
+  {
+    ExperimentConfig c = base;
+    c.workload = WorkloadKind::kIor;
+    EXPECT_FALSE(reason(c).empty());
+  }
+  {
+    ExperimentConfig c = base;
+    c.cluster.network.fabric_Bps = 8e9;  // finite core couples every flow
+    EXPECT_FALSE(reason(c).empty());
+  }
+  {
+    ExperimentConfig c = base;
+    std::string err;
+    ASSERT_TRUE(sim::parse_fault_spec("rand:crashes=1", &c.faults, &err)) << err;
+    EXPECT_FALSE(reason(c).empty());
+  }
+  {
+    ExperimentConfig c = base;
+    c.record_trace_path = "/tmp/never-written.trace";
+    EXPECT_FALSE(reason(c).empty());
+  }
+  {
+    ExperimentConfig c = base;
+    c.num_destinations = 1;  // every migration lands on one node
+    c.normalize();
+    const ShardPlan plan = plan_shards(c);
+    EXPECT_EQ(plan.shard_count(), 1u);
+    EXPECT_EQ(plan.coupled_reason, "single connected component");
+  }
+}
+
+TEST(ShardDeterminism, ByteIdenticalAcrossShardCounts) {
+  for (int incremental : {1, 0}) {
+    SCOPED_TRACE(incremental ? "incremental" : "fullsolve");
+    const ExperimentResult ref = run_with_shards(decomposable_config(incremental), 1);
+    ASSERT_TRUE(ref.completed);
+    ASSERT_TRUE(ref.error.empty()) << ref.error;
+    ASSERT_EQ(ref.migrations.size(), 8u);
+    EXPECT_GT(ref.max_downtime, 0.0);  // the comparison must not be vacuous
+    EXPECT_EQ(ref.shards_used, 1u);
+
+    for (std::uint32_t n : {2u, 4u, 8u}) {
+      SCOPED_TRACE("shards=" + std::to_string(n));
+      const ExperimentResult got = run_with_shards(decomposable_config(incremental), n);
+      // 8 singleton components pack n bins: a genuinely parallel run.
+      EXPECT_EQ(got.shards_used, n);
+      expect_identical(ref, got, /*exact_epochs=*/true,
+                       /*exact_work=*/incremental == 1);
+    }
+  }
+}
+
+TEST(ShardDeterminism, SimultaneousMigrationsStayByteIdentical) {
+  // interval = 0: every migration launches at the same instant, so settle
+  // epochs that one global run batches across components split per shard —
+  // epoch counts drift, every simulated field must not.
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.migration_interval_s = 0.0;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  ASSERT_TRUE(ref.completed);
+  const ExperimentResult got = run_with_shards(cfg, 4);
+  EXPECT_EQ(got.shards_used, 4u);
+  expect_identical(ref, got, /*exact_epochs=*/false);
+}
+
+TEST(ShardDeterminism, SharedDestinationsMergeComponents) {
+  // 8 migrations round-robin onto 4 destinations: VM k and VM k+4 share a
+  // destination NIC, so the partitioner must merge them — 4 components,
+  // even when 8 shards were requested.
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.num_destinations = 4;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  ASSERT_TRUE(ref.completed);
+  const ExperimentResult got = run_with_shards(cfg, 8);
+  EXPECT_EQ(got.shards_used, 4u);
+  expect_identical(ref, got, /*exact_epochs=*/true);
+}
+
+TEST(ShardDeterminism, TornPartitionRunsOnFewerShards) {
+  // Two VMs, eight requested shards: two components, six empty bins. The
+  // run must use exactly the two real slices and stay byte-identical.
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.num_vms = 2;
+  cfg.num_migrations = 2;
+  cfg.num_destinations = 2;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  ASSERT_TRUE(ref.completed);
+  ASSERT_EQ(ref.migrations.size(), 2u);
+  const ExperimentResult got = run_with_shards(cfg, 8);
+  EXPECT_EQ(got.shards_used, 2u);
+  expect_identical(ref, got, /*exact_epochs=*/true);
+}
+
+TEST(ShardDeterminism, BroadcastTraceReplayShards) {
+  // A generated broadcast trace fans the same op stream to every VM —
+  // decomposable, but every VM sees identical timestamps, so epoch counts
+  // drift like the simultaneous case.
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.workload = WorkloadKind::kTrace;
+  cfg.trace.gen.pattern = workloads::TracePattern::kZipfian;
+  cfg.trace.gen.duration_s = 15.0;
+  cfg.trace.gen.pages = 256;
+  cfg.trace.gen.chunks = 128;
+  cfg.trace.gen.file_offset = 32 * kMiB;
+  cfg.num_vms = 4;
+  cfg.num_migrations = 4;
+  cfg.num_destinations = 4;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  ASSERT_TRUE(ref.completed);
+  ASSERT_TRUE(ref.error.empty()) << ref.error;
+  const ExperimentResult got = run_with_shards(cfg, 4);
+  EXPECT_EQ(got.shards_used, 4u);
+  expect_identical(ref, got, /*exact_epochs=*/false);
+}
+
+TEST(ShardFallback, FaultInjectionCollapsesToOneShard) {
+  // A crash fails every flow touching the node and plan draws share one RNG
+  // stream: the planner must refuse to shard, and the run must match the
+  // explicit single-shard run exactly (same code path, same seed).
+  ExperimentConfig cfg = decomposable_config(1);
+  std::string err;
+  ASSERT_TRUE(sim::parse_fault_spec(
+      "rand:crashes=1,degrades=1,from=2,span=3,dur=2", &cfg.faults, &err))
+      << err;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  const ExperimentResult got = run_with_shards(cfg, 4);
+  EXPECT_EQ(got.shards_used, 1u);
+  EXPECT_GT(got.faults_injected, 0u);  // the axis actually fired
+  expect_identical(ref, got, /*exact_epochs=*/true);
+}
+
+TEST(ShardFallback, Cm1CollapsesToOneShard) {
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.workload = WorkloadKind::kCm1;
+  cfg.cm1.grid_x = 2;
+  cfg.cm1.grid_y = 2;
+  cfg.cm1.step_compute_s = 0.5;
+  cfg.cm1.steps_per_output = 2;
+  cfg.cm1.num_outputs = 2;
+  cfg.cm1.output_bytes = 8 * kMiB;
+  cfg.cm1.halo_bytes = 256 * kKiB;
+  cfg.cm1.file_offset = 32 * kMiB;
+  cfg.cm1.dirty_Bps = 1e6;
+  cfg.cm1.ws_bytes = 16 * kMiB;
+  cfg.num_migrations = 2;
+  cfg.num_destinations = 2;
+  cfg.first_migration_at = 1.0;
+  cfg.migration_interval_s = 0.7;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  ASSERT_TRUE(ref.completed);
+  const ExperimentResult got = run_with_shards(cfg, 4);
+  EXPECT_EQ(got.shards_used, 1u);
+  expect_identical(ref, got, /*exact_epochs=*/true);
+}
+
+TEST(ShardFallback, TruncatedRunRerunsSingleShard) {
+  // max_sim_time cuts the run mid-migration: where the cut lands depends on
+  // the global interleave, which a slice cannot know — the executor's guard
+  // must detect the incomplete slice and transparently rerun single-shard,
+  // reproducing the single-shard truncation exactly.
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.max_sim_time = 3.0;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  ASSERT_FALSE(ref.completed);
+  const ExperimentResult got = run_with_shards(cfg, 4);
+  EXPECT_EQ(got.shards_used, 1u);
+  EXPECT_FALSE(got.completed);
+  expect_identical(ref, got, /*exact_epochs=*/true);
+}
+
+}  // namespace
+}  // namespace hm::cloud

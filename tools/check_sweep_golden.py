@@ -19,6 +19,22 @@ AsyncWR regimes plus the trace-replay and fault sweeps); the exit status is
 Those legitimately differ between the incremental and full-solve regimes
 (ABLATE_INCREMENTAL) while every virtual-time field stays byte-identical —
 use the flag when gating a fullsolve run against an incremental golden.
+
+--shards additionally excludes the scheduler-implementation counters
+(events, solver_epochs, flows_resolved_per_epoch, coroutine_frames,
+frames_reused, frame_heap_allocs) plus the "shards" row field, for gating
+a shards=N sweep against a shards=1 golden. A sharded run processes
+slightly fewer scheduler events than the single run (a finished slice
+stops stepping at its own last needed event, while the global loop drains
+residual timers of already-finished VMs until the last slice finishes),
+splits coroutine frames across per-shard thread-local pools, and cannot
+share a settle epoch between components living on different shards (so
+same-timestamp churn that one global epoch would batch costs one epoch
+per shard — more epochs, same work). Those counters measure the engine,
+not the simulated system. Every simulated quantity — sim_s, flows, solver
+WORK counters (components water-filled, flows resolved, escalations),
+migration times, traffic — must still match EXACTLY: that is the sharding
+determinism contract.
 """
 import json
 import sys
@@ -26,6 +42,9 @@ import sys
 WALL_FIELDS = {"wall_ms", "events_per_sec", "flows_per_sec"}
 SOLVER_WORK_FIELDS = {"solver_components", "flows_resolved",
                       "flows_resolved_per_epoch", "escalations"}
+SCHEDULER_FIELDS = {"events", "solver_epochs", "flows_resolved_per_epoch",
+                    "coroutine_frames", "frames_reused", "frame_heap_allocs",
+                    "shards"}
 
 
 def strip(rows, ignored):
@@ -56,8 +75,11 @@ def check_pair(golden_path, fresh_path, ignored) -> bool:
 def main() -> int:
     args = sys.argv[1:]
     ignored = set(WALL_FIELDS)
-    if args and args[0] == "--ignore-solver-work":
-        ignored |= SOLVER_WORK_FIELDS
+    while args and args[0] in ("--ignore-solver-work", "--shards"):
+        if args[0] == "--ignore-solver-work":
+            ignored |= SOLVER_WORK_FIELDS
+        else:
+            ignored |= SCHEDULER_FIELDS
         args = args[1:]
     if len(args) < 2 or len(args) % 2 != 0:
         print(__doc__, file=sys.stderr)

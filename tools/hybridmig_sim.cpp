@@ -44,6 +44,8 @@ void usage() {
       "                       KIND = src-crash|dst-crash|degrade|flap|slow-recv|\n"
       "                       repo-outage) or seeded draws\n"
       "                      (rand:crashes=N,degrades=N,...,from=T,span=T,dur=T)\n"
+      "  --shards=N          parallel in-process simulator shards (default 1;\n"
+      "                      byte-identical virtual timeline for any value)\n"
       "  --seed=N            RNG seed (default 42)\n"
       "  --baseline          disable migrations (reference run)\n"
       "  --list              print the approach summary (paper Table 1)\n";
@@ -164,6 +166,10 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (auto v = arg_value(arg, "--shards")) {
+      cfg.shards = static_cast<std::uint32_t>(std::stoul(*v));
+      continue;
+    }
     if (auto v = arg_value(arg, "--seed")) { cfg.seed = std::stoull(*v); continue; }
     std::cerr << "unknown argument: " << arg << " (try --help)\n";
     return 2;
@@ -188,6 +194,7 @@ int main(int argc, char** argv) {
 
   if (!res.error.empty()) std::cerr << "error: " << res.error << "\n";
   std::cout << "\ncompleted:          " << (res.completed ? "yes" : "NO (guard hit)")
+            << "\nshards:             " << res.shards_used
             << "\nsimulated time:     " << cloud::fmt_seconds(res.sim_duration)
             << "\napp execution time: " << cloud::fmt_seconds(res.app_execution_time)
             << "\navg migration time: " << cloud::fmt_seconds(res.avg_migration_time)

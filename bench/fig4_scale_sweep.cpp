@@ -46,15 +46,19 @@
 // appear as extra JSON fields only for fault regimes, keeping the committed
 // fault-free goldens byte-identical.
 //
-// The sixth argument sets the shard count: every experiment in the sweep
-// runs on that many parallel in-process simulator shards (see
-// cloud/shard_plan.h). The sharded timeline is byte-identical to shards=1
-// in every virtual-time field; only the wall-clock fields move, so a
-// shards=N sweep gates against the same committed goldens via
+// The sixth argument sets the shard count ("auto" resolves it at plan time
+// to min(component count, worker threads available)): every experiment in
+// the sweep runs on that many parallel in-process simulator shards (see
+// cloud/shard_plan.h). The nonblocking core decomposes into independent
+// shards; the oversub core's finite fabric/uplinks run epoch-coupled, with
+// a central mirror solver arbitrating the shared constraints every settle
+// epoch. Either way the sharded timeline is byte-identical to shards=1 in
+// every virtual-time field; only the wall-clock fields move, so a shards=N
+// sweep gates against the same committed goldens via
 // check_sweep_golden.py --shards.
 //
 // Usage: fig4_scale_sweep [max_concurrency] [oversub|nonblocking] [stagger_s]
-//                         [asyncwr|trace:SPEC] [none|faults:SPEC] [shards]
+//                         [asyncwr|trace:SPEC] [none|faults:SPEC] [shards|auto]
 //        (defaults: 256 oversub 0 asyncwr none 1)
 #include <cstdlib>
 #include <cstring>
@@ -138,7 +142,10 @@ int main(int argc, char** argv) {
   const std::string workload = argc > 4 ? argv[4] : "asyncwr";
   const std::string faults_arg = argc > 5 ? argv[5] : "none";
   const std::uint32_t shards =
-      argc > 6 ? static_cast<std::uint32_t>(std::strtoul(argv[6], nullptr, 10)) : 1;
+      argc > 6 ? (std::strcmp(argv[6], "auto") == 0
+                      ? cloud::ExperimentConfig::kShardsAuto
+                      : static_cast<std::uint32_t>(std::strtoul(argv[6], nullptr, 10)))
+               : 1;
   sim::FaultSpec faults;
   {
     std::string err;
@@ -172,7 +179,12 @@ int main(int argc, char** argv) {
     // (or on failure), keeping the committed AsyncWR goldens byte-compatible.
     if (workload != "asyncwr") std::cout << ", \"workload\": \"" << workload << "\"";
     if (faults.enabled()) std::cout << ", \"faults\": \"" << faults_arg << "\"";
-    if (shards != 1) std::cout << ", \"shards\": " << r.shards_used;
+    if (shards != 1) {
+      std::cout << ", \"shards\": " << r.shards_used;
+      if (!r.shard_fallback_reason.empty())
+        std::cout << ", \"shard_fallback_reason\": \"" << r.shard_fallback_reason
+                  << "\"";
+    }
     if (!r.error.empty()) std::cout << ", \"error\": \"" << r.error << "\"";
     std::cout << ", \"stagger_s\": " << stagger_s
               << ", \"completed\": " << (r.completed ? "true" : "false")

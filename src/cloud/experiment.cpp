@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <thread>
 
 #include "cloud/fault_injector.h"
 #include "cloud/shard_plan.h"
+#include "net/coupled_solver.h"
 #include "sim/frame_pool.h"
 #include "sim/sharded.h"
 
@@ -67,6 +73,35 @@ struct MigLaunch {
   net::NodeId dst;
 };
 
+/// Replicate vm::Cluster's topology wiring on a bare FlowNetwork, so the
+/// coordinator's mirror gets node ids and switch groups — and therefore
+/// constraint ids — identical to every shard's full cluster replica.
+void wire_mirror_topology(net::FlowNetwork& net, const vm::ClusterConfig& cfg) {
+  for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+    net::SwitchGroupId group = 0;
+    if (cfg.nodes_per_switch > 0) {
+      const std::size_t sw = i / cfg.nodes_per_switch;
+      while (net.switch_group_count() <= sw + 1)
+        net.add_switch_group(cfg.switch_uplink_Bps);
+      group = static_cast<net::SwitchGroupId>(sw + 1);  // group 0 stays flat
+    }
+    net.add_node(cfg.nic_Bps, group);
+  }
+}
+
+/// Epoch-coupled driver selection: shard bodies on dedicated threads
+/// rendezvousing on the EpochBarrier, or the same round protocol executed
+/// inline round-robin on the caller (the right choice on a single-core
+/// host, where thread hand-offs per barrier would dominate). Both produce
+/// the identical timeline; HM_COUPLED_DRIVER=threads|seq overrides.
+bool coupled_driver_threads() {
+  if (const char* e = std::getenv("HM_COUPLED_DRIVER")) {
+    if (std::strcmp(e, "threads") == 0) return true;
+    if (std::strcmp(e, "seq") == 0) return false;
+  }
+  return std::thread::hardware_concurrency() > 1;
+}
+
 }  // namespace
 
 struct Experiment::SliceDetail {
@@ -86,237 +121,288 @@ struct Experiment::SliceDetail {
   std::uint64_t repo_chunks_served = 0;
 };
 
-ExperimentResult Experiment::run_slice(const std::vector<std::uint32_t>* owned,
-                                       SliceDetail* detail) const {
-  // Everything below (setup included) runs on this thread, so the
-  // thread-local frame pool's counters bracket the whole slice.
-  const sim::FramePool::Stats frames_before = sim::FramePool::local().stats();
-  // NOTE: the simulator must be declared first (destroyed last) so pending
-  // event closures never outlive it.
+struct Experiment::SliceRuntime {
+  const ExperimentConfig& cfg;
+  const std::vector<std::uint32_t>* owned;
+  SliceDetail* detail;
+  // Everything below (setup included) lives on the constructing thread, so
+  // the thread-local frame pool's counters bracket the whole slice.
+  sim::FramePool::Stats frames_before;
+  // NOTE: the simulator must be declared first among the simulation members
+  // (destroyed last) so pending event closures never outlive it.
   sim::Simulator simulator;
-  vm::Cluster cluster(simulator, cfg_.cluster);
-  Middleware mw(simulator, cluster, cfg_.approach_cfg);
-
-  const std::size_t n_vms = cfg_.num_vms;
-  // Global ids of the VMs this slice owns (all of them on the single-shard
-  // path). Each shard holds a full cluster replica with the global node
-  // numbering, so VM i always deploys on node i regardless of slicing.
-  const std::size_t n_owned = owned ? owned->size() : n_vms;
+  vm::Cluster cluster;
+  Middleware mw;
   std::vector<vm::VmInstance*> vms;
-  vms.reserve(n_owned);
-  for (std::size_t idx = 0; idx < n_owned; ++idx) {
-    const auto gid = static_cast<std::uint32_t>(owned ? (*owned)[idx] : idx);
-    vms.push_back(&mw.deploy(static_cast<net::NodeId>(gid), cfg_.vm, static_cast<int>(gid)));
-  }
-
   ExperimentResult res;
-
-  // --- trace recording (passive observation of the workload API) ----------
   std::unique_ptr<workloads::TraceRecorder> recorder_owned;
-  workloads::TraceRecorder* recorder = cfg_.trace_recorder;
-  if (recorder == nullptr && !cfg_.record_trace_path.empty()) {
-    workloads::TraceHeader hdr;
-    hdr.page_bytes = cfg_.vm.memory.page_bytes;
-    hdr.chunk_bytes = cfg_.cluster.image.chunk_bytes;
-    hdr.pages = (cfg_.vm.memory.ram_bytes + cfg_.vm.memory.page_bytes - 1) /
-                cfg_.vm.memory.page_bytes;
-    hdr.chunks = cfg_.cluster.image.num_chunks();
-    hdr.name = std::string("rec:") + workload_name(cfg_.workload);
-    recorder_owned = std::make_unique<workloads::TraceRecorder>(hdr);
-    recorder = recorder_owned.get();
-  }
-  if (recorder != nullptr)
-    for (auto* v : vms) recorder->attach(*v);
-
-  // --- workloads -----------------------------------------------------------
-  sim::WaitGroup workload_done(simulator);
+  workloads::TraceRecorder* recorder;
+  sim::WaitGroup workload_done;
   std::vector<std::unique_ptr<workloads::Workload>> single_vm_workloads;
   std::unique_ptr<workloads::Cm1Application> cm1_app;
   std::unique_ptr<workloads::TraceData> trace_owned;
   std::unique_ptr<workloads::TraceApplication> trace_app;
-  double workload_started_at = simulator.now();
-  switch (cfg_.workload) {
-    case WorkloadKind::kNone:
-      break;
-    case WorkloadKind::kIor:
-      for (auto* v : vms) {
-        single_vm_workloads.push_back(std::make_unique<workloads::IorWorkload>(cfg_.ior));
-        workload_done.add();
-        simulator.spawn(run_and_signal(single_vm_workloads.back().get(), v, &workload_done));
-      }
-      break;
-    case WorkloadKind::kAsyncWr:
-      for (auto* v : vms) {
-        single_vm_workloads.push_back(
-            std::make_unique<workloads::AsyncWrWorkload>(cfg_.asyncwr));
-        workload_done.add();
-        simulator.spawn(run_and_signal(single_vm_workloads.back().get(), v, &workload_done));
-      }
-      break;
-    case WorkloadKind::kCm1:
-      cm1_app = std::make_unique<workloads::Cm1Application>(simulator, vms, cfg_.cm1);
-      workload_done.add();
-      simulator.spawn(run_cm1_and_signal(cm1_app.get(), &workload_done));
-      break;
-    case WorkloadKind::kTrace: {
-      workloads::TraceReplayOptions opts;
-      opts.broadcast = cfg_.trace.broadcast;
-      if (cfg_.trace.data != nullptr) {
-        trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
-                                                                  *cfg_.trace.data, opts);
-      } else if (!cfg_.trace.path.empty()) {
-        // One streaming reader drives every VM: bounded memory even for
-        // long traces at high VM counts.
-        trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
-                                                                  cfg_.trace.path, opts);
-      } else {
-        trace_owned = std::make_unique<workloads::TraceData>(
-            workloads::generate_trace(cfg_.trace.gen, cfg_.seed));
-        trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
-                                                                  *trace_owned, opts);
-      }
-      workload_done.add();
-      simulator.spawn(run_trace_and_signal(trace_app.get(), &workload_done));
-      break;
-    }
-  }
-
-  // --- migration schedule ---------------------------------------------------
-  // Launch k targets VM k with destination n_vms + (k % num_destinations);
-  // times and schedule order depend only on the global index, so a slice
-  // schedules its owned subset identically to the full run.
-  sim::WaitGroup migrations_done(simulator);
+  double workload_started_at = 0;
+  sim::WaitGroup migrations_done;
   std::vector<MigLaunch> launches;
-  if (cfg_.perform_migrations) {
-    launches.reserve(n_owned);  // addresses must survive the timers
-    for (std::size_t idx = 0; idx < n_owned; ++idx) {
-      const std::size_t k = owned ? (*owned)[idx] : idx;
-      if (k >= cfg_.num_migrations) continue;
-      const double at = cfg_.first_migration_at + static_cast<double>(k) *
-                                                      cfg_.migration_interval_s;
-      const net::NodeId dst =
-          static_cast<net::NodeId>(n_vms + (k % cfg_.num_destinations));
-      launches.push_back(MigLaunch{&simulator, &mw, vms[idx], &migrations_done, dst});
-      migrations_done.add();
-      simulator.schedule(at, [l = &launches.back()] {
-        l->sim->spawn(migrate_and_signal(l->mw, l->target, l->dst, l->done));
-      });
-      if (detail != nullptr) detail->launch_ks.push_back(static_cast<std::uint32_t>(k));
-    }
-  }
-
-  // --- fault plan -----------------------------------------------------------
-  // Faults statically collapse the plan to one shard, so the injector only
-  // ever arms on the full (owned == nullptr) path.
   std::unique_ptr<FaultInjector> injector;
-  if (cfg_.faults.enabled()) {
-    sim::FaultPlan plan = sim::build_fault_plan(
-        cfg_.faults, cluster.rng(), static_cast<std::uint32_t>(cfg_.num_migrations));
-    injector = std::make_unique<FaultInjector>(simulator, cluster, mw, std::move(plan),
-                                               cfg_.num_vms, cfg_.num_destinations);
-    injector->arm();
-  }
 
-  // --- run -------------------------------------------------------------------
-  auto finished = [&] {
-    return workload_done.count() == 0 && migrations_done.count() == 0;
-  };
-  const auto wall_start = std::chrono::steady_clock::now();
-  while (!finished()) {
-    if (!simulator.step()) break;
-    if (cfg_.max_sim_time > 0 && simulator.now() > cfg_.max_sim_time) {
-      res.completed = false;
-      break;
-    }
-  }
-  res.wall_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - wall_start)
-                    .count();
+  SliceRuntime(const ExperimentConfig& cfg_in, const std::vector<std::uint32_t>* owned_in,
+               SliceDetail* detail_in, bool coupled)
+      : cfg(cfg_in),
+        owned(owned_in),
+        detail(detail_in),
+        frames_before(sim::FramePool::local().stats()),
+        cluster(simulator, cfg.cluster),
+        mw(simulator, cluster, cfg.approach_cfg),
+        recorder(cfg.trace_recorder),
+        workload_done(simulator),
+        migrations_done(simulator) {
+    // Coupled shards never solve locally; flip the mode before any event
+    // (deploys, workload spawns) can reach the network.
+    if (coupled) cluster.network().set_coupled(true);
 
-  // --- collect ----------------------------------------------------------------
-  if (trace_app && trace_app->failed()) {
-    res.error = trace_app->error();
-    res.completed = false;
-  }
-  if (recorder != nullptr && recorder->failed() && res.error.empty())
-    res.error = recorder->error();
-  if (recorder_owned) {
-    std::string werr;
-    if (!write_trace(cfg_.record_trace_path, recorder_owned->data(), &werr) &&
-        res.error.empty())
-      res.error = werr;
-  }
-  res.approach = core::approach_name(cfg_.approach);
-  res.workload = workload_name(cfg_.workload);
-  res.sim_duration = simulator.now();
-  res.migrations.assign(mw.metrics().migrations().begin(),
-                        mw.metrics().migrations().end());
-  res.total_migration_time = mw.metrics().total_migration_time();
-  res.avg_migration_time = mw.metrics().avg_migration_time();
-  res.max_downtime = mw.metrics().max_downtime();
-
-  if (injector) {
-    res.faults_injected = injector->faults_applied();
-    res.fault_downtime_s = injector->fault_pause_s();
-  }
-  for (const core::MigrationRecord& m : res.migrations) {
-    res.total_retries += m.retries;
-    res.retransferred_bytes += m.retransferred_bytes;
-    res.migrations_abandoned += m.abandoned ? 1 : 0;
-    res.max_time_to_recover = std::max(res.max_time_to_recover, m.time_to_recover());
-  }
-
-  auto& network = cluster.network();
-  res.engine_events = simulator.events_processed();
-  res.engine_flows = network.flows_started();
-  res.engine_recomputes = network.recompute_count();
-  res.engine_components = network.solved_component_count();
-  res.engine_flows_resolved = network.touched_flow_count();
-  res.engine_escalations = network.escalation_count();
-  const sim::FramePool::Stats frames_after = sim::FramePool::local().stats();
-  res.engine_frames = frames_after.served - frames_before.served;
-  res.engine_frames_reused = frames_after.reused - frames_before.reused;
-  res.engine_frame_heap_allocs = frames_after.heap - frames_before.heap;
-
-  for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
-    res.traffic_bytes[i] = network.traffic_bytes(static_cast<net::TrafficClass>(i));
-  res.total_traffic = network.total_traffic_bytes();
-  res.migration_traffic =
-      res.total_traffic - network.traffic_bytes(net::TrafficClass::kAppComm);
-
-  double wtime = 0, rtime = 0;
-  for (std::size_t idx = 0; idx < vms.size(); ++idx) {
-    vm::VmInstance* v = vms[idx];
-    const core::IoStats& io = v->io_stats();
-    res.bytes_written += io.bytes_written;
-    res.bytes_read += io.bytes_read;
-    wtime += io.write_time_s;
-    rtime += io.read_time_s;
-    res.cpu_seconds_total += v->cpu_seconds();
-    if (detail != nullptr) {
+    const std::size_t n_vms = cfg.num_vms;
+    // Global ids of the VMs this slice owns (all of them on the single-shard
+    // path). Each shard holds a full cluster replica with the global node
+    // numbering, so VM i always deploys on node i regardless of slicing.
+    const std::size_t n_owned = owned ? owned->size() : n_vms;
+    vms.reserve(n_owned);
+    for (std::size_t idx = 0; idx < n_owned; ++idx) {
       const auto gid = static_cast<std::uint32_t>(owned ? (*owned)[idx] : idx);
-      detail->per_vm.push_back(SliceDetail::VmAgg{gid, io, v->cpu_seconds()});
+      vms.push_back(&mw.deploy(static_cast<net::NodeId>(gid), cfg.vm, static_cast<int>(gid)));
+    }
+
+    // --- trace recording (passive observation of the workload API) ----------
+    if (recorder == nullptr && !cfg.record_trace_path.empty()) {
+      workloads::TraceHeader hdr;
+      hdr.page_bytes = cfg.vm.memory.page_bytes;
+      hdr.chunk_bytes = cfg.cluster.image.chunk_bytes;
+      hdr.pages = (cfg.vm.memory.ram_bytes + cfg.vm.memory.page_bytes - 1) /
+                  cfg.vm.memory.page_bytes;
+      hdr.chunks = cfg.cluster.image.num_chunks();
+      hdr.name = std::string("rec:") + workload_name(cfg.workload);
+      recorder_owned = std::make_unique<workloads::TraceRecorder>(hdr);
+      recorder = recorder_owned.get();
+    }
+    if (recorder != nullptr)
+      for (auto* v : vms) recorder->attach(*v);
+
+    // --- workloads -----------------------------------------------------------
+    workload_started_at = simulator.now();
+    switch (cfg.workload) {
+      case WorkloadKind::kNone:
+        break;
+      case WorkloadKind::kIor:
+        for (auto* v : vms) {
+          single_vm_workloads.push_back(std::make_unique<workloads::IorWorkload>(cfg.ior));
+          workload_done.add();
+          simulator.spawn(run_and_signal(single_vm_workloads.back().get(), v, &workload_done));
+        }
+        break;
+      case WorkloadKind::kAsyncWr:
+        for (auto* v : vms) {
+          single_vm_workloads.push_back(
+              std::make_unique<workloads::AsyncWrWorkload>(cfg.asyncwr));
+          workload_done.add();
+          simulator.spawn(run_and_signal(single_vm_workloads.back().get(), v, &workload_done));
+        }
+        break;
+      case WorkloadKind::kCm1:
+        cm1_app = std::make_unique<workloads::Cm1Application>(simulator, vms, cfg.cm1);
+        workload_done.add();
+        simulator.spawn(run_cm1_and_signal(cm1_app.get(), &workload_done));
+        break;
+      case WorkloadKind::kTrace: {
+        workloads::TraceReplayOptions opts;
+        opts.broadcast = cfg.trace.broadcast;
+        if (cfg.trace.data != nullptr) {
+          trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
+                                                                    *cfg.trace.data, opts);
+        } else if (!cfg.trace.path.empty()) {
+          // One streaming reader drives every VM: bounded memory even for
+          // long traces at high VM counts.
+          trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
+                                                                    cfg.trace.path, opts);
+        } else {
+          trace_owned = std::make_unique<workloads::TraceData>(
+              workloads::generate_trace(cfg.trace.gen, cfg.seed));
+          trace_app = std::make_unique<workloads::TraceApplication>(simulator, vms,
+                                                                    *trace_owned, opts);
+        }
+        workload_done.add();
+        simulator.spawn(run_trace_and_signal(trace_app.get(), &workload_done));
+        break;
+      }
+    }
+
+    // --- migration schedule -------------------------------------------------
+    // Launch k targets VM k with destination n_vms + (k % num_destinations);
+    // times and schedule order depend only on the global index, so a slice
+    // schedules its owned subset identically to the full run.
+    if (cfg.perform_migrations) {
+      launches.reserve(n_owned);  // addresses must survive the timers
+      for (std::size_t idx = 0; idx < n_owned; ++idx) {
+        const std::size_t k = owned ? (*owned)[idx] : idx;
+        if (k >= cfg.num_migrations) continue;
+        const double at = cfg.first_migration_at + static_cast<double>(k) *
+                                                       cfg.migration_interval_s;
+        const net::NodeId dst =
+            static_cast<net::NodeId>(n_vms + (k % cfg.num_destinations));
+        launches.push_back(MigLaunch{&simulator, &mw, vms[idx], &migrations_done, dst});
+        migrations_done.add();
+        simulator.schedule(at, [l = &launches.back()] {
+          l->sim->spawn(migrate_and_signal(l->mw, l->target, l->dst, l->done));
+        });
+        if (detail != nullptr) detail->launch_ks.push_back(static_cast<std::uint32_t>(k));
+      }
+    }
+
+    // --- fault plan ---------------------------------------------------------
+    // Faults statically collapse the plan to one shard, so the injector only
+    // ever arms on the full (owned == nullptr) path.
+    if (cfg.faults.enabled()) {
+      sim::FaultPlan plan = sim::build_fault_plan(
+          cfg.faults, cluster.rng(), static_cast<std::uint32_t>(cfg.num_migrations));
+      injector = std::make_unique<FaultInjector>(simulator, cluster, mw, std::move(plan),
+                                                 cfg.num_vms, cfg.num_destinations);
+      injector->arm();
     }
   }
-  res.write_Bps = wtime > 0 ? res.bytes_written / wtime : 0;
-  res.read_Bps = rtime > 0 ? res.bytes_read / rtime : 0;
 
-  switch (cfg_.workload) {
-    case WorkloadKind::kCm1:
-      res.app_execution_time = cm1_app ? cm1_app->execution_time() : 0;
-      break;
-    default:
-      res.app_execution_time = simulator.now() - workload_started_at;
-      break;
+  bool finished() const {
+    return workload_done.count() == 0 && migrations_done.count() == 0;
   }
-  if (detail != nullptr) detail->repo_chunks_served = cluster.repository().chunks_served();
-  // Reclaim daemons still parked on awaitables (writeback loops, truncated
-  // workloads) while the cluster they reference is alive: frame destructors
-  // may touch backend objects, and the cluster dies before the simulator in
-  // this scope's reverse destruction order.
-  simulator.destroy_detached();
-  return res;
+
+  /// The legacy free-running event loop (single-shard and independent-slice
+  /// paths). The epoch-coupled executor drives the simulator itself with
+  /// run_until() instead.
+  void run_loop() {
+    const auto wall_start = std::chrono::steady_clock::now();
+    while (!finished()) {
+      if (!simulator.step()) break;
+      if (cfg.max_sim_time > 0 && simulator.now() > cfg.max_sim_time) {
+        res.completed = false;
+        break;
+      }
+    }
+    res.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  }
+
+  void collect() {
+    if (trace_app && trace_app->failed()) {
+      res.error = trace_app->error();
+      res.completed = false;
+    }
+    if (recorder != nullptr && recorder->failed() && res.error.empty())
+      res.error = recorder->error();
+    if (recorder_owned) {
+      std::string werr;
+      if (!write_trace(cfg.record_trace_path, recorder_owned->data(), &werr) &&
+          res.error.empty())
+        res.error = werr;
+    }
+    res.approach = core::approach_name(cfg.approach);
+    res.workload = workload_name(cfg.workload);
+    res.sim_duration = simulator.now();
+    res.migrations.assign(mw.metrics().migrations().begin(),
+                          mw.metrics().migrations().end());
+    res.total_migration_time = mw.metrics().total_migration_time();
+    res.avg_migration_time = mw.metrics().avg_migration_time();
+    res.max_downtime = mw.metrics().max_downtime();
+
+    if (injector) {
+      res.faults_injected = injector->faults_applied();
+      res.fault_downtime_s = injector->fault_pause_s();
+    }
+    for (const core::MigrationRecord& m : res.migrations) {
+      res.total_retries += m.retries;
+      res.retransferred_bytes += m.retransferred_bytes;
+      res.migrations_abandoned += m.abandoned ? 1 : 0;
+      res.max_time_to_recover = std::max(res.max_time_to_recover, m.time_to_recover());
+    }
+
+    auto& network = cluster.network();
+    res.engine_events = simulator.events_processed();
+    res.engine_flows = network.flows_started();
+    res.engine_recomputes = network.recompute_count();
+    res.engine_components = network.solved_component_count();
+    res.engine_flows_resolved = network.touched_flow_count();
+    res.engine_escalations = network.escalation_count();
+    const sim::FramePool::Stats frames_after = sim::FramePool::local().stats();
+    res.engine_frames = frames_after.served - frames_before.served;
+    res.engine_frames_reused = frames_after.reused - frames_before.reused;
+    res.engine_frame_heap_allocs = frames_after.heap - frames_before.heap;
+
+    for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i)
+      res.traffic_bytes[i] = network.traffic_bytes(static_cast<net::TrafficClass>(i));
+    res.total_traffic = network.total_traffic_bytes();
+    res.migration_traffic =
+        res.total_traffic - network.traffic_bytes(net::TrafficClass::kAppComm);
+
+    double wtime = 0, rtime = 0;
+    for (std::size_t idx = 0; idx < vms.size(); ++idx) {
+      vm::VmInstance* v = vms[idx];
+      const core::IoStats& io = v->io_stats();
+      res.bytes_written += io.bytes_written;
+      res.bytes_read += io.bytes_read;
+      wtime += io.write_time_s;
+      rtime += io.read_time_s;
+      res.cpu_seconds_total += v->cpu_seconds();
+      if (detail != nullptr) {
+        const auto gid = static_cast<std::uint32_t>(owned ? (*owned)[idx] : idx);
+        detail->per_vm.push_back(SliceDetail::VmAgg{gid, io, v->cpu_seconds()});
+      }
+    }
+    res.write_Bps = wtime > 0 ? res.bytes_written / wtime : 0;
+    res.read_Bps = rtime > 0 ? res.bytes_read / rtime : 0;
+
+    switch (cfg.workload) {
+      case WorkloadKind::kCm1:
+        res.app_execution_time = cm1_app ? cm1_app->execution_time() : 0;
+        break;
+      default:
+        res.app_execution_time = simulator.now() - workload_started_at;
+        break;
+    }
+    if (detail != nullptr) detail->repo_chunks_served = cluster.repository().chunks_served();
+    // Reclaim daemons still parked on awaitables (writeback loops, truncated
+    // workloads) while the cluster they reference is alive: frame destructors
+    // may touch backend objects, and the cluster dies before the simulator in
+    // this scope's reverse destruction order.
+    simulator.destroy_detached();
+  }
+};
+
+ExperimentResult Experiment::run_slice(const std::vector<std::uint32_t>* owned,
+                                       SliceDetail* detail) const {
+  SliceRuntime rt(cfg_, owned, detail, /*coupled=*/false);
+  rt.run_loop();
+  rt.collect();
+  return std::move(rt.res);
 }
+
+namespace {
+
+/// Why a sharded run had to abandon its plan, or empty. Shared by the
+/// independent and epoch-coupled executors' conservative runtime guards.
+/// (Templated over the detail record so this free helper needn't name the
+/// private Experiment::SliceDetail type.)
+template <class Detail>
+std::string runtime_guard_reason(const std::vector<ExperimentResult>& parts,
+                                 const std::vector<Detail>& details) {
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    if (!parts[s].error.empty()) return "runtime guard: slice error: " + parts[s].error;
+    if (!parts[s].completed) return "runtime guard: max_sim_time truncation";
+    if (details[s].repo_chunks_served > 0)
+      return "runtime guard: repository stripe served cross-shard traffic";
+  }
+  return {};
+}
+
+}  // namespace
 
 ExperimentResult Experiment::run_sharded(const ShardPlan& plan) const {
   const auto wall_start = std::chrono::steady_clock::now();
@@ -331,16 +417,25 @@ ExperimentResult Experiment::run_sharded(const ShardPlan& plan) const {
   // truncation whose cut point depends on the global interleave, any error
   // whose text mentions global state) reruns single-shard. Correctness is
   // never traded for wall-clock.
-  bool fallback = false;
-  for (std::uint32_t s = 0; s < n && !fallback; ++s)
-    fallback = !parts[s].completed || !parts[s].error.empty() ||
-               details[s].repo_chunks_served > 0;
-  if (fallback) {
+  std::string guard = runtime_guard_reason(parts, details);
+  if (!guard.empty()) {
     ExperimentResult res = run_slice(nullptr, nullptr);
     res.shards_used = 1;
+    res.shard_fallback_reason = std::move(guard);
     return res;
   }
 
+  ExperimentResult res = merge_parts(parts, details);
+  res.shards_used = n;
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  return res;
+}
+
+ExperimentResult Experiment::merge_parts(std::vector<ExperimentResult>& parts,
+                                         std::vector<SliceDetail>& details) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(parts.size());
   // --- deterministic merge --------------------------------------------------
   // Every reduction replicates the accumulation order of the single-shard
   // collect pass: migration records by global launch index, per-VM doubles
@@ -411,7 +506,180 @@ ExperimentResult Experiment::run_sharded(const ShardPlan& plan) const {
   }
   res.write_Bps = wtime > 0 ? res.bytes_written / wtime : 0;
   res.read_Bps = rtime > 0 ? res.bytes_read / rtime : 0;
+  return res;
+}
 
+ExperimentResult Experiment::run_epoch_coupled(const ShardPlan& plan) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint32_t n = plan.shard_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // The mirror is built from the same FlowNetworkConfig as every shard
+  // replica, so its incremental/full-solve regime (ABLATE_INCREMENTAL)
+  // resolves identically — both regimes stay byte-identical to shards=1.
+  net::CoupledCoordinator coord(n, cfg_.cluster.network);
+  wire_mirror_topology(coord.mirror(), cfg_.cluster);
+
+  std::vector<ExperimentResult> parts(n);
+  std::vector<SliceDetail> details(n);
+  sim::ShardedSimulator shards(n);
+
+  // Per-round state, written by the shards in their private lanes and
+  // reduced single-threadedly while every shard is parked at the barrier.
+  struct RoundState {
+    std::vector<double> t_next;  // per-shard next event time (+inf = none)
+    std::vector<double> c_next;  // per-shard completion projection (-1 = none)
+    std::vector<char> fin;       // per-shard finished() flag
+    std::vector<net::CoupledCoordinator::ShardDelta> deltas;
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> rates;
+    double t_star = 0.0;
+    bool stop = false;       // exit the round loop after this barrier
+    bool churn = false;      // this round's instant ran at least one solve
+    bool truncated = false;  // max_sim_time guard tripped
+    bool drift = false;      // demand-message cross-check failed
+    bool phase_b = false;    // which reduce the next barrier runs (threads)
+  } rs;
+  rs.t_next.assign(n, kInf);
+  rs.c_next.assign(n, -1.0);
+  rs.fin.assign(n, 0);
+  rs.deltas.resize(n);
+  rs.rates.resize(n);
+
+  // Phase A reduce: pick the next global event instant, fold the completion
+  // projections into the coordinator's virtual completion timer, decide
+  // whether the run is over. Runs while all shards are parked.
+  auto reduce_a = [&] {
+    bool all_done = true;
+    double t_star = kInf;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (!rs.fin[s]) all_done = false;
+      t_star = std::min(t_star, rs.t_next[s]);
+    }
+    rs.t_star = t_star;
+    if (all_done || t_star == kInf) {
+      // All metrics complete — or no shard has a runnable event, which is
+      // the lockstep analogue of the single-shard `!simulator.step()` break.
+      rs.stop = true;
+      return;
+    }
+    coord.observe(t_star, rs.c_next);
+    if (cfg_.max_sim_time > 0 && t_star > cfg_.max_sim_time) {
+      rs.truncated = true;
+      rs.stop = true;
+    }
+  };
+  // Phase B reduce: fold the demand messages (posted to shard 0, merged and
+  // (t, shard, seq)-sorted by the mailbox), apply the deltas to the mirror
+  // in fixed shard order, solve, and stage the per-shard rate updates.
+  auto reduce_b = [&] {
+    for (auto& r : rs.rates) r.clear();
+    rs.churn = coord.reduce(rs.t_star, rs.deltas, rs.rates) > 0;
+    // Folded AFTER the mirror absorbed the round's deltas: the running
+    // message totals must now equal its live shared-user counts.
+    if (!coord.fold_demand_messages(shards.inbox(0))) {
+      rs.drift = true;
+      rs.stop = true;
+    }
+  };
+
+  // One shard's run phase for instant t_star: process every local event at
+  // (or before) it, then publish the recorded deltas.
+  auto run_instant = [&](std::uint32_t s, SliceRuntime& rt) {
+    auto& net = rt.cluster.network();
+    rt.simulator.run_until(rs.t_star);
+    rs.deltas[s].sync = net.coupled_sync_pending();
+    net.take_coupled_delta(rs.deltas[s].adds, rs.deltas[s].removes, rs.deltas[s].demand);
+    for (const auto& [c, dv] : rs.deltas[s].demand)
+      shards.post(s, 0, rs.t_star, c, dv);
+  };
+  // After the phase B barrier: whenever the mirror solved this instant,
+  // EVERY shard re-applies — even one with no deltas and no staged rates.
+  // The single-shard solver advances all flows at every settle instant, so
+  // a quiet shard must advance (and re-partition its flows' byte integrals)
+  // at exactly the same instants or its completion projections drift in the
+  // low FP bits and byte-coincident events split. A shard that recorded
+  // deltas also needs this to re-arm the completion timer its removals
+  // killed, even when its rate list came back empty.
+  auto apply_round = [&](std::uint32_t s, SliceRuntime& rt) {
+    if (rs.churn || rs.deltas[s].sync || !rs.rates[s].empty())
+      rt.cluster.network().apply_external_rates(rs.rates[s]);
+  };
+  auto publish_phase_a = [&](std::uint32_t s, SliceRuntime& rt) {
+    rs.t_next[s] = rt.simulator.next_event_time();
+    rs.c_next[s] = rt.cluster.network().next_completion_time();
+    rs.fin[s] = rt.finished() ? 1 : 0;
+  };
+  auto finish_slice = [&](std::uint32_t s, SliceRuntime& rt) {
+    if (rs.truncated) rt.res.completed = false;
+    rt.collect();
+    parts[s] = std::move(rt.res);
+  };
+
+  if (coupled_driver_threads()) {
+    // Two barrier epochs per round; the hook alternates the reduces (the
+    // toggle is flipped under the barrier, with every shard parked).
+    shards.set_reduce_hook([&](std::uint64_t) {
+      if (!rs.phase_b)
+        reduce_a();
+      else
+        reduce_b();
+      rs.phase_b = !rs.phase_b;
+    });
+    shards.run_epochs([&](std::uint32_t s) {
+      SliceRuntime rt(cfg_, &plan.slices[s], &details[s], /*coupled=*/true);
+      for (;;) {
+        publish_phase_a(s, rt);
+        shards.barrier().arrive_and_wait();  // runs reduce_a
+        if (rs.stop) break;
+        run_instant(s, rt);
+        shards.barrier().arrive_and_wait();  // runs reduce_b
+        if (rs.stop) break;
+        apply_round(s, rt);
+      }
+      finish_slice(s, rt);
+    });
+  } else {
+    // Inline round-robin driver: the identical protocol on one thread (the
+    // right shape for a single-core host, where per-barrier thread
+    // hand-offs would dominate the wall-clock).
+    std::vector<std::unique_ptr<SliceRuntime>> rts;
+    rts.reserve(n);
+    for (std::uint32_t s = 0; s < n; ++s)
+      rts.push_back(std::make_unique<SliceRuntime>(cfg_, &plan.slices[s], &details[s],
+                                                   /*coupled=*/true));
+    for (;;) {
+      for (std::uint32_t s = 0; s < n; ++s) publish_phase_a(s, *rts[s]);
+      reduce_a();
+      if (rs.stop) break;
+      for (std::uint32_t s = 0; s < n; ++s) run_instant(s, *rts[s]);
+      shards.merge_now();
+      reduce_b();
+      if (rs.stop) break;
+      for (std::uint32_t s = 0; s < n; ++s) apply_round(s, *rts[s]);
+    }
+    for (std::uint32_t s = 0; s < n; ++s) finish_slice(s, *rts[s]);
+  }
+
+  // Conservative runtime guards, as in run_sharded — plus the coupled
+  // protocol's own consistency cross-check. Correctness is never traded for
+  // wall-clock: any doubt reruns the exact single-shard path.
+  std::string guard = rs.drift ? std::string("runtime guard: shard demand drift")
+                               : runtime_guard_reason(parts, details);
+  if (!guard.empty()) {
+    ExperimentResult res = run_slice(nullptr, nullptr);
+    res.shards_used = 1;
+    res.shard_fallback_reason = std::move(guard);
+    return res;
+  }
+
+  ExperimentResult res = merge_parts(parts, details);
+  // The solver ran in the coordinator's mirror — its work counters ARE the
+  // single-shard ones; the per-shard replicas never solved (their counters,
+  // summed by the merge, are zero).
+  res.engine_recomputes = coord.mirror().recompute_count();
+  res.engine_components = coord.mirror().solved_component_count();
+  res.engine_flows_resolved = coord.mirror().touched_flow_count();
+  res.engine_escalations = coord.mirror().escalation_count();
   res.shards_used = n;
   res.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - wall_start)
@@ -421,11 +689,13 @@ ExperimentResult Experiment::run_sharded(const ShardPlan& plan) const {
 
 ExperimentResult Experiment::run() {
   const ShardPlan plan = plan_shards(cfg_);
-  if (plan.shard_count() <= 1) {
+  if (plan.kind == PlanKind::kSingle || plan.shard_count() <= 1) {
     ExperimentResult res = run_slice(nullptr, nullptr);
     res.shards_used = 1;
+    res.shard_fallback_reason = plan.coupled_reason;
     return res;
   }
+  if (plan.kind == PlanKind::kEpochCoupled) return run_epoch_coupled(plan);
   return run_sharded(plan);
 }
 

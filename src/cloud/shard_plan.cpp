@@ -1,8 +1,10 @@
 #include "cloud/shard_plan.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "net/shard_partition.h"
+#include "sim/worker_budget.h"
 
 namespace hm::cloud {
 
@@ -10,6 +12,7 @@ namespace {
 
 ShardPlan single(std::size_t n_vms, std::string reason) {
   ShardPlan plan;
+  plan.kind = PlanKind::kSingle;
   plan.coupled_reason = std::move(reason);
   plan.slices.emplace_back();
   plan.slices[0].reserve(n_vms);
@@ -17,15 +20,14 @@ ShardPlan single(std::size_t n_vms, std::string reason) {
   return plan;
 }
 
-/// Statically known cross-slice coupling, or empty if decomposable.
-std::string coupling_reason(const ExperimentConfig& cfg) {
+/// Statically known cross-slice coupling the epoch-coupled protocol cannot
+/// arbitrate (storage services, cross-VM workload channels, shared RNG
+/// streams, global observers), or empty if slices only ever share network
+/// constraints.
+std::string hard_coupling_reason(const ExperimentConfig& cfg) {
   if (cfg.faults.enabled()) return "fault injection spans shards";
   if (cfg.approach == core::Approach::kPvfsShared || cfg.cluster.enable_pvfs)
     return "PVFS stripes across all nodes";
-  if (std::isfinite(cfg.cluster.network.fabric_Bps))
-    return "finite fabric aggregate couples all flows";
-  if (cfg.cluster.nodes_per_switch > 0 && std::isfinite(cfg.cluster.switch_uplink_Bps))
-    return "finite switch uplinks couple racks";
   switch (cfg.workload) {
     case WorkloadKind::kCm1:
       return "CM1 halo exchange spans VMs";
@@ -42,13 +44,35 @@ std::string coupling_reason(const ExperimentConfig& cfg) {
   return {};
 }
 
+/// Finite shared *network* constraint spanning the slices, or empty. These
+/// no longer collapse the plan: the epoch-coupled executor arbitrates them
+/// through the mirror solver.
+std::string network_coupling_reason(const ExperimentConfig& cfg) {
+  if (std::isfinite(cfg.cluster.network.fabric_Bps))
+    return "finite fabric aggregate couples all flows";
+  if (cfg.cluster.nodes_per_switch > 0 && std::isfinite(cfg.cluster.switch_uplink_Bps))
+    return "finite switch uplinks couple racks";
+  return {};
+}
+
+/// Resolve --shards=auto: as many shards as there are components to fill,
+/// bounded by the worker threads the budget would grant plus the caller's
+/// own thread (which runs shard 0).
+std::uint32_t resolve_auto_shards(std::uint32_t components) {
+  const std::size_t workers = sim::WorkerBudget::instance().available();
+  const auto want = static_cast<std::uint32_t>(std::max<std::size_t>(1, workers + 1));
+  return std::min(std::max(components, 1u), want);
+}
+
 }  // namespace
 
 ShardPlan plan_shards(const ExperimentConfig& cfg) {
   const std::size_t n_vms = cfg.num_vms;
+  const bool auto_shards = cfg.shards == ExperimentConfig::kShardsAuto;
   if (cfg.shards <= 1 || n_vms <= 1) return single(n_vms, {});
-  std::string reason = coupling_reason(cfg);
+  std::string reason = hard_coupling_reason(cfg);
   if (!reason.empty()) return single(n_vms, std::move(reason));
+  std::string net_reason = network_coupling_reason(cfg);
 
   // Constraint-graph edges: each VM pins its home node's NICs for its whole
   // life; a migrated VM additionally pins its destination's. Destination
@@ -65,17 +89,35 @@ ShardPlan plan_shards(const ExperimentConfig& cfg) {
       edges.emplace_back(k, dst);
     }
   }
+
+  std::uint32_t bins = cfg.shards;
+  if (auto_shards) {
+    // Two passes: learn the component count with one bin per VM, then
+    // re-bin to min(components, workers + caller).
+    const net::ShardAssignment probe = net::partition_items(
+        n_vms, cfg.cluster.num_nodes, edges, static_cast<std::uint32_t>(n_vms));
+    bins = resolve_auto_shards(probe.components);
+    if (bins <= 1) {
+      ShardPlan plan = single(n_vms, probe.components <= 1
+                                         ? "auto: single connected component"
+                                         : "auto: no worker threads available");
+      plan.components = probe.components;
+      return plan;
+    }
+  }
   const net::ShardAssignment asg =
-      net::partition_items(n_vms, cfg.cluster.num_nodes, edges, cfg.shards);
+      net::partition_items(n_vms, cfg.cluster.num_nodes, edges, bins);
 
   ShardPlan plan;
   plan.components = asg.components;
   if (asg.bins_used <= 1) return single(n_vms, "single connected component");
-  std::vector<std::vector<std::uint32_t>> bins(cfg.shards);
+  std::vector<std::vector<std::uint32_t>> slots(bins);
   for (std::uint32_t i = 0; i < n_vms; ++i)
-    bins[asg.shard_of_item[i]].push_back(i);
-  for (auto& b : bins)
+    slots[asg.shard_of_item[i]].push_back(i);
+  for (auto& b : slots)
     if (!b.empty()) plan.slices.push_back(std::move(b));  // VM ids already ascending
+  plan.kind = net_reason.empty() ? PlanKind::kIndependent : PlanKind::kEpochCoupled;
+  plan.coupled_reason = std::move(net_reason);
   return plan;
 }
 

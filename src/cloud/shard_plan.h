@@ -7,18 +7,26 @@
 // spans two slices. plan_shards() decides that *conservatively* from the
 // ExperimentConfig alone:
 //
-//  * Couplers that collapse the plan to one shard: a finite fabric
-//    aggregate, finite switch uplinks (oversubscribed cores serialize every
-//    flow through shared constraints with zero lookahead), PVFS (striped
-//    across all nodes), CM1/IOR workloads (halo exchange / repository
-//    reads), non-broadcast trace replay (absolute VM indices), trace
-//    recording (observes every VM), and fault injection (a crash fails
-//    flows of every VM on the node, and plan draws share one RNG stream).
+//  * Couplers that collapse the plan to one shard: PVFS (striped across
+//    all nodes), CM1/IOR workloads (halo exchange / repository reads),
+//    non-broadcast trace replay (absolute VM indices), trace recording
+//    (observes every VM), and fault injection (a crash fails flows of
+//    every VM on the node, and plan draws share one RNG stream).
+//
+//  * Finite *network* constraints no longer collapse the plan: a finite
+//    fabric aggregate or finite switch uplinks yield a kEpochCoupled plan —
+//    the same component partition, but the executor runs it under the
+//    conservative-window protocol where a central mirror solver arbitrates
+//    the shared constraints every settle epoch (net/coupled_solver.h).
 //
 //  * Otherwise VMs partition by the connected components of their planned
 //    NIC endpoint sets (home node + migration destination) — the same
 //    component structure FlowNetwork::solve_epoch maintains dynamically —
-//    via net::partition_items.
+//    via net::partition_items, and run fully independently.
+//
+// cfg.shards == ExperimentConfig::kShardsAuto resolves the shard count at
+// plan time to min(component count, workers available to sim::WorkerBudget
+// plus the caller's thread).
 //
 // Residual couplings only observable at runtime (a repository fetch from a
 // foreign-owned stripe, a max_sim_time truncation whose cut point depends
@@ -35,12 +43,27 @@
 
 namespace hm::cloud {
 
+/// How the executor must run the plan's slices.
+enum class PlanKind : std::uint8_t {
+  /// One slice, the exact legacy single-shard code path.
+  kSingle,
+  /// Slices are causally independent; run them with zero synchronization.
+  kIndependent,
+  /// Slices share finite network constraints (fabric aggregate / switch
+  /// uplinks); run them under the epoch-coupled conservative-window
+  /// protocol (net/coupled_solver.h).
+  kEpochCoupled,
+};
+
 struct ShardPlan {
   /// Slices that actually run (non-empty, ascending VM ids inside each).
   /// Size 1 means the plan collapsed — the executor takes the exact
   /// single-shard code path.
   std::vector<std::vector<std::uint32_t>> slices;
-  /// Why the plan collapsed to one shard (empty when it sharded).
+  PlanKind kind = PlanKind::kSingle;
+  /// kSingle: why the plan collapsed to one shard (empty when the config
+  /// never asked for shards). kEpochCoupled: which finite shared constraint
+  /// makes the shards exchange rate caps. Empty for kIndependent.
   std::string coupled_reason;
   /// Connected components found (0 when coupling was static).
   std::uint32_t components = 0;

@@ -1,0 +1,120 @@
+// Deterministic reduction for epoch-coupled sharding.
+//
+// When the shard partition spans a finite shared constraint (the fabric
+// aggregate or a switch uplink), independent slices would each water-fill as
+// if they owned the whole constraint. The epoch-coupled mode keeps the
+// partition but centralizes every max-min decision in a CoupledCoordinator:
+//
+//  * Each shard's FlowNetwork runs in coupled mode (flow_network.h): it
+//    simulates its slice's events, records flow arrivals/departures as
+//    deltas, and never solves.
+//  * The coordinator owns a MIRROR FlowNetwork with the identical topology
+//    holding every live flow of the experiment. At each settle-epoch
+//    barrier it applies the deltas in fixed shard order and runs the
+//    ordinary solve_epoch on the mirror — the exact single-shard algorithm
+//    (component scoping, containment, shared-constraint validation, the
+//    escalation path) on the exact global state. The resulting rates are
+//    mapped back to shard-local slots and applied before the barrier
+//    releases.
+//
+// Byte-identity with shards=1 therefore does not rest on a re-derived
+// distributed water-fill: the allocation, the escalation decisions and the
+// solver work counters (components, flows re-solved, escalations) are the
+// single-shard ones by construction. The only piece that must be
+// reconstructed is the *epoch structure* at instants carrying both
+// completions and arrivals, where a single-shard run solves once or twice
+// depending on the global completion timer's scheduling history; the
+// coordinator emulates that timer (see observe()/reduce()).
+//
+// The per-shared-constraint demand deltas each shard publishes travel as
+// (t, shard, seq)-ordered ShardMessages; fold_demand_messages() folds them
+// into running totals and cross-checks them against the mirror's live
+// shared-user counts, so the message stream is a live consistency proof of
+// the mirror, not dead weight.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "net/flow_network.h"
+#include "sim/sharded.h"
+#include "sim/simulator.h"
+
+namespace hm::net {
+
+class CoupledCoordinator {
+ public:
+  /// Everything one shard recorded while running one barrier instant.
+  struct ShardDelta {
+    std::vector<FlowNetwork::CoupledAdd> adds;
+    std::vector<std::uint32_t> removes;
+    std::vector<std::pair<std::uint32_t, double>> demand;  // (constraint, Δusers)
+    bool sync = false;
+  };
+
+  /// The mirror starts empty: wire its topology (node for node identical to
+  /// every shard replica, so constraint ids coincide) before the first
+  /// reduce, via mirror().add_switch_group()/add_node().
+  CoupledCoordinator(std::uint32_t shards, FlowNetworkConfig cfg);
+
+  FlowNetwork& mirror() noexcept { return mirror_; }
+  const FlowNetwork& mirror() const noexcept { return mirror_; }
+
+  /// Barrier phase A, once per global event instant, BEFORE the shards run
+  /// it: fold the per-shard completion projections (-1 = none) into the
+  /// virtual global completion timer. A single-shard run keeps ONE timer at
+  /// the minimum live projection and reschedules it only when that minimum
+  /// changes; because shard state only changes at barrier instants, the
+  /// minimum observed here changed — if it changed — while processing the
+  /// previous instant, which is therefore the reschedule time.
+  void observe(double t_star, const std::vector<double>& shard_completion_t);
+
+  /// Barrier phase B: apply the deltas recorded at instant t_star in fixed
+  /// shard order, run the mirror solve(s), append per-shard (local slot,
+  /// rate) updates to rates_out[s]. Returns the number of mirror epochs run
+  /// (0 when no shard had deltas).
+  ///
+  /// Epoch split: at an instant with both completions and arrivals a
+  /// single-shard run solves TWICE iff its completion timer event precedes
+  /// the arrival begin events — i.e. iff the timer was (re)scheduled
+  /// strictly before the arrivals' legs were launched at t_star - latency
+  /// (event seqs are globally monotone in schedule time). Then the timer's
+  /// solve sees only the departures and the settle solves the arrivals.
+  /// Otherwise (or with only one kind of delta) one combined solve runs.
+  int reduce(double t_star, std::vector<ShardDelta>& deltas,
+             std::vector<std::vector<std::pair<std::uint32_t, double>>>& rates_out);
+
+  /// Fold this round's demand ShardMessages ((t, shard, seq)-sorted; payload
+  /// = constraint id, value = Δusers) into the running totals and verify
+  /// them against the mirror's shared-user counts. Returns false on drift.
+  bool fold_demand_messages(const std::vector<sim::ShardMessage>& inbox);
+
+  std::uint64_t mirror_epochs() const noexcept { return mirror_epochs_; }
+  std::uint64_t demand_messages() const noexcept { return demand_messages_; }
+  bool demand_consistent() const noexcept { return demand_consistent_; }
+
+ private:
+  void apply_epoch(std::vector<ShardDelta>& deltas, bool removals, bool adds,
+                   std::vector<std::vector<std::pair<std::uint32_t, double>>>& rates_out);
+
+  sim::Simulator mirror_sim_;  // never stepped; the mirror needs a clock ref
+  FlowNetwork mirror_;
+  const double latency_s_;
+  // Slot translation, maintained in delta-application order (slots recycle
+  // on both sides; removals always precede re-adds within a round).
+  std::vector<std::vector<std::uint32_t>> mirror_of_;  // [shard][local] -> mirror
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> owner_of_;  // mirror -> (shard, local)
+  // Virtual global completion timer: current target and the instant it was
+  // last (re)scheduled at.
+  double ctimer_t_ = -1.0;
+  double ctimer_set_t_ = -std::numeric_limits<double>::infinity();
+  double prev_t_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> demand_total_;  // per constraint, folded from messages
+  std::uint64_t mirror_epochs_ = 0;
+  std::uint64_t demand_messages_ = 0;
+  bool demand_consistent_ = true;
+};
+
+}  // namespace hm::net

@@ -165,14 +165,16 @@ void FlowNetwork::detach_from_component(FlowSlot& fs) noexcept {
 void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
   FlowSlot& fs = flow_slots_[slot];
   Flow& f = fs.flow;
-  auto it = pair_rates_.find(pair_key(f.src, f.dst));
-  if (it != pair_rates_.end()) {
-    if (--it->second.count == 0) {
-      // Keep the node (steady-state re-use of the pair never re-allocates)
-      // but pin the rate to exactly zero, which also resets FP dust.
-      it->second.rate = 0.0;
-    } else {
-      it->second.rate -= f.rate;
+  if (!mirror_) {
+    auto it = pair_rates_.find(pair_key(f.src, f.dst));
+    if (it != pair_rates_.end()) {
+      if (--it->second.count == 0) {
+        // Keep the node (steady-state re-use of the pair never re-allocates)
+        // but pin the rate to exactly zero, which also resets FP dust.
+        it->second.rate = 0.0;
+      } else {
+        it->second.rate -= f.rate;
+      }
     }
   }
   // The departure dirties its component so the survivors get re-solved —
@@ -182,6 +184,7 @@ void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
   detach_from_component(fs);
   for (std::uint8_t k = 2; k < fs.n_constraints; ++k) {
     if (fs.constraints[k] < shared_users_.size()) --shared_users_[fs.constraints[k]];
+    if (coupled_) coupled_demand_.push_back({fs.constraints[k], -1.0});
   }
   fs.op = nullptr;
   fs.in_use = false;
@@ -194,6 +197,12 @@ void FlowNetwork::release_flow_slot(std::uint32_t slot) noexcept {
 
 void FlowNetwork::apply_rate(Flow& f, double new_rate, std::uint32_t slot) {
   if (new_rate != f.rate) {
+    if (mirror_) {
+      // The mirror only needs the rate itself: projections, completion
+      // entries and per-pair introspection belong to the shard replicas.
+      f.rate = new_rate;
+      return;
+    }
     auto& pr = pair_rates_[pair_key(f.src, f.dst)];
     pr.rate += new_rate - f.rate;
     f.rate = new_rate;
@@ -283,6 +292,16 @@ void FlowNetwork::begin_flow(FlowOp* op) {
   ++pair_rates_[pair_key(f.src, f.dst)].count;
   ++live_flows_;
   ++flows_started_;
+  if (coupled_) {
+    // Epoch-coupled shard mode: the solve happens in the coordinator's
+    // mirror. Record the arrival and the demand it places on cross-shard
+    // constraints; rates come back through apply_external_rates.
+    coupled_adds_.push_back(CoupledAdd{slot, f.src, f.dst, op->bytes, f.cap});
+    for (std::uint8_t k = 2; k < fs.n_constraints; ++k)
+      coupled_demand_.push_back({fs.constraints[k], +1.0});
+    coupled_sync_ = true;
+    return;
+  }
   // Epoch batching: the max-min solve is deferred to a zero-delay settle
   // event, so every other arrival in this virtual instant shares it. The
   // flow carries rate 0 for zero virtual time, which integrates to nothing.
@@ -546,6 +565,10 @@ void FlowNetwork::run_fill(std::size_t first_item, std::size_t n_items) {
 // "Incremental solver invariants"), validate shared constraints, escalate to
 // a global solve when one is violated, publish rates and components.
 void FlowNetwork::solve_epoch() {
+#ifdef HM_EPOCH_TRACE
+  if (!mirror_ && std::getenv("HM_EPOCH_TRACE"))
+    std::fprintf(stderr, "E %.17g\n", sim_.now());
+#endif
   ++recompute_count_;
   const bool topo_changed = solved_topology_gen_ != topology_gen_;
   solved_topology_gen_ = topology_gen_;
@@ -848,10 +871,108 @@ void FlowNetwork::on_completion_timer() {
   for (std::uint32_t slot : finished_scratch_) {
     sim_.post([](void* p, void*) { auto* op = static_cast<FlowOp*>(p); op->step(op); },
               flow_slots_[slot].op);
+    if (coupled_) coupled_removes_.push_back(slot);
     release_flow_slot(slot);
+  }
+  if (coupled_) {
+    // Epoch-coupled shard mode: departures defer the solve to the
+    // coordinator's mirror (apply_external_rates re-arms the completion
+    // timer afterwards). A pure stale-purge / FP re-projection pass touches
+    // no cross-shard state and re-arms locally.
+    if (!finished_scratch_.empty())
+      coupled_sync_ = true;
+    else
+      schedule_completion();
+    return;
   }
   solve_epoch();
   schedule_completion();
+}
+
+// --- epoch-coupled sharding --------------------------------------------------
+
+void FlowNetwork::take_coupled_delta(
+    std::vector<CoupledAdd>& adds, std::vector<std::uint32_t>& removes,
+    std::vector<std::pair<std::uint32_t, double>>& demand) {
+  adds.swap(coupled_adds_);
+  coupled_adds_.clear();
+  removes.swap(coupled_removes_);
+  coupled_removes_.clear();
+  demand.clear();
+  if (!coupled_demand_.empty()) {
+    // Aggregate the raw (constraint, ±1) stream into one delta per
+    // constraint, in first-touch order (stamped — no clearing).
+    const std::size_t cspace = constraint_space();
+    if (demand_stamp_.size() < cspace) {
+      demand_stamp_.resize(cspace, 0);
+      demand_val_.resize(cspace, 0.0);
+    }
+    ++demand_gen_;
+    for (const auto& [c, v] : coupled_demand_) {
+      if (demand_stamp_[c] != demand_gen_) {
+        demand_stamp_[c] = demand_gen_;
+        demand_val_[c] = v;
+        demand.push_back({c, 0.0});
+      } else {
+        demand_val_[c] += v;
+      }
+    }
+    for (auto& d : demand) d.second = demand_val_[d.first];
+    coupled_demand_.clear();
+  }
+  coupled_sync_ = false;
+}
+
+void FlowNetwork::apply_external_rates(
+    const std::vector<std::pair<std::uint32_t, double>>& rates) {
+  advance_to_now();
+  for (const auto& [slot, rate] : rates)
+    apply_rate(flow_slots_[slot].flow, rate, slot);
+  double sum = 0.0;
+  live_bits_.for_each_set([&](std::uint64_t s) { sum += flow_slots_[s].flow.rate; });
+  rate_sum_ = sum;
+  schedule_completion();
+}
+
+std::uint32_t FlowNetwork::mirror_add_flow(NodeId src, NodeId dst, double bytes,
+                                           double cap) {
+  // begin_flow's solver-relevant middle: slot setup, incidence, shared-user
+  // counts, NIC-owner dirtying. No traffic, no op, no settle, no pair rates.
+  const std::uint32_t slot = alloc_flow_slot();
+  FlowSlot& fs = flow_slots_[slot];
+  fs.in_use = true;
+  fs.op = nullptr;
+  live_bits_.set(slot);
+  Flow& f = fs.flow;
+  f.src = src;
+  f.dst = dst;
+  f.remaining = bytes;
+  f.rate = 0.0;
+  f.cap = cap;
+  f.proj = kUnlimitedRate;
+  fs.comp = kNilIndex;  // affected at the next mirror solve
+  compute_incidence(fs);
+  for (std::uint8_t k = 2; k < fs.n_constraints; ++k) ++shared_users_[fs.constraints[k]];
+  const std::size_t nn = nodes_.size();
+  if (nic_owner_.size() < 2 * nn) {
+    nic_owner_.resize(2 * nn, kNilIndex);
+    nic_owner_gen_.resize(2 * nn, 0);
+  }
+  for (int k = 0; k < 2; ++k) {
+    const std::uint32_t c = fs.constraints[k];
+    const std::uint32_t owner = nic_owner_[c];
+    if (owner != kNilIndex && comps_[owner].in_use &&
+        comps_[owner].gen == nic_owner_gen_[c])
+      comps_[owner].dirty = true;
+  }
+  ++live_flows_;
+  ++flows_started_;
+  return slot;
+}
+
+void FlowNetwork::mirror_remove_flow(std::uint32_t slot) {
+  flow_slots_[slot].flow.proj = -1.0;
+  release_flow_slot(slot);
 }
 
 }  // namespace hm::net

@@ -34,15 +34,23 @@ ShardedSimulator::ShardedSimulator(std::uint32_t shards)
 }
 
 void ShardedSimulator::post(std::uint32_t from, std::uint32_t to, double t,
-                            std::uint64_t payload) {
+                            std::uint64_t payload, double value) {
   Mailbox& box = boxes_[from];
   ShardMessage m;
   m.t = t;
   m.shard = from;
   m.seq = box.next_seq++;
   m.payload = payload;
+  m.value = value;
   box.out.push_back(m);
   box.dest.push_back(to);
+}
+
+void ShardedSimulator::set_reduce_hook(std::function<void(std::uint64_t)> fn) {
+  barrier_.set_reduce([this, fn = std::move(fn)](std::uint64_t epoch) {
+    merge_epoch();
+    if (fn) fn(epoch);
+  });
 }
 
 void ShardedSimulator::merge_epoch() {

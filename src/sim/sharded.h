@@ -47,6 +47,7 @@ struct ShardMessage {
   std::uint32_t shard = 0;  // origin shard
   std::uint64_t seq = 0;    // origin-local emission sequence
   std::uint64_t payload = 0;
+  double value = 0.0;       // payload scalar (e.g. a shared-constraint demand delta)
 
   friend bool operator<(const ShardMessage& a, const ShardMessage& b) noexcept {
     if (a.t != b.t) return a.t < b.t;
@@ -54,7 +55,8 @@ struct ShardMessage {
     return a.seq < b.seq;
   }
   friend bool operator==(const ShardMessage& a, const ShardMessage& b) noexcept {
-    return a.t == b.t && a.shard == b.shard && a.seq == b.seq && a.payload == b.payload;
+    return a.t == b.t && a.shard == b.shard && a.seq == b.seq &&
+           a.payload == b.payload && a.value == b.value;
   }
 };
 
@@ -106,7 +108,8 @@ class ShardedSimulator {
   /// Post a cross-shard message from shard `from` to shard `to`. Visible to
   /// `to` after the next exchange(). Safe to call concurrently from
   /// different shards; a single shard posts from its own thread only.
-  void post(std::uint32_t from, std::uint32_t to, double t, std::uint64_t payload);
+  void post(std::uint32_t from, std::uint32_t to, double t, std::uint64_t payload,
+            double value = 0.0);
 
   /// Rendezvous with every shard, then read this shard's merged inbox for
   /// the epoch: all messages addressed to `shard`, sorted by
@@ -123,6 +126,24 @@ class ShardedSimulator {
   Stats run_epochs(const std::function<void(std::uint32_t shard)>& body);
 
   EpochBarrier& barrier() noexcept { return barrier_; }
+
+  /// Install a reduce step that runs AFTER the built-in mailbox merge, still
+  /// inside the barrier with every shard parked. (Calling
+  /// barrier().set_reduce directly would replace the mailbox routing; this
+  /// composes with it.)
+  void set_reduce_hook(std::function<void(std::uint64_t epoch)> fn);
+
+  /// Run the mailbox merge outside any barrier. For single-threaded drivers
+  /// that execute the epoch protocol inline instead of via run_epochs().
+  void merge_now() { merge_epoch(); }
+
+  /// Merged inbox for `shard` as of the last merge (barrier reduce or
+  /// merge_now). Sorted by (t, shard, seq).
+  const std::vector<ShardMessage>& inbox(std::uint32_t shard) const {
+    return boxes_[shard].inbox;
+  }
+
+  std::uint64_t messages_exchanged() const noexcept { return messages_total_; }
 
  private:
   void merge_epoch();

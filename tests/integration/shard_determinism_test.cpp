@@ -122,11 +122,12 @@ ExperimentResult run_with_shards(ExperimentConfig cfg, std::uint32_t shards) {
   return Experiment(std::move(cfg)).run();
 }
 
-TEST(ShardPlanning, CoupledRegimesCollapseToOneShard) {
+TEST(ShardPlanning, HardCouplersCollapseNetworkCouplersRunCoupled) {
   ExperimentConfig base = decomposable_config(1);
   base.shards = 4;
   base.normalize();
   EXPECT_GT(plan_shards(base).shard_count(), 1u);
+  EXPECT_EQ(plan_shards(base).kind, PlanKind::kIndependent);
   EXPECT_TRUE(plan_shards(base).coupled_reason.empty());
 
   auto reason = [](ExperimentConfig cfg) {
@@ -152,9 +153,25 @@ TEST(ShardPlanning, CoupledRegimesCollapseToOneShard) {
     EXPECT_FALSE(reason(c).empty());
   }
   {
+    // Finite network constraints no longer collapse the plan: they keep the
+    // component partition and run it epoch-coupled under the mirror solver.
     ExperimentConfig c = base;
-    c.cluster.network.fabric_Bps = 8e9;  // finite core couples every flow
-    EXPECT_FALSE(reason(c).empty());
+    c.cluster.network.fabric_Bps = 8e9;
+    c.normalize();
+    const ShardPlan plan = plan_shards(c);
+    EXPECT_EQ(plan.kind, PlanKind::kEpochCoupled);
+    EXPECT_GT(plan.shard_count(), 1u);
+    EXPECT_FALSE(plan.coupled_reason.empty());
+  }
+  {
+    ExperimentConfig c = base;
+    c.cluster.nodes_per_switch = 4;
+    c.cluster.switch_uplink_Bps = 1e9;  // finite uplinks: also epoch-coupled
+    c.normalize();
+    const ShardPlan plan = plan_shards(c);
+    EXPECT_EQ(plan.kind, PlanKind::kEpochCoupled);
+    EXPECT_GT(plan.shard_count(), 1u);
+    EXPECT_FALSE(plan.coupled_reason.empty());
   }
   {
     ExperimentConfig c = base;
@@ -192,6 +209,7 @@ TEST(ShardDeterminism, ByteIdenticalAcrossShardCounts) {
       const ExperimentResult got = run_with_shards(decomposable_config(incremental), n);
       // 8 singleton components pack n bins: a genuinely parallel run.
       EXPECT_EQ(got.shards_used, n);
+      EXPECT_TRUE(got.shard_fallback_reason.empty()) << got.shard_fallback_reason;
       expect_identical(ref, got, /*exact_epochs=*/true,
                        /*exact_work=*/incremental == 1);
     }
@@ -273,6 +291,7 @@ TEST(ShardFallback, FaultInjectionCollapsesToOneShard) {
   const ExperimentResult ref = run_with_shards(cfg, 1);
   const ExperimentResult got = run_with_shards(cfg, 4);
   EXPECT_EQ(got.shards_used, 1u);
+  EXPECT_EQ(got.shard_fallback_reason, "fault injection spans shards");
   EXPECT_GT(got.faults_injected, 0u);  // the axis actually fired
   expect_identical(ref, got, /*exact_epochs=*/true);
 }
@@ -312,6 +331,7 @@ TEST(ShardFallback, TruncatedRunRerunsSingleShard) {
   ASSERT_FALSE(ref.completed);
   const ExperimentResult got = run_with_shards(cfg, 4);
   EXPECT_EQ(got.shards_used, 1u);
+  EXPECT_EQ(got.shard_fallback_reason, "runtime guard: max_sim_time truncation");
   EXPECT_FALSE(got.completed);
   expect_identical(ref, got, /*exact_epochs=*/true);
 }

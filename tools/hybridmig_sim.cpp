@@ -16,6 +16,7 @@
 
 #include "cloud/experiment.h"
 #include "cloud/report.h"
+#include "cloud/shard_plan.h"
 
 using namespace hm;
 
@@ -44,8 +45,11 @@ void usage() {
       "                       KIND = src-crash|dst-crash|degrade|flap|slow-recv|\n"
       "                       repo-outage) or seeded draws\n"
       "                      (rand:crashes=N,degrades=N,...,from=T,span=T,dur=T)\n"
-      "  --shards=N          parallel in-process simulator shards (default 1;\n"
-      "                      byte-identical virtual timeline for any value)\n"
+      "  --shards=N|auto     parallel in-process simulator shards (default 1;\n"
+      "                      byte-identical virtual timeline for any value;\n"
+      "                      auto = min(components, worker threads available))\n"
+      "  --explain-shards    print the shard plan (count, per-shard VM loads,\n"
+      "                      coupling reason) for this config and exit\n"
       "  --seed=N            RNG seed (default 42)\n"
       "  --baseline          disable migrations (reference run)\n"
       "  --list              print the approach summary (paper Table 1)\n";
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   cfg.asyncwr.file_offset = storage::kGiB;
   cfg.max_sim_time = 7200.0;
   bool explicit_dests = false;
+  bool explain_shards = false;
   int iterations = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -167,7 +172,12 @@ int main(int argc, char** argv) {
       continue;
     }
     if (auto v = arg_value(arg, "--shards")) {
-      cfg.shards = static_cast<std::uint32_t>(std::stoul(*v));
+      cfg.shards = (*v == "auto") ? cloud::ExperimentConfig::kShardsAuto
+                                  : static_cast<std::uint32_t>(std::stoul(*v));
+      continue;
+    }
+    if (std::strcmp(arg, "--explain-shards") == 0) {
+      explain_shards = true;
       continue;
     }
     if (auto v = arg_value(arg, "--seed")) { cfg.seed = std::stoull(*v); continue; }
@@ -184,6 +194,26 @@ int main(int argc, char** argv) {
     cfg.cluster.num_nodes = static_cast<std::size_t>(cfg.cm1.ranks()) + 8;
   }
 
+  if (explain_shards) {
+    cloud::ExperimentConfig planned = cfg;
+    planned.normalize();
+    const cloud::ShardPlan plan = cloud::plan_shards(planned);
+    const char* kind = plan.kind == cloud::PlanKind::kSingle        ? "single"
+                       : plan.kind == cloud::PlanKind::kIndependent ? "independent"
+                                                                    : "epoch-coupled";
+    std::cout << "shard plan: " << plan.shard_count() << " shard"
+              << (plan.shard_count() == 1 ? "" : "s") << " (" << kind << ")";
+    if (plan.components > 0) std::cout << ", " << plan.components << " components";
+    std::cout << "\n";
+    for (std::uint32_t s = 0; s < plan.shard_count(); ++s)
+      std::cout << "  shard " << s << ": " << plan.slices[s].size() << " VMs\n";
+    if (!plan.coupled_reason.empty())
+      std::cout << (plan.kind == cloud::PlanKind::kEpochCoupled ? "coupling: "
+                                                                : "collapse: ")
+                << plan.coupled_reason << "\n";
+    return 0;
+  }
+
   std::cout << "approach=" << core::approach_name(cfg.approach)
             << " workload=" << cloud::workload_name(cfg.workload)
             << " vms=" << cfg.num_vms << " migrations="
@@ -194,8 +224,10 @@ int main(int argc, char** argv) {
 
   if (!res.error.empty()) std::cerr << "error: " << res.error << "\n";
   std::cout << "\ncompleted:          " << (res.completed ? "yes" : "NO (guard hit)")
-            << "\nshards:             " << res.shards_used
-            << "\nsimulated time:     " << cloud::fmt_seconds(res.sim_duration)
+            << "\nshards:             " << res.shards_used;
+  if (!res.shard_fallback_reason.empty())
+    std::cout << " (" << res.shard_fallback_reason << ")";
+  std::cout << "\nsimulated time:     " << cloud::fmt_seconds(res.sim_duration)
             << "\napp execution time: " << cloud::fmt_seconds(res.app_execution_time)
             << "\navg migration time: " << cloud::fmt_seconds(res.avg_migration_time)
             << "\nmax downtime:       " << cloud::fmt_double(res.max_downtime * 1e3, 1)

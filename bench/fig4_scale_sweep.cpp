@@ -37,14 +37,18 @@
 // determinism contract (and CI golden gate) as the AsyncWR ones.
 //
 // The fifth argument selects the fault regime: "none" (default) or any
-// --faults spec ("faults:rand:crashes=2,degrades=4", "src-crash@40+15", ...)
-// replayed identically at every concurrency point. Fault plans are seeded
-// from the experiment seed, so fault sweeps are golden-gateable like the
-// rest — and CI runs the same fault golden under both solver regimes to
-// pin the determinism contract down under failure timelines. Recovery
-// metrics (retries, re-transferred bytes, fault downtime, time-to-recover)
-// appear as extra JSON fields only for fault regimes, keeping the committed
-// fault-free goldens byte-identical.
+// --faults spec ("faults:rand:crashes=2,degrades=4", "src-crash@40+15",
+// "faults:churn:crash-mtbf=300,...;domains:rack0=0-3", ...) replayed
+// identically at every concurrency point. Fault plans (scripted, seeded
+// draws and continuous churn processes) fork the experiment seed, so fault
+// sweeps are golden-gateable like the rest — and CI runs the same fault and
+// churn goldens under both solver regimes to pin the determinism contract
+// down under failure timelines. Recovery metrics (retries, re-transferred
+// bytes, fault/node downtime, availability counters and p50/p99/p999
+// recovery-time + downtime percentiles) appear as extra JSON fields only
+// for fault regimes, keeping the committed fault-free goldens
+// byte-identical. Churn regimes additionally run the invariant auditor
+// (cloud/auditor.h); any liveness/conservation violation fails the sweep.
 //
 // The sixth argument sets the shard count ("auto" resolves it at plan time
 // to min(component count, worker threads available)): every experiment in
@@ -161,6 +165,10 @@ int main(int argc, char** argv) {
     cloud::ExperimentConfig cfg = scale_config(n, nonblocking, stagger_s, workload);
     cfg.faults = faults;
     cfg.shards = shards;
+    // Churn regimes carry the watchdog/invariant auditor: its periodic tick
+    // is part of the timeline, so the churn goldens are generated with it on.
+    cfg.audit = faults.churn;
+    const bool audit = cfg.audit;
     cloud::Experiment exp(std::move(cfg));
     const ExperimentResult r = exp.run();
     if (!r.error.empty()) {
@@ -205,13 +213,35 @@ int main(int argc, char** argv) {
               << ", \"avg_migration_s\": " << r.avg_migration_time
               << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024);
     if (faults.enabled()) {
-      std::cout << ", \"faults_injected\": " << r.faults_injected
-                << ", \"retries\": " << r.total_retries
-                << ", \"abandoned\": " << r.migrations_abandoned
+      const cloud::RecoveryStats& rc = r.recovery;
+      std::cout << ", \"faults_injected\": " << rc.faults_injected
+                << ", \"node_crashes\": " << rc.node_crashes
+                << ", \"correlated_events\": " << rc.correlated_events
+                << ", \"retries\": " << rc.total_retries
+                << ", \"abandoned\": " << rc.migrations_abandoned
+                << ", \"recovered\": " << rc.migrations_recovered
+                << ", \"salvaged_chunks\": " << rc.salvaged_chunks
                 << ", \"retransferred_gb\": "
-                << r.retransferred_bytes / (1024.0 * 1024 * 1024)
-                << ", \"fault_downtime_s\": " << r.fault_downtime_s
-                << ", \"max_time_to_recover_s\": " << r.max_time_to_recover;
+                << rc.retransferred_bytes / (1024.0 * 1024 * 1024)
+                << ", \"fault_downtime_s\": " << rc.fault_downtime_s
+                << ", \"node_downtime_s\": " << rc.node_downtime_s
+                << ", \"max_time_to_recover_s\": " << rc.max_time_to_recover_s
+                << ", \"recovery_p50_s\": " << rc.recovery_p50_s
+                << ", \"recovery_p99_s\": " << rc.recovery_p99_s
+                << ", \"recovery_p999_s\": " << rc.recovery_p999_s
+                << ", \"downtime_p50_s\": " << rc.downtime_p50_s
+                << ", \"downtime_p99_s\": " << rc.downtime_p99_s
+                << ", \"downtime_p999_s\": " << rc.downtime_p999_s;
+    }
+    if (audit) {
+      std::cout << ", \"audit_checks\": " << r.audit_checks
+                << ", \"audit_violations\": " << r.audit_violations.size();
+      if (!r.audit_violations.empty()) {
+        any_error = true;
+        for (const std::string& v : r.audit_violations)
+          std::cerr << "fig4_scale_sweep: n=" << n << " AUDIT VIOLATION: " << v
+                    << "\n";
+      }
     }
     std::cout << "}";
     std::cerr << "fig4_scale: n=" << n << " wall=" << r.wall_ms << " ms, "

@@ -9,6 +9,7 @@
 #include <memory>
 #include <thread>
 
+#include "cloud/auditor.h"
 #include "cloud/fault_injector.h"
 #include "cloud/shard_plan.h"
 #include "net/coupled_solver.h"
@@ -146,6 +147,7 @@ struct Experiment::SliceRuntime {
   sim::WaitGroup migrations_done;
   std::vector<MigLaunch> launches;
   std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<Auditor> auditor;
 
   SliceRuntime(const ExperimentConfig& cfg_in, const std::vector<std::uint32_t>* owned_in,
                SliceDetail* detail_in, bool coupled)
@@ -259,14 +261,34 @@ struct Experiment::SliceRuntime {
     }
 
     // --- fault plan ---------------------------------------------------------
-    // Faults statically collapse the plan to one shard, so the injector only
-    // ever arms on the full (owned == nullptr) path.
+    // Churn/rand/global-scoped plans statically collapse to one shard, so
+    // those only ever arm on the full (owned == nullptr) path. Routable
+    // scripted plans (plan_shards verified every target maps into one
+    // component) arm per slice with the events the slice owns.
     if (cfg.faults.enabled()) {
       sim::FaultPlan plan = sim::build_fault_plan(
           cfg.faults, cluster.rng(), static_cast<std::uint32_t>(cfg.num_migrations));
-      injector = std::make_unique<FaultInjector>(simulator, cluster, mw, std::move(plan),
-                                                 cfg.num_vms, cfg.num_destinations);
-      injector->arm();
+      if (owned != nullptr) {
+        std::erase_if(plan.events, [&](const sim::FaultEvent& ev) {
+          const auto v = static_cast<std::uint32_t>(
+              cfg.num_vms > 0 ? ev.target % cfg.num_vms : 0);
+          return !std::binary_search(owned->begin(), owned->end(), v);
+        });
+      }
+      if (owned == nullptr || plan.enabled()) {
+        injector = std::make_unique<FaultInjector>(simulator, cluster, mw, std::move(plan),
+                                                   cfg.num_vms, cfg.num_destinations);
+        injector->arm();
+      }
+    }
+
+    // --- invariant auditor --------------------------------------------------
+    if (cfg.audit) {
+      auditor = std::make_unique<Auditor>(simulator, mw, cfg.audit_check_interval_s,
+                                          cfg.audit_progress_deadline_s);
+      if (injector) auditor->set_injector(injector.get());
+      mw.set_auditor(auditor.get());
+      auditor->arm();
     }
   }
 
@@ -314,14 +336,16 @@ struct Experiment::SliceRuntime {
     res.max_downtime = mw.metrics().max_downtime();
 
     if (injector) {
-      res.faults_injected = injector->faults_applied();
-      res.fault_downtime_s = injector->fault_pause_s();
+      res.recovery.faults_injected = injector->faults_applied();
+      res.recovery.fault_downtime_s = injector->fault_pause_s();
+      res.recovery.node_crashes = injector->node_crashes();
+      res.recovery.correlated_events = injector->correlated_events();
+      res.recovery.node_downtime_s = injector->node_downtime_s();
     }
-    for (const core::MigrationRecord& m : res.migrations) {
-      res.total_retries += m.retries;
-      res.retransferred_bytes += m.retransferred_bytes;
-      res.migrations_abandoned += m.abandoned ? 1 : 0;
-      res.max_time_to_recover = std::max(res.max_time_to_recover, m.time_to_recover());
+    recovery_from_migrations(res.migrations, &res.recovery);
+    if (auditor) {
+      res.audit_checks = auditor->checks_run();
+      res.audit_violations = auditor->violations();
     }
 
     auto& network = cluster.network();
@@ -480,13 +504,23 @@ ExperimentResult Experiment::merge_parts(std::vector<ExperimentResult>& parts,
   for (const core::MigrationRecord& m : res.migrations) {
     res.total_migration_time += m.migration_time();
     res.max_downtime = std::max(res.max_downtime, m.downtime_s);
-    res.total_retries += m.retries;
-    res.retransferred_bytes += m.retransferred_bytes;
-    res.migrations_abandoned += m.abandoned ? 1 : 0;
-    res.max_time_to_recover = std::max(res.max_time_to_recover, m.time_to_recover());
   }
   res.avg_migration_time =
       res.migrations.empty() ? 0 : res.total_migration_time / res.migrations.size();
+
+  // Record-derived recovery aggregates recompute from the merged records
+  // (identical accumulation order to the single-shard collect); injector-
+  // and auditor-side counters sum across the slices that armed them.
+  recovery_from_migrations(res.migrations, &res.recovery);
+  for (const ExperimentResult& p : parts) {
+    res.recovery.faults_injected += p.recovery.faults_injected;
+    res.recovery.node_crashes += p.recovery.node_crashes;
+    res.recovery.correlated_events += p.recovery.correlated_events;
+    res.recovery.fault_downtime_s += p.recovery.fault_downtime_s;
+    res.recovery.node_downtime_s += p.recovery.node_downtime_s;
+    res.audit_checks += p.audit_checks;
+    for (const std::string& v : p.audit_violations) res.audit_violations.push_back(v);
+  }
 
   // Per-VM doubles in global VM order (slices hold disjoint ascending ids).
   std::vector<const SliceDetail::VmAgg*> by_vm;

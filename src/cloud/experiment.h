@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cloud/middleware.h"
+#include "cloud/recovery.h"
 #include "core/metrics.h"
 #include "sim/fault_plan.h"
 #include "workloads/asyncwr.h"
@@ -60,10 +61,21 @@ struct ExperimentConfig {
   /// Hard stop (safety against non-converging runs); 0 = run to completion.
   double max_sim_time = 0;
 
-  /// Fault-injection axis: scripted or seeded fault plan replayed through
-  /// the simulator (see sim/fault_plan.h for the --faults grammar). Random
-  /// draws fork the experiment seed, so fault runs stay deterministic.
+  /// Fault-injection axis: scripted, seeded ("rand:") or continuous
+  /// ("churn:") fault process replayed through the simulator (see
+  /// sim/fault_plan.h for the --faults grammar). Random draws fork the
+  /// experiment seed, so fault runs stay deterministic.
   sim::FaultSpec faults{};
+
+  /// Virtual-time watchdog/invariant auditor (cloud/auditor.h): liveness
+  /// (no migration stalls past the progress deadline without an open fault
+  /// excuse) and chunk conservation (adoption + completion accounting).
+  /// The auditor's periodic tick adds simulator events, so audited runs
+  /// gate only against goldens generated with audit on. Collapses the
+  /// shard plan (the auditor must observe every migration).
+  bool audit = false;
+  double audit_check_interval_s = 10.0;
+  double audit_progress_deadline_s = 120.0;
 
   /// Simulator shards for this one experiment (parallel in-process). The
   /// deterministic partitioner (cloud/shard_plan.h) decomposes the VM fleet
@@ -100,13 +112,15 @@ struct ExperimentResult {
   double avg_migration_time = 0;
   double max_downtime = 0;
 
-  // Fault-axis recovery metrics (all zero when no faults are configured).
-  std::uint32_t faults_injected = 0;  // fault events applied
-  int total_retries = 0;              // aborted migration attempts, summed
-  int migrations_abandoned = 0;       // gave up after max_attempts
-  double retransferred_bytes = 0;     // wire work redone across retries
-  double fault_downtime_s = 0;        // guest pause from crashed hosts
-  double max_time_to_recover = 0;     // worst abort -> control-transfer gap
+  /// Fault-axis recovery telemetry: availability counters, per-migration
+  /// recovery aggregates and p50/p99/p999 percentiles (cloud/recovery.h).
+  /// All zero when no faults are configured.
+  RecoveryStats recovery{};
+
+  /// Invariant-auditor telemetry (cfg.audit): checks executed and the
+  /// violations found — an audited run with a non-empty list is a failure.
+  std::uint64_t audit_checks = 0;
+  std::vector<std::string> audit_violations;
 
   std::array<double, net::kNumTrafficClasses> traffic_bytes{};
   double total_traffic = 0;

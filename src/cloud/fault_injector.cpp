@@ -1,5 +1,7 @@
 #include "cloud/fault_injector.h"
 
+#include <algorithm>
+
 namespace hm::cloud {
 
 FaultInjector::FaultInjector(sim::Simulator& sim, vm::Cluster& cluster, Middleware& mw,
@@ -13,9 +15,21 @@ FaultInjector::FaultInjector(sim::Simulator& sim, vm::Cluster& cluster, Middlewa
       num_destinations_(num_destinations == 0 ? 1 : num_destinations),
       down_holds_(cluster.size(), 0),
       paused_vms_(cluster.size()),
-      down_since_(cluster.size(), 0) {}
+      down_since_(cluster.size(), 0),
+      window_holds_(cluster.size(), 0) {
+  domain_nodes_.reserve(plan_.domains.size());
+  for (const sim::FaultDomain& d : plan_.domains) {
+    std::vector<net::NodeId> members;
+    for (const std::uint32_t n : d.nodes)
+      if (n < cluster_.size()) members.push_back(static_cast<net::NodeId>(n));
+    domain_nodes_.push_back(std::move(members));
+  }
+}
 
 net::NodeId FaultInjector::resolve_node(const sim::FaultEvent& ev) const {
+  if (sim::fault_kind_is_node(ev.kind))
+    return static_cast<net::NodeId>(ev.target % cluster_.size());
+  if (sim::fault_kind_is_domain(ev.kind)) return 0;  // resolved per member
   const std::size_t k = num_vms_ > 0 ? ev.target % num_vms_ : 0;
   switch (ev.kind) {
     case sim::FaultKind::kDestCrash:
@@ -31,58 +45,167 @@ void FaultInjector::arm() {
   for (const sim::FaultEvent& ev : plan_.events) {
     slots_.push_back(Slot{this, ev, resolve_node(ev)});
     Slot* s = &slots_.back();
-    sim_.schedule_at(ev.at, [s] { s->self->apply(*s); });
-    sim_.schedule_at(ev.at + ev.duration_s, [s] { s->self->restore(*s); });
+    sim_.schedule_at(ev.at, [s] { s->self->apply_event(s->ev, s->node); });
+    sim_.schedule_at(ev.at + ev.duration_s,
+                     [s] { s->self->restore_event(s->ev, s->node); });
+  }
+  if (plan_.churn) arm_churn();
+}
+
+void FaultInjector::arm_churn() {
+  const sim::FaultChurnSpec& cs = plan_.churn_spec;
+  std::size_t n_nodes = cs.nodes > 0 ? cs.nodes : num_vms_ + num_destinations_;
+  n_nodes = std::min(n_nodes, cluster_.size());
+  // Fixed construction order (node-major, then category, then domains):
+  // every process owns a named fork of the experiment stream, so adding a
+  // category or resizing the fleet never perturbs the other processes.
+  const struct {
+    const char* name;
+    sim::FaultKind kind;
+    double mtbf, mttr;
+  } cats[] = {
+      {"crash", sim::FaultKind::kNodeCrash, cs.crash_mtbf, cs.crash_mttr},
+      {"degrade", sim::FaultKind::kNodeDegrade, cs.degrade_mtbf, cs.degrade_mttr},
+      {"flap", sim::FaultKind::kNodeFlap, cs.flap_mtbf, cs.flap_mttr},
+  };
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    const sim::Rng base = cluster_.rng().fork("churn", n);
+    for (const auto& cat : cats) {
+      if (!(cat.mtbf > 0)) continue;
+      sim::FaultEvent ev;
+      ev.kind = cat.kind;
+      ev.factor = cs.factor;
+      ev.target = static_cast<std::uint32_t>(n);
+      churn_.push_back(ChurnProc{this, base.fork(cat.name), ev, cat.mtbf, cat.mttr});
+      schedule_next(churn_.back(), cs.from);
+    }
+  }
+  if (cs.domain_mtbf > 0) {
+    for (std::size_t d = 0; d < plan_.domains.size(); ++d) {
+      sim::FaultEvent ev;
+      ev.kind = sim::FaultKind::kDomainCrash;
+      ev.factor = cs.factor;
+      ev.target = static_cast<std::uint32_t>(d);
+      churn_.push_back(ChurnProc{this, cluster_.rng().fork("churn-domain", d), ev,
+                                 cs.domain_mtbf, cs.domain_mttr});
+      schedule_next(churn_.back(), cs.from);
+    }
   }
 }
 
-void FaultInjector::apply(Slot& s) {
+void FaultInjector::schedule_next(ChurnProc& p, double t_base) {
+  const double at = t_base + p.rng.exponential(p.mtbf);
+  const double dur = std::max(0.5, p.rng.exponential(p.mttr));
+  if (plan_.churn_spec.until > 0 && at > plan_.churn_spec.until) return;
+  p.ev.at = at;
+  p.ev.duration_s = dur;
+  ChurnProc* pp = &p;
+  sim_.schedule_at(at, [pp] { pp->self->fire_churn(*pp); });
+}
+
+void FaultInjector::fire_churn(ChurnProc& p) {
+  apply_event(p.ev, resolve_node(p.ev));
+  ChurnProc* pp = &p;
+  sim_.schedule_at(p.ev.at + p.ev.duration_s, [pp] { pp->self->restore_churn(*pp); });
+}
+
+void FaultInjector::restore_churn(ChurnProc& p) {
+  restore_event(p.ev, resolve_node(p.ev));
+  // Next occurrence counts its MTBF gap from the end of this repair window.
+  schedule_next(p, p.ev.at + p.ev.duration_s);
+}
+
+void FaultInjector::apply_event(const sim::FaultEvent& ev, net::NodeId node) {
   auto& net = cluster_.network();
   ++faults_applied_;
-  switch (s.ev.kind) {
+  switch (ev.kind) {
     case sim::FaultKind::kSourceCrash:
     case sim::FaultKind::kDestCrash:
-      crash_node(s.node);
+    case sim::FaultKind::kNodeCrash:
+      ++window_holds_[node];
+      crash_node(node);
       break;
     case sim::FaultKind::kLinkDegrade:
-      net.scale_node_capacity(s.node, s.ev.factor, s.ev.factor);
+    case sim::FaultKind::kNodeDegrade:
+      ++window_holds_[node];
+      net.scale_node_capacity(node, ev.factor, ev.factor);
       break;
     case sim::FaultKind::kLinkFlap:
-      net.set_link_flapped(s.node, true);
+    case sim::FaultKind::kNodeFlap:
+      ++window_holds_[node];
+      net.set_link_flapped(node, true);
       break;
     case sim::FaultKind::kSlowReceiver:
-      net.scale_node_capacity(s.node, 1.0, s.ev.factor);
+      ++window_holds_[node];
+      net.scale_node_capacity(node, 1.0, ev.factor);
       break;
     case sim::FaultKind::kRepoOutage:
       if (outage_holds_++ == 0) set_repo_available(false);
       break;
+    case sim::FaultKind::kDomainCrash:
+      // One correlated event: every member node dies in the same instant
+      // (ascending id), so a migration whose source AND destination share
+      // the rack loses both endpoints atomically.
+      ++correlated_events_;
+      for (const net::NodeId n : domain_nodes_[ev.target]) {
+        ++window_holds_[n];
+        crash_node(n);
+      }
+      break;
+    case sim::FaultKind::kDomainDegrade:
+      ++correlated_events_;
+      for (const net::NodeId n : domain_nodes_[ev.target]) {
+        ++window_holds_[n];
+        net.scale_node_capacity(n, ev.factor, ev.factor);
+      }
+      break;
   }
 }
 
-void FaultInjector::restore(Slot& s) {
+void FaultInjector::restore_event(const sim::FaultEvent& ev, net::NodeId node) {
   auto& net = cluster_.network();
-  switch (s.ev.kind) {
+  switch (ev.kind) {
     case sim::FaultKind::kSourceCrash:
     case sim::FaultKind::kDestCrash:
-      reboot_node(s.node);
+    case sim::FaultKind::kNodeCrash:
+      reboot_node(node);
+      --window_holds_[node];
       break;
     case sim::FaultKind::kLinkDegrade:
-      net.scale_node_capacity(s.node, 1.0 / s.ev.factor, 1.0 / s.ev.factor);
+    case sim::FaultKind::kNodeDegrade:
+      net.scale_node_capacity(node, 1.0 / ev.factor, 1.0 / ev.factor);
+      --window_holds_[node];
       break;
     case sim::FaultKind::kLinkFlap:
-      net.set_link_flapped(s.node, false);
+    case sim::FaultKind::kNodeFlap:
+      net.set_link_flapped(node, false);
+      --window_holds_[node];
       break;
     case sim::FaultKind::kSlowReceiver:
-      net.scale_node_capacity(s.node, 1.0, 1.0 / s.ev.factor);
+      net.scale_node_capacity(node, 1.0, 1.0 / ev.factor);
+      --window_holds_[node];
       break;
     case sim::FaultKind::kRepoOutage:
       if (--outage_holds_ == 0) set_repo_available(true);
+      break;
+    case sim::FaultKind::kDomainCrash:
+      for (const net::NodeId n : domain_nodes_[ev.target]) {
+        reboot_node(n);
+        --window_holds_[n];
+      }
+      break;
+    case sim::FaultKind::kDomainDegrade:
+      for (const net::NodeId n : domain_nodes_[ev.target]) {
+        net.scale_node_capacity(n, 1.0 / ev.factor, 1.0 / ev.factor);
+        --window_holds_[n];
+      }
       break;
   }
 }
 
 void FaultInjector::crash_node(net::NodeId n) {
   if (down_holds_[n]++ != 0) return;  // already down (overlapping windows)
+  ++node_crashes_;
   // Order matters: fail the node's flows first (their continuations are
   // queued on the fast lane, not yet resumed), then flag affected sessions
   // aborted — by the time a failed transfer observes `false`, aborted() is
@@ -105,6 +228,7 @@ void FaultInjector::reboot_node(net::NodeId n) {
   if (--down_holds_[n] != 0) return;
   cluster_.network().set_node_up(n, true);
   const double down_for = sim_.now() - down_since_[n];
+  node_downtime_s_ += down_for;
   for (int id : paused_vms_[n]) {
     for (std::size_t i = 0; i < mw_.vm_count(); ++i) {
       vm::VmInstance& v = mw_.vm(i);

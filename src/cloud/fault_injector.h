@@ -6,6 +6,16 @@
 // just died. Because the plan is materialized up front from the experiment
 // seed and the injector only uses scheduled timers, fault runs inherit the
 // engine's determinism contract unchanged.
+//
+// Churn mode (plan.churn): instead of a bounded pre-built list, each node
+// runs continuous per-category fault processes (crash / degrade / flap) and
+// each failure domain a correlated-crash process, every process on its own
+// forked RNG stream (cluster rng -> fork("churn", node) -> per-category
+// fork). Occurrences are emitted lazily — one timer ahead per process —
+// with exponential MTBF gaps and MTTR durations, so a long-horizon run
+// never materializes its (unbounded) fault timeline. Each process's draw
+// sequence is self-contained, which keeps churn runs byte-identical across
+// solver regimes and shard drivers just like scripted plans.
 #pragma once
 
 #include <cstdint>
@@ -28,28 +38,62 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Schedule apply/restore timers for every planned event.
+  /// Schedule apply/restore timers for every planned event, and start the
+  /// churn processes (if the plan carries a churn spec).
   void arm();
 
   std::uint32_t faults_applied() const noexcept { return faults_applied_; }
   /// Cumulative guest pause time attributable to crashed hosts (summed over
   /// paused VMs) — the downtime-inflation component of the recovery metrics.
   double fault_pause_s() const noexcept { return fault_pause_s_; }
+  /// Up -> down node transitions (a correlated domain crash counts one per
+  /// member node it actually took down).
+  std::uint32_t node_crashes() const noexcept { return node_crashes_; }
+  /// Domain-scoped (multi-node correlated) events applied.
+  std::uint32_t correlated_events() const noexcept { return correlated_events_; }
+  /// Node-seconds spent down, summed over nodes (availability telemetry).
+  double node_downtime_s() const noexcept { return node_downtime_s_; }
+
+  /// Auditor attribution: is some fault window currently open on node `n`
+  /// (crash, degrade, flap — anything that legitimately stalls or slows a
+  /// migration touching it)?
+  bool node_excused(net::NodeId n) const noexcept {
+    return n < window_holds_.size() && window_holds_[n] > 0;
+  }
+  /// Is a repository/PVFS outage window currently open?
+  bool repo_disrupted() const noexcept { return outage_holds_ > 0; }
 
  private:
-  /// Stable capture block for the two-word timer closures.
+  /// Stable capture block for the two-word timer closures (scripted events).
   struct Slot {
     FaultInjector* self;
     sim::FaultEvent ev;
     net::NodeId node = 0;  // resolved target node (node-scoped kinds)
   };
+  /// One continuous churn process (per node x category, or per domain).
+  /// Draw order per occurrence: gap, then duration — always from this
+  /// process's own stream, so interleaving with other processes can never
+  /// shift the draws.
+  struct ChurnProc {
+    FaultInjector* self;
+    sim::Rng rng;
+    sim::FaultEvent ev;  // kind/factor/target template; at/duration_s per occurrence
+    double mtbf = 0;
+    double mttr = 0;
+  };
 
   net::NodeId resolve_node(const sim::FaultEvent& ev) const;
-  void apply(Slot& s);
-  void restore(Slot& s);
+  void apply_event(const sim::FaultEvent& ev, net::NodeId node);
+  void restore_event(const sim::FaultEvent& ev, net::NodeId node);
   void crash_node(net::NodeId n);
   void reboot_node(net::NodeId n);
   void set_repo_available(bool up);
+  void arm_churn();
+  /// Draw the next occurrence of `p` no earlier than `t_base` and schedule
+  /// its apply/restore timers; stops silently past churn_spec.until.
+  void schedule_next(ChurnProc& p, double t_base);
+  void fire_churn(ChurnProc& p);
+  void restore_churn(ChurnProc& p);
 
   sim::Simulator& sim_;
   vm::Cluster& cluster_;
@@ -57,15 +101,24 @@ class FaultInjector {
   sim::FaultPlan plan_;
   std::size_t num_vms_;
   std::size_t num_destinations_;
-  std::deque<Slot> slots_;  // deque: addresses must survive the timers
+  std::deque<Slot> slots_;       // deque: addresses must survive the timers
+  std::deque<ChurnProc> churn_;  // likewise
+  /// Domain member lists clipped to real cluster nodes.
+  std::vector<std::vector<net::NodeId>> domain_nodes_;
   // Overlapping windows on the same resource are hold-counted: the resource
   // goes down on 0 -> 1 and comes back on 1 -> 0.
   std::vector<std::uint32_t> down_holds_;
   std::vector<std::vector<int>> paused_vms_;  // VM ids frozen per crashed node
   std::vector<double> down_since_;
+  /// Open fault windows of any kind per node (crash + degrade + flap), for
+  /// the auditor's liveness excuses.
+  std::vector<std::uint32_t> window_holds_;
   std::uint32_t outage_holds_ = 0;
   std::uint32_t faults_applied_ = 0;
+  std::uint32_t node_crashes_ = 0;
+  std::uint32_t correlated_events_ = 0;
   double fault_pause_s_ = 0;
+  double node_downtime_s_ = 0;
 };
 
 }  // namespace hm::cloud

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "cloud/auditor.h"
+
 namespace hm::cloud {
 
 Middleware::Middleware(sim::Simulator& sim, vm::Cluster& cluster, ApproachConfig cfg)
@@ -97,6 +99,8 @@ sim::Task Middleware::migrate(vm::VmInstance& vm, net::NodeId dst) {
       auto& resume = slot->mgr->resume_state();
       if (resume.has_value()) {
         if (resume->dst_node == dst && resume->dst_epoch == dst_epoch) {
+          if (auditor_ != nullptr)
+            auditor_->check_adoption(*resume->dst_store, resume->valid, vm.id());
           session.adopt_destination(std::move(resume->dst_store),
                                     std::move(resume->valid));
         } else if (resume->dst_store != nullptr) {
@@ -119,7 +123,10 @@ sim::Task Middleware::migrate(vm::VmInstance& vm, net::NodeId dst) {
     active_sessions_.erase(
         std::find(active_sessions_.begin(), active_sessions_.end(), &session));
 
-    if (!session.aborted()) co_return;  // done: source released
+    if (!session.aborted()) {
+      if (auditor_ != nullptr) auditor_->check_completion(session, chunk_bytes);
+      co_return;  // done: source released
+    }
 
     // The attempt died before control transfer. Salvage what the destination
     // still holds (lost if the destination itself crashed), account the
@@ -133,6 +140,7 @@ sim::Task Middleware::migrate(vm::VmInstance& vm, net::NodeId dst) {
       auto store = session.take_partial_destination(&valid);
       if (store != nullptr && net.node_epoch(dst) == dst_epoch) {
         salvaged_chunks = static_cast<double>(valid.count());
+        rec.salvaged_chunks += salvaged_chunks;
         slot->mgr->resume_state().emplace(core::MigrationManager::ResumeState{
             std::move(store), std::move(valid), dst, dst_epoch});
       } else if (store != nullptr) {

@@ -20,6 +20,8 @@
 
 namespace hm::cloud {
 
+class Auditor;
+
 struct ApproachConfig {
   core::Approach approach = core::Approach::kHybrid;
   core::HybridConfig hybrid{};
@@ -72,6 +74,13 @@ class Middleware {
   const std::vector<std::unique_ptr<core::StorageMigrationSession>>& sessions() const {
     return sessions_;
   }
+  /// Sessions with an attempt currently in flight (the watchdog's scan set).
+  const std::vector<core::StorageMigrationSession*>& active_sessions() const noexcept {
+    return active_sessions_;
+  }
+  /// Invariant auditor (optional): receives adoption/completion conservation
+  /// checks from the migrate loop. Caller keeps ownership.
+  void set_auditor(Auditor* a) noexcept { auditor_ = a; }
 
  private:
   struct VmSlot {
@@ -87,6 +96,7 @@ class Middleware {
   sim::Simulator& sim_;
   vm::Cluster& cluster_;
   ApproachConfig cfg_;
+  Auditor* auditor_ = nullptr;
   core::Metrics metrics_;
   std::vector<std::unique_ptr<VmSlot>> slots_;
   std::vector<std::unique_ptr<core::StorageMigrationSession>> sessions_;

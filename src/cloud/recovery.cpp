@@ -1,0 +1,48 @@
+#include "cloud/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hm::cloud {
+
+double nearest_rank_percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+void recovery_from_migrations(const std::vector<core::MigrationRecord>& migrations,
+                              RecoveryStats* out) {
+  out->total_retries = 0;
+  out->migrations_abandoned = 0;
+  out->migrations_recovered = 0;
+  out->retransferred_bytes = 0;
+  out->salvaged_chunks = 0;
+  out->max_time_to_recover_s = 0;
+  std::vector<double> recovery, downtime;
+  for (const core::MigrationRecord& m : migrations) {
+    out->total_retries += m.retries;
+    out->retransferred_bytes += m.retransferred_bytes;
+    out->salvaged_chunks += m.salvaged_chunks;
+    out->migrations_abandoned += m.abandoned ? 1 : 0;
+    const double ttr = m.time_to_recover();
+    out->max_time_to_recover_s = std::max(out->max_time_to_recover_s, ttr);
+    if (ttr > 0) {
+      ++out->migrations_recovered;
+      recovery.push_back(ttr);
+    }
+    if (!m.abandoned) downtime.push_back(m.downtime_s);
+  }
+  out->recovery_p50_s = nearest_rank_percentile(recovery, 0.50);
+  out->recovery_p99_s = nearest_rank_percentile(recovery, 0.99);
+  out->recovery_p999_s = nearest_rank_percentile(recovery, 0.999);
+  out->downtime_p50_s = nearest_rank_percentile(downtime, 0.50);
+  out->downtime_p99_s = nearest_rank_percentile(downtime, 0.99);
+  out->downtime_p999_s = nearest_rank_percentile(downtime, 0.999);
+}
+
+}  // namespace hm::cloud

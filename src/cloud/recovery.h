@@ -1,0 +1,53 @@
+// Fault-axis recovery telemetry: per-migration recovery records reduced to
+// the aggregates and percentiles an operator reads (p50/p99/p999 recovery
+// time and downtime), plus the churn-availability counters the injector
+// accumulates (node crashes, correlated domain events, node downtime).
+// All zero when no faults are configured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace hm::cloud {
+
+struct RecoveryStats {
+  // Injector-side availability counters.
+  std::uint32_t faults_injected = 0;   // fault events applied
+  std::uint32_t node_crashes = 0;      // up->down node transitions
+  std::uint32_t correlated_events = 0; // domain-scoped (multi-node) events
+  double fault_downtime_s = 0;         // guest pause from crashed hosts, summed
+  double node_downtime_s = 0;          // node-seconds spent down, summed
+
+  // Record-derived aggregates (over the merged migration records).
+  int total_retries = 0;            // aborted migration attempts, summed
+  int migrations_abandoned = 0;     // gave up after max_attempts
+  std::uint32_t migrations_recovered = 0;  // aborted at least once, then completed
+  double retransferred_bytes = 0;   // wire work redone across retries
+  double salvaged_chunks = 0;       // chunks adopted from partial replicas
+  double max_time_to_recover_s = 0; // worst abort -> control-transfer gap
+
+  // Percentiles (deterministic nearest-rank over the sorted samples).
+  // Recovery-time percentiles are over migrations that aborted and then
+  // recovered; downtime percentiles are over every completed migration.
+  double recovery_p50_s = 0;
+  double recovery_p99_s = 0;
+  double recovery_p999_s = 0;
+  double downtime_p50_s = 0;
+  double downtime_p99_s = 0;
+  double downtime_p999_s = 0;
+};
+
+/// Nearest-rank percentile: the ceil(q*N)-th smallest sample (q in (0,1]).
+/// Deterministic — no interpolation, so byte-identical across regimes.
+/// Returns 0 on an empty sample set. `samples` is sorted in place.
+double nearest_rank_percentile(std::vector<double>& samples, double q);
+
+/// Compute the record-derived half of RecoveryStats from merged migration
+/// records (injector-side counters are left untouched — callers add those
+/// from the armed injector, or sum them across shard parts).
+void recovery_from_migrations(const std::vector<core::MigrationRecord>& migrations,
+                              RecoveryStats* out);
+
+}  // namespace hm::cloud

@@ -20,12 +20,52 @@ ShardPlan single(std::size_t n_vms, std::string reason) {
   return plan;
 }
 
+/// Finite shared *network* constraint spanning the slices, or empty. These
+/// no longer collapse the plan: the epoch-coupled executor arbitrates them
+/// through the mirror solver.
+std::string network_coupling_reason(const ExperimentConfig& cfg) {
+  if (std::isfinite(cfg.cluster.network.fabric_Bps))
+    return "finite fabric aggregate couples all flows";
+  if (cfg.cluster.nodes_per_switch > 0 && std::isfinite(cfg.cluster.switch_uplink_Bps))
+    return "finite switch uplinks couple racks";
+  return {};
+}
+
+/// Why the fault axis forbids sharding this config, or empty when the fault
+/// plan is routable: a scripted-only spec whose every event resolves to the
+/// nodes of one migration's component, so each slice can arm exactly the
+/// events it owns and the merged timeline still matches shards=1.
+std::string fault_coupling_reason(const ExperimentConfig& cfg) {
+  if (!cfg.faults.enabled()) return {};
+  if (cfg.faults.churn) return "churn fault process spans every node";
+  if (cfg.faults.rand) return "seeded fault draws share one RNG stream";
+  if (!sim::fault_spec_shard_routable(cfg.faults))
+    return "fault events target global or node-scoped resources";
+  for (const sim::FaultEvent& ev : cfg.faults.scripted) {
+    // Destination-scoped events resolve to node n_vms + k % num_destinations,
+    // which is only guaranteed to sit in migration k's own component when the
+    // schedule actually launches migration k.
+    const std::size_t k = cfg.num_vms > 0 ? ev.target % cfg.num_vms : 0;
+    const bool dst_scoped = ev.kind == sim::FaultKind::kDestCrash ||
+                            ev.kind == sim::FaultKind::kSlowReceiver;
+    if (dst_scoped && (!cfg.perform_migrations || k >= cfg.num_migrations))
+      return "scripted fault targets an unused migration destination";
+  }
+  // Node up/down state and capacity scaling are invisible to the
+  // epoch-coupled mirror network, which replays flow demand only.
+  if (!network_coupling_reason(cfg).empty())
+    return "fault injection under finite shared network constraints";
+  return {};
+}
+
 /// Statically known cross-slice coupling the epoch-coupled protocol cannot
 /// arbitrate (storage services, cross-VM workload channels, shared RNG
 /// streams, global observers), or empty if slices only ever share network
 /// constraints.
 std::string hard_coupling_reason(const ExperimentConfig& cfg) {
-  if (cfg.faults.enabled()) return "fault injection spans shards";
+  std::string fault_reason = fault_coupling_reason(cfg);
+  if (!fault_reason.empty()) return fault_reason;
+  if (cfg.audit) return "auditor observes every migration";
   if (cfg.approach == core::Approach::kPvfsShared || cfg.cluster.enable_pvfs)
     return "PVFS stripes across all nodes";
   switch (cfg.workload) {
@@ -41,17 +81,6 @@ std::string hard_coupling_reason(const ExperimentConfig& cfg) {
   }
   if (cfg.trace_recorder != nullptr || !cfg.record_trace_path.empty())
     return "trace recording observes every VM";
-  return {};
-}
-
-/// Finite shared *network* constraint spanning the slices, or empty. These
-/// no longer collapse the plan: the epoch-coupled executor arbitrates them
-/// through the mirror solver.
-std::string network_coupling_reason(const ExperimentConfig& cfg) {
-  if (std::isfinite(cfg.cluster.network.fabric_Bps))
-    return "finite fabric aggregate couples all flows";
-  if (cfg.cluster.nodes_per_switch > 0 && std::isfinite(cfg.cluster.switch_uplink_Bps))
-    return "finite switch uplinks couple racks";
   return {};
 }
 

@@ -10,8 +10,12 @@
 //  * Couplers that collapse the plan to one shard: PVFS (striped across
 //    all nodes), CM1/IOR workloads (halo exchange / repository reads),
 //    non-broadcast trace replay (absolute VM indices), trace recording
-//    (observes every VM), and fault injection (a crash fails flows of
-//    every VM on the node, and plan draws share one RNG stream).
+//    (observes every VM), the invariant auditor (observes every
+//    migration), and non-routable fault regimes — churn processes, seeded
+//    "rand:" draws (one shared RNG stream), and repo-/node-/domain-scoped
+//    events. Scripted plans whose every event resolves inside one
+//    migration's component ARE routable: each slice arms exactly the
+//    events it owns and the merged timeline still matches shards=1.
 //
 //  * Finite *network* constraints no longer collapse the plan: a finite
 //    fabric aggregate or finite switch uplinks yield a kEpochCoupled plan —

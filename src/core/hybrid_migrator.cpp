@@ -12,6 +12,7 @@ HybridSession::HybridSession(sim::Simulator& sim, vm::Cluster& cluster,
       write_count_(mgr->replica().num_chunks(), 0),
       transfer_count_(mgr->replica().num_chunks(), 0),
       in_remaining_(mgr->replica().num_chunks()),
+      superseded_(mgr->replica().num_chunks()),
       in_push_queue_(mgr->replica().num_chunks()),
       push_wakeup_(sim),
       push_stopped_(sim),
@@ -130,8 +131,9 @@ sim::Task HybridSession::push_task() {
 // Algorithm 2 (WRITE), both roles.
 sim::Task HybridSession::vm_write(ChunkId c) {
   if (!control_transferred_) {
-    // Source role: write locally, bump the write count, (re)queue for push.
-    co_await mgr_->local_write(c);
+    // Source role (Algorithm 2): WriteCount/RemainingSet update in the
+    // request path, before the local write pays the host bus — a handoff
+    // racing the in-flight write must still see the chunk as remaining.
     ++write_count_[c];
     add_remaining(c);
     if (cfg_.push_enabled && !stop_push_ && write_count_[c] < cfg_.threshold &&
@@ -140,10 +142,12 @@ sim::Task HybridSession::vm_write(ChunkId c) {
       in_push_queue_.set(c);
     }
     push_wakeup_.notify_all();
+    co_await mgr_->local_write(c);
     co_return;
   }
   // Destination role: the new data supersedes whatever the source had —
   // cancel any pull in progress and drop the chunk from RemainingSet.
+  superseded_.set(c);
   const std::uint32_t slot = inflight_slot_[c];
   if (slot != kNilSlot) {
     pull_slab_[slot].cancelled = true;

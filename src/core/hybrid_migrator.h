@@ -84,7 +84,9 @@ class HybridSession final : public StorageMigrationSession {
   void abort() override;
   std::unique_ptr<storage::ChunkStore> take_partial_destination(
       util::DirtyBitmap* valid_out) override;
-
+  const util::DirtyBitmap* superseded_chunks() const noexcept override {
+    return &superseded_;
+  }
   // --- introspection (tests / benches) -------------------------------------
   std::uint32_t write_count(ChunkId c) const { return write_count_[c]; }
   std::size_t remaining_size() const noexcept {
@@ -136,6 +138,10 @@ class HybridSession final : public StorageMigrationSession {
   std::vector<std::uint32_t> write_count_;
   std::vector<std::uint32_t> transfer_count_;
   util::DirtyBitmap in_remaining_;  // the paper's RemainingSet, packed
+  // Chunks overwritten by the destination after control transfer; the
+  // source copy is obsolete the moment the write is issued, so the source
+  // may be released while the local write is still on the host bus.
+  util::DirtyBitmap superseded_;
 
   // push side
   std::deque<ChunkId> push_queue_;

@@ -40,6 +40,7 @@ struct MigrationRecord {
   // --- fault/recovery accounting (fault-injection axis) ---------------------
   int retries = 0;                  // aborted attempts before this one
   double retransferred_bytes = 0;   // work thrown away by aborted attempts
+  double salvaged_chunks = 0;       // chunks adopted from partial replicas
   double t_first_abort = 0;         // first fault-induced abort (0 = none)
   bool abandoned = false;           // gave up after max_attempts
 

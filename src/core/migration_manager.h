@@ -160,6 +160,20 @@ class StorageMigrationSession {
 
   bool control_transferred() const noexcept { return control_transferred_; }
   MigrationRecord& record() noexcept { return rec_; }
+  const MigrationRecord& record() const noexcept { return rec_; }
+
+  /// Introspection for the invariant auditor. Both stay valid across
+  /// transfer_control(): the destination replica's ownership moves to the
+  /// manager but the object survives, and src_store_ is repointed at the
+  /// retained source replica. Null for the shared-storage baseline.
+  const storage::ChunkStore* source_store() const noexcept { return src_store_; }
+  const storage::ChunkStore* destination_store() const noexcept { return dst_store_; }
+  /// Chunks whose source content was made obsolete by a destination-side
+  /// write after control transfer. Such a write may still be in flight on
+  /// the destination's host bus at the instant the source is released —
+  /// releasing early is safe (the authoritative data originates at the
+  /// destination), so conservation accepts superseded in lieu of present.
+  virtual const util::DirtyBitmap* superseded_chunks() const noexcept { return nullptr; }
 
  protected:
   sim::Simulator& sim_;

@@ -30,11 +30,13 @@ double PrecopySession::residual_storage_bytes() const {
 }
 
 sim::Task PrecopySession::vm_write(ChunkId c) {
-  co_await mgr_->local_write(c);
+  // Dirty tracking commits in the request path so a round scan racing the
+  // in-flight local write still counts it (same ordering as Algorithm 2).
   if (!control_transferred_) {
     cow_.on_write(c);
     dirty_.set(c);
   }
+  co_await mgr_->local_write(c);
 }
 
 sim::Task PrecopySession::send_chunks(const std::vector<ChunkId>& chunks) {

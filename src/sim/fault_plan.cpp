@@ -16,6 +16,9 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kSourceCrash, "src-crash"}, {FaultKind::kDestCrash, "dst-crash"},
     {FaultKind::kLinkDegrade, "degrade"},   {FaultKind::kLinkFlap, "flap"},
     {FaultKind::kSlowReceiver, "slow-recv"}, {FaultKind::kRepoOutage, "repo-outage"},
+    {FaultKind::kNodeCrash, "node-crash"},   {FaultKind::kNodeDegrade, "node-degrade"},
+    {FaultKind::kNodeFlap, "node-flap"},     {FaultKind::kDomainCrash, "domain-crash"},
+    {FaultKind::kDomainDegrade, "domain-degrade"},
 };
 
 double clamp_factor(double f) {
@@ -59,7 +62,8 @@ bool parse_event(std::string_view tok, FaultEvent* ev, std::string* err) {
   }
   if (!known)
     return fail(err, "unknown fault kind '" + std::string(kind) +
-                         "' (src-crash|dst-crash|degrade|flap|slow-recv|repo-outage)");
+                         "' (src-crash|dst-crash|degrade|flap|slow-recv|repo-outage|"
+                         "node-crash|node-degrade|node-flap|domain-crash|domain-degrade)");
   std::string_view rest = tok.substr(at_pos + 1);
   const auto next_mod = [&] { return rest.find_first_of("+*#"); };
   auto mod = next_mod();
@@ -119,6 +123,130 @@ bool parse_rand(std::string_view body, FaultRandSpec* rs, std::string* err) {
     if (!ok)
       return fail(err, "bad value for fault rand key '" + std::string(key) + "'");
   }
+  if (rs->crashes == 0 && rs->dst_crashes == 0 && rs->degrades == 0 &&
+      rs->flaps == 0 && rs->slow == 0 && rs->outages == 0)
+    return fail(err, "fault rand spec enables no category "
+                     "(set crashes/dst-crashes/degrades/flaps/slow/outages)");
+  return true;
+}
+
+bool parse_churn(std::string_view body, FaultChurnSpec* cs, std::string* err) {
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view kv = body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{}
+                                           : body.substr(comma + 1);
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos)
+      return fail(err, "fault churn spec expects k=v, got '" + std::string(kv) + "'");
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+    bool ok = true;
+    // MTBF/MTTR means must be strictly positive when supplied: a zero mean
+    // exponential would fire instantly forever.
+    const auto mean = [&](double* slot) {
+      double d = 0;
+      if (!parse_double(val, &d) || !(d > 0)) return false;
+      *slot = d;
+      return true;
+    };
+    if (key == "crash-mtbf") ok = mean(&cs->crash_mtbf);
+    else if (key == "crash-mttr") ok = mean(&cs->crash_mttr);
+    else if (key == "degrade-mtbf") ok = mean(&cs->degrade_mtbf);
+    else if (key == "degrade-mttr") ok = mean(&cs->degrade_mttr);
+    else if (key == "flap-mtbf") ok = mean(&cs->flap_mtbf);
+    else if (key == "flap-mttr") ok = mean(&cs->flap_mttr);
+    else if (key == "domain-mtbf") ok = mean(&cs->domain_mtbf);
+    else if (key == "domain-mttr") ok = mean(&cs->domain_mttr);
+    else if (key == "from") ok = parse_double(val, &cs->from) && cs->from >= 0;
+    else if (key == "until") ok = parse_double(val, &cs->until) && cs->until > 0;
+    else if (key == "nodes") ok = parse_u32(val, &cs->nodes);
+    else if (key == "factor") {
+      ok = parse_double(val, &cs->factor);
+      cs->factor = clamp_factor(cs->factor);
+    } else {
+      return fail(err, "unknown fault churn key '" + std::string(key) + "'");
+    }
+    if (!ok)
+      return fail(err, "bad value for fault churn key '" + std::string(key) + "'");
+  }
+  if (cs->crash_mtbf <= 0 && cs->degrade_mtbf <= 0 && cs->flap_mtbf <= 0 &&
+      cs->domain_mtbf <= 0)
+    return fail(err, "fault churn spec enables no category "
+                     "(set crash-mtbf/degrade-mtbf/flap-mtbf/domain-mtbf)");
+  if (cs->until > 0 && cs->until <= cs->from)
+    return fail(err, "fault churn 'until' must exceed 'from'");
+  return true;
+}
+
+// DOMAINS := "domains:" NAME '=' RANGE ('+' RANGE)* (',' NAME '=' ...)*
+bool parse_domains(std::string_view body, std::vector<FaultDomain>* out,
+                   std::string* err) {
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view def = body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{}
+                                           : body.substr(comma + 1);
+    const auto eq = def.find('=');
+    if (eq == std::string_view::npos)
+      return fail(err, "fault domain expects NAME=RANGE, got '" + std::string(def) + "'");
+    FaultDomain dom;
+    dom.name = std::string(def.substr(0, eq));
+    if (dom.name.empty())
+      return fail(err, "fault domain with empty name in '" + std::string(def) + "'");
+    for (const auto& prev : *out)
+      if (prev.name == dom.name)
+        return fail(err, "duplicate fault domain '" + dom.name + "'");
+    std::string_view ranges = def.substr(eq + 1);
+    if (ranges.empty())
+      return fail(err, "fault domain '" + dom.name + "' has no member nodes");
+    while (!ranges.empty()) {
+      const auto plus = ranges.find('+');
+      const std::string_view range = ranges.substr(0, plus);
+      ranges = plus == std::string_view::npos ? std::string_view{}
+                                              : ranges.substr(plus + 1);
+      const auto dash = range.find('-');
+      std::uint32_t lo = 0, hi = 0;
+      if (dash == std::string_view::npos) {
+        if (!parse_u32(range, &lo))
+          return fail(err, "bad node id '" + std::string(range) + "' in fault domain '" +
+                               dom.name + "'");
+        hi = lo;
+      } else {
+        if (!parse_u32(range.substr(0, dash), &lo) ||
+            !parse_u32(range.substr(dash + 1), &hi) || hi < lo)
+          return fail(err, "bad node range '" + std::string(range) +
+                               "' in fault domain '" + dom.name + "'");
+      }
+      for (std::uint32_t n = lo; n <= hi; ++n) dom.nodes.push_back(n);
+    }
+    if (dom.nodes.empty())
+      return fail(err, "fault domain '" + dom.name + "' has no member nodes");
+    std::sort(dom.nodes.begin(), dom.nodes.end());
+    if (std::adjacent_find(dom.nodes.begin(), dom.nodes.end()) != dom.nodes.end())
+      return fail(err, "fault domain '" + dom.name + "' repeats a node id");
+    out->push_back(std::move(dom));
+  }
+  if (out->empty()) return fail(err, "fault 'domains:' section is empty");
+  // Domains are disjoint: one node cannot belong to two racks.
+  for (std::size_t i = 0; i < out->size(); ++i)
+    for (std::size_t j = i + 1; j < out->size(); ++j)
+      for (const std::uint32_t n : (*out)[i].nodes)
+        if (std::binary_search((*out)[j].nodes.begin(), (*out)[j].nodes.end(), n))
+          return fail(err, "node " + std::to_string(n) + " belongs to fault domains '" +
+                               (*out)[i].name + "' and '" + (*out)[j].name + "'");
+  return true;
+}
+
+bool validate_spec(const FaultSpec& spec, std::string* err) {
+  for (const FaultEvent& ev : spec.scripted) {
+    if (fault_kind_is_domain(ev.kind) && ev.target >= spec.domains.size())
+      return fail(err, std::string("scripted '") + fault_kind_name(ev.kind) +
+                           "' targets domain #" + std::to_string(ev.target) + " but only " +
+                           std::to_string(spec.domains.size()) + " domain(s) are defined");
+  }
+  if (spec.churn && spec.churn_spec.domain_mtbf > 0 && spec.domains.empty())
+    return fail(err, "fault churn sets domain-mtbf but no 'domains:' section is defined");
   return true;
 }
 
@@ -138,13 +266,36 @@ const char* fault_kind_name(FaultKind k) noexcept {
   return "?";
 }
 
+bool fault_kind_is_domain(FaultKind k) noexcept {
+  return k == FaultKind::kDomainCrash || k == FaultKind::kDomainDegrade;
+}
+
+bool fault_kind_is_node(FaultKind k) noexcept {
+  return k == FaultKind::kNodeCrash || k == FaultKind::kNodeDegrade ||
+         k == FaultKind::kNodeFlap;
+}
+
 bool parse_fault_spec(std::string_view arg, FaultSpec* out, std::string* err) {
   *out = FaultSpec{};
   if (arg.rfind("faults:", 0) == 0) arg = arg.substr(7);
   if (arg.empty() || arg == "none") return true;
+  // A trailing ";domains:..." section may follow any body form.
+  const auto dom_pos = arg.find("domains:");
+  if (dom_pos != std::string_view::npos) {
+    if (dom_pos != 0 && arg[dom_pos - 1] != ';')
+      return fail(err, "fault 'domains:' section must follow a ';'");
+    if (!parse_domains(arg.substr(dom_pos + 8), &out->domains, err)) return false;
+    arg = arg.substr(0, dom_pos == 0 ? 0 : dom_pos - 1);
+  }
   if (arg.rfind("rand:", 0) == 0) {
     out->rand = true;
-    return parse_rand(arg.substr(5), &out->rand_spec, err);
+    if (!parse_rand(arg.substr(5), &out->rand_spec, err)) return false;
+    return validate_spec(*out, err);
+  }
+  if (arg.rfind("churn:", 0) == 0) {
+    out->churn = true;
+    if (!parse_churn(arg.substr(6), &out->churn_spec, err)) return false;
+    return validate_spec(*out, err);
   }
   while (!arg.empty()) {
     const auto semi = arg.find(';');
@@ -155,6 +306,26 @@ bool parse_fault_spec(std::string_view arg, FaultSpec* out, std::string* err) {
     if (!parse_event(tok, &ev, err)) return false;
     out->scripted.push_back(ev);
   }
+  if (arg.empty() && out->scripted.empty() && out->domains.empty())
+    return fail(err, "empty fault spec");
+  return validate_spec(*out, err);
+}
+
+bool fault_spec_shard_routable(const FaultSpec& spec) {
+  if (spec.rand || spec.churn) return false;
+  if (spec.scripted.empty()) return true;
+  for (const FaultEvent& ev : spec.scripted) {
+    switch (ev.kind) {
+      case FaultKind::kSourceCrash:
+      case FaultKind::kDestCrash:
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkFlap:
+      case FaultKind::kSlowReceiver:
+        break;  // migration-scoped: routable to the target's owning shard
+      default:
+        return false;  // repo-/node-/domain-scoped effects are global
+    }
+  }
   return true;
 }
 
@@ -162,6 +333,9 @@ FaultPlan build_fault_plan(const FaultSpec& spec, const Rng& rng,
                            std::uint32_t num_migrations) {
   FaultPlan plan;
   plan.events = spec.scripted;
+  plan.churn = spec.churn;
+  plan.churn_spec = spec.churn_spec;
+  plan.domains = spec.domains;
   if (spec.rand) {
     Rng r = rng.fork("fault-plan");
     const FaultRandSpec& rs = spec.rand_spec;

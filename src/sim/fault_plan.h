@@ -5,6 +5,17 @@
 // determinism contract extends to them unchanged: the same (spec, seed)
 // pair produces the identical fault timeline, and therefore the identical
 // virtual-time metrics, in both solver regimes.
+//
+// Two generative modes exist besides scripted events:
+//  * "rand:"  — a bounded plan: fixed per-category counts drawn up front
+//    into a materialized event list.
+//  * "churn:" — an unbounded continuous fault process: each node (and each
+//    failure domain) draws crash/degrade/flap occurrences from per-category
+//    MTBF/MTTR distributions for the whole run. Churn events are NOT
+//    materialized here — the injector emits them lazily, one timer ahead
+//    per process, each process on its own forked RNG stream
+//    (rng.fork("churn", node)), so the draw sequence of one process can
+//    never depend on the interleaving of the others.
 #pragma once
 
 #include <cstdint>
@@ -17,27 +28,69 @@
 namespace hm::sim {
 
 enum class FaultKind : std::uint8_t {
-  kSourceCrash,   // source node of migration #target crashes, reboots after duration
-  kDestCrash,     // destination node of migration #target crashes + reboots
-  kLinkDegrade,   // source-node NIC capacity scaled by `factor` for duration
-  kLinkFlap,      // source-node link hard-down (capacity 0) for duration
-  kSlowReceiver,  // destination-node ingress scaled by `factor` for duration
-  kRepoOutage,    // repository / PVFS servers unavailable for duration
+  kSourceCrash,    // source node of migration #target crashes, reboots after duration
+  kDestCrash,      // destination node of migration #target crashes + reboots
+  kLinkDegrade,    // source-node NIC capacity scaled by `factor` for duration
+  kLinkFlap,       // source-node link hard-down (capacity 0) for duration
+  kSlowReceiver,   // destination-node ingress scaled by `factor` for duration
+  kRepoOutage,     // repository / PVFS servers unavailable for duration
+  kNodeCrash,      // node #target (a raw node id) crashes + reboots
+  kNodeDegrade,    // node #target NIC capacity scaled by `factor`
+  kNodeFlap,       // node #target link hard-down for duration
+  kDomainCrash,    // failure domain #target: every member node crashes atomically
+  kDomainDegrade,  // failure domain #target: every member NIC degraded together
 };
 const char* fault_kind_name(FaultKind k) noexcept;
+/// Domain-scoped kinds take a domain index (not a migration/node id) as
+/// their target and strike every member node in the same instant.
+bool fault_kind_is_domain(FaultKind k) noexcept;
+/// Node-scoped kinds take a raw node id as their target.
+bool fault_kind_is_node(FaultKind k) noexcept;
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kLinkDegrade;
   double at = 0.0;          // virtual time the fault strikes
   double duration_s = 10.0; // window length (for crashes: reboot delay)
   double factor = 0.25;     // capacity multiplier for degrade / slow-recv
-  std::uint32_t target = 0; // migration index the fault is aimed at
+  std::uint32_t target = 0; // migration index / node id / domain index
 };
 
-/// Materialized plan: events sorted by (at, kind, target).
+/// A named failure domain (rack): the member nodes that die or degrade
+/// together under a correlated (domain-scoped) event.
+struct FaultDomain {
+  std::string name;
+  std::vector<std::uint32_t> nodes;  // ascending, duplicate-free
+};
+
+/// Knobs for the "churn:" spec form: per-category MTBF/MTTR means (seconds).
+/// A category is active iff its mtbf is > 0. Occurrence gaps and repair
+/// durations are exponential draws; durations are floored at 0.5 s and the
+/// degrade factor is clamped into (0, 1] like everywhere else.
+struct FaultChurnSpec {
+  double crash_mtbf = 0.0;     // per-node crash process
+  double crash_mttr = 10.0;
+  double degrade_mtbf = 0.0;   // per-node NIC degradation process
+  double degrade_mttr = 15.0;
+  double flap_mtbf = 0.0;      // per-node link-flap process
+  double flap_mttr = 2.0;
+  double domain_mtbf = 0.0;    // per-domain correlated crash process
+  double domain_mttr = 10.0;
+  double factor = 0.25;        // degrade capacity multiplier
+  double from = 0.0;           // churn starts after this instant
+  double until = 0.0;          // no occurrence starts past this (0 = unbounded)
+  std::uint32_t nodes = 0;     // churn the first N node ids (0 = all
+                               // migration endpoints: sources + destinations)
+};
+
+/// Materialized plan: events sorted by (at, kind, target), plus the lazily
+/// emitted churn process (if any) and the failure-domain table both the
+/// scripted domain events and the churn domain process index into.
 struct FaultPlan {
   std::vector<FaultEvent> events;
-  bool enabled() const noexcept { return !events.empty(); }
+  bool churn = false;
+  FaultChurnSpec churn_spec{};
+  std::vector<FaultDomain> domains;
+  bool enabled() const noexcept { return churn || !events.empty(); }
 };
 
 /// Knobs for the "rand:" spec form — per-category counts plus the shared
@@ -56,26 +109,48 @@ struct FaultRandSpec {
 };
 
 /// Parsed --faults=SPEC, before seeding. Grammar (optional "faults:" prefix):
-///   SPEC   := "none" | EVENT (';' EVENT)* | "rand:" k=v (',' k=v)*
-///   EVENT  := KIND '@' T ['+' DUR] ['*' FACTOR] ['#' TARGET]
-///   KIND   := src-crash | dst-crash | degrade | flap | slow-recv | repo-outage
+///   SPEC    := "none" | BODY [';' DOMAINS]
+///   BODY    := EVENT (';' EVENT)* | "rand:" k=v (',' k=v)* | "churn:" k=v (',' k=v)*
+///   EVENT   := KIND '@' T ['+' DUR] ['*' FACTOR] ['#' TARGET]
+///   KIND    := src-crash | dst-crash | degrade | flap | slow-recv |
+///              repo-outage | node-crash | node-degrade | node-flap |
+///              domain-crash | domain-degrade
+///   DOMAINS := "domains:" NAME '=' RANGE ('+' RANGE)* (',' NAME '=' ...)*
+///   RANGE   := N | N '-' M          (inclusive node-id range)
 /// rand keys: crashes, dst-crashes, degrades, flaps, slow, outages (counts),
 /// from, span, dur (seconds), factor (capacity multiplier in (0,1]).
+/// churn keys: crash-mtbf, crash-mttr, degrade-mtbf, degrade-mttr,
+/// flap-mtbf, flap-mttr, domain-mtbf, domain-mttr (seconds; a category is
+/// active iff its mtbf > 0), factor, from, until, nodes.
 struct FaultSpec {
   std::vector<FaultEvent> scripted;
   bool rand = false;
   FaultRandSpec rand_spec{};
-  bool enabled() const noexcept { return rand || !scripted.empty(); }
+  bool churn = false;
+  FaultChurnSpec churn_spec{};
+  std::vector<FaultDomain> domains;
+  bool enabled() const noexcept { return rand || churn || !scripted.empty(); }
 };
 
 /// Parse a --faults argument. Returns false with *err set on a malformed
-/// spec; factors are clamped into (0, 1].
+/// spec (unknown keys, non-positive MTBF/MTTR, empty or duplicate domain
+/// definitions, domain events referencing undefined domains, ...); factors
+/// are clamped into (0, 1].
 bool parse_fault_spec(std::string_view arg, FaultSpec* out, std::string* err);
+
+/// True when the spec's fault effects can be routed to a single owning
+/// shard: only scripted, migration-targeted events (src-crash, dst-crash,
+/// degrade, flap, slow-recv). Seeded draws (rand), the churn process, and
+/// repo-/node-/domain-scoped kinds are never routable — those regimes
+/// collapse the shard plan conservatively.
+bool fault_spec_shard_routable(const FaultSpec& spec);
 
 /// Materialize a plan: scripted events verbatim, random events drawn from
 /// rng.fork("fault-plan") in a fixed category order (so adding a category
 /// never perturbs the draws of existing ones). Targets are drawn uniformly
 /// over [0, num_migrations). The result is sorted by (at, kind, target).
+/// The churn spec and domain table pass through untouched — churn events
+/// are emitted lazily by the injector, not materialized here.
 FaultPlan build_fault_plan(const FaultSpec& spec, const Rng& rng,
                            std::uint32_t num_migrations);
 

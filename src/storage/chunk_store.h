@@ -186,9 +186,14 @@ class ChunkStore {
     modified_.for_each_set([&](std::uint64_t c) { fn(static_cast<ChunkId>(c)); });
   }
 
-  /// Frameless write awaitable: one host-bus service, then (in
-  /// await_resume, i.e. before the awaiting coroutine continues) the
-  /// present/modified/cache/host-dirty updates.
+  /// Frameless write awaitable: metadata (present/modified) commits at
+  /// issue time — the FUSE layer updates its chunk accounting in the write
+  /// request path (Algorithm 2), before the data movement pays the host-bus
+  /// service. Cache/host-dirty state reflects data arrival and updates in
+  /// await_resume. Committing the bits at issue closes a lost-update race:
+  /// a migration that snapshots the ModifiedSet while a guest write is
+  /// still on the bus must count that write, or it silently never
+  /// transfers the chunk.
   struct [[nodiscard]] WriteAwaiter {
     ChunkStore& st;
     ChunkId c;
@@ -197,13 +202,13 @@ class ChunkStore {
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      st.present_.set(c);
+      if (mark_modified) st.modified_.set(c);
       node.service_s = st.img_.chunk_bytes / st.cfg_.host_bus_Bps;
       node.cont = h;
       st.bus_.submit(&node);
     }
     void await_resume() const {
-      st.present_.set(c);
-      if (mark_modified) st.modified_.set(c);
       st.cache_.insert(c);
       st.mark_host_dirty(c);
     }

@@ -45,12 +45,12 @@ TEST(FaultExperiment, SourceCrashAbortsThenRetriesToCompletion) {
   Experiment exp(fault_config(core::Approach::kHybrid, "src-crash@2.2+4"));
   ExperimentResult res = exp.run();
   EXPECT_TRUE(res.completed) << res.error;
-  EXPECT_EQ(res.faults_injected, 1u);
+  EXPECT_EQ(res.recovery.faults_injected, 1u);
   ASSERT_EQ(res.migrations.size(), 1u);
-  EXPECT_GE(res.total_retries, 1);
-  EXPECT_EQ(res.migrations_abandoned, 0);
-  EXPECT_GT(res.fault_downtime_s, 0.0);  // the guest was paused on the dead host
-  EXPECT_GT(res.max_time_to_recover, 0.0);
+  EXPECT_GE(res.recovery.total_retries, 1);
+  EXPECT_EQ(res.recovery.migrations_abandoned, 0);
+  EXPECT_GT(res.recovery.fault_downtime_s, 0.0);  // the guest was paused on the dead host
+  EXPECT_GT(res.recovery.max_time_to_recover_s, 0.0);
   EXPECT_GT(res.migrations[0].t_first_abort, 0.0);
   EXPECT_GT(res.migrations[0].t_control_transfer, res.migrations[0].t_first_abort);
 }
@@ -59,10 +59,10 @@ TEST(FaultExperiment, DestCrashLosesPartialReplicaAndRetransfers) {
   Experiment exp(fault_config(core::Approach::kHybrid, "dst-crash@2.3+4"));
   ExperimentResult res = exp.run();
   EXPECT_TRUE(res.completed) << res.error;
-  EXPECT_GE(res.total_retries, 1);
+  EXPECT_GE(res.recovery.total_retries, 1);
   // The destination's partial replica died with the node: every chunk
   // pushed before the crash crosses the wire again.
-  EXPECT_GT(res.retransferred_bytes, 0.0);
+  EXPECT_GT(res.recovery.retransferred_bytes, 0.0);
 }
 
 TEST(FaultExperiment, SameSeedSameFaultsByteIdenticalTimeline) {
@@ -72,11 +72,11 @@ TEST(FaultExperiment, SameSeedSameFaultsByteIdenticalTimeline) {
   EXPECT_DOUBLE_EQ(a.sim_duration, b.sim_duration);
   EXPECT_DOUBLE_EQ(a.total_traffic, b.total_traffic);
   EXPECT_DOUBLE_EQ(a.avg_migration_time, b.avg_migration_time);
-  EXPECT_DOUBLE_EQ(a.retransferred_bytes, b.retransferred_bytes);
-  EXPECT_DOUBLE_EQ(a.fault_downtime_s, b.fault_downtime_s);
-  EXPECT_DOUBLE_EQ(a.max_time_to_recover, b.max_time_to_recover);
-  EXPECT_EQ(a.total_retries, b.total_retries);
-  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_DOUBLE_EQ(a.recovery.retransferred_bytes, b.recovery.retransferred_bytes);
+  EXPECT_DOUBLE_EQ(a.recovery.fault_downtime_s, b.recovery.fault_downtime_s);
+  EXPECT_DOUBLE_EQ(a.recovery.max_time_to_recover_s, b.recovery.max_time_to_recover_s);
+  EXPECT_EQ(a.recovery.total_retries, b.recovery.total_retries);
+  EXPECT_EQ(a.recovery.faults_injected, b.recovery.faults_injected);
 }
 
 TEST(FaultExperiment, SeededRandomPlanAppliesEveryCategory) {
@@ -88,15 +88,15 @@ TEST(FaultExperiment, SeededRandomPlanAppliesEveryCategory) {
       "from=2,span=3,dur=3"));
   ExperimentResult res = exp.run();
   EXPECT_TRUE(res.completed) << res.error;
-  EXPECT_EQ(res.faults_injected, 6u);
+  EXPECT_EQ(res.recovery.faults_injected, 6u);
 }
 
 TEST(FaultExperiment, RepositoryOutageIsWaitedOut) {
   Experiment exp(fault_config(core::Approach::kHybrid, "repo-outage@2.5+5"));
   ExperimentResult res = exp.run();
   EXPECT_TRUE(res.completed) << res.error;
-  EXPECT_EQ(res.faults_injected, 1u);
-  EXPECT_EQ(res.migrations_abandoned, 0);
+  EXPECT_EQ(res.recovery.faults_injected, 1u);
+  EXPECT_EQ(res.recovery.migrations_abandoned, 0);
 }
 
 TEST(FaultExperiment, EveryApproachSurvivesASourceCrash) {
@@ -108,7 +108,7 @@ TEST(FaultExperiment, EveryApproachSurvivesASourceCrash) {
     EXPECT_TRUE(res.completed) << core::approach_name(a) << ": " << res.error;
     ASSERT_EQ(res.migrations.size(), 1u) << core::approach_name(a);
     EXPECT_GT(res.migrations[0].t_control_transfer, 0.0) << core::approach_name(a);
-    EXPECT_EQ(res.migrations_abandoned, 0) << core::approach_name(a);
+    EXPECT_EQ(res.recovery.migrations_abandoned, 0) << core::approach_name(a);
   }
 }
 
@@ -118,7 +118,7 @@ TEST(FaultExperiment, SingleAttemptCrashAbandonsButExperimentCompletes) {
   Experiment exp(std::move(cfg));
   ExperimentResult res = exp.run();
   EXPECT_TRUE(res.completed) << res.error;
-  EXPECT_EQ(res.migrations_abandoned, 1);
+  EXPECT_EQ(res.recovery.migrations_abandoned, 1);
   ASSERT_EQ(res.migrations.size(), 1u);
   EXPECT_TRUE(res.migrations[0].abandoned);
   EXPECT_DOUBLE_EQ(res.migrations[0].t_control_transfer, 0.0);
@@ -129,10 +129,88 @@ TEST(FaultExperiment, FaultFreeSpecLeavesMetricsZero) {
   EXPECT_FALSE(cfg.faults.enabled());
   ExperimentResult res = Experiment(std::move(cfg)).run();
   EXPECT_TRUE(res.completed) << res.error;
-  EXPECT_EQ(res.faults_injected, 0u);
-  EXPECT_EQ(res.total_retries, 0);
-  EXPECT_DOUBLE_EQ(res.retransferred_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(res.fault_downtime_s, 0.0);
+  EXPECT_EQ(res.recovery.faults_injected, 0u);
+  EXPECT_EQ(res.recovery.total_retries, 0);
+  EXPECT_DOUBLE_EQ(res.recovery.retransferred_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(res.recovery.fault_downtime_s, 0.0);
+}
+
+/// Byte-identity under a generative churn stream with a correlated failure
+/// domain: repeated runs AND both solver regimes (incremental vs always-
+/// global full solve) must agree on every virtual-time recovery field. The
+/// domain covers the migration destination plus an idle node, so a
+/// correlated event atomically kills two nodes and forces a salvage/retry.
+TEST(ChurnExperiment, ChurnWithDomainsByteIdenticalAcrossSolverRegimes) {
+  const char* spec =
+      "churn:crash-mtbf=1,crash-mttr=1,domain-mtbf=4,domain-mttr=1,"
+      "factor=0.3,from=1,until=20;domains:rack0=1-2";
+  auto run = [&](int incremental) {
+    ExperimentConfig cfg = fault_config(core::Approach::kHybrid, spec);
+    cfg.audit = true;
+    cfg.ior.iterations = 12;  // long enough for the churn stream to bite
+    cfg.cluster.network.incremental = incremental;
+    return Experiment(std::move(cfg)).run();
+  };
+  const ExperimentResult a = run(1);
+  const ExperimentResult a2 = run(1);
+  const ExperimentResult b = run(0);
+  EXPECT_TRUE(a.completed) << a.error;
+  EXPECT_GE(a.recovery.faults_injected, 1u);
+  EXPECT_GE(a.recovery.correlated_events, 1u);
+  EXPECT_GE(a.recovery.node_crashes, 2u);  // each domain event kills 2 nodes
+  EXPECT_GE(a.recovery.total_retries, 1);  // churn aborted at least one attempt
+  EXPECT_GE(a.recovery.migrations_recovered, 1u);
+  for (const ExperimentResult* r : {&a2, &b}) {
+    EXPECT_DOUBLE_EQ(a.sim_duration, r->sim_duration);
+    EXPECT_DOUBLE_EQ(a.total_traffic, r->total_traffic);
+    EXPECT_DOUBLE_EQ(a.avg_migration_time, r->avg_migration_time);
+    EXPECT_EQ(a.recovery.faults_injected, r->recovery.faults_injected);
+    EXPECT_EQ(a.recovery.node_crashes, r->recovery.node_crashes);
+    EXPECT_EQ(a.recovery.correlated_events, r->recovery.correlated_events);
+    EXPECT_EQ(a.recovery.total_retries, r->recovery.total_retries);
+    EXPECT_DOUBLE_EQ(a.recovery.retransferred_bytes, r->recovery.retransferred_bytes);
+    EXPECT_DOUBLE_EQ(a.recovery.fault_downtime_s, r->recovery.fault_downtime_s);
+    EXPECT_DOUBLE_EQ(a.recovery.node_downtime_s, r->recovery.node_downtime_s);
+    EXPECT_DOUBLE_EQ(a.recovery.max_time_to_recover_s, r->recovery.max_time_to_recover_s);
+    EXPECT_DOUBLE_EQ(a.recovery.recovery_p50_s, r->recovery.recovery_p50_s);
+    EXPECT_DOUBLE_EQ(a.recovery.recovery_p999_s, r->recovery.recovery_p999_s);
+    EXPECT_DOUBLE_EQ(a.recovery.downtime_p99_s, r->recovery.downtime_p99_s);
+  }
+  // The auditor ran and the run is invariant-clean.
+  EXPECT_GT(a.audit_checks, 0u);
+  EXPECT_TRUE(a.audit_violations.empty())
+      << "first violation: " << a.audit_violations.front();
+}
+
+/// Recovery percentiles: recovered migrations feed the p50/p99/p999 samples
+/// and respect sample ordering (p50 <= p99 <= p999 <= max).
+TEST(ChurnExperiment, RecoveryPercentilesOrderedAndPopulated) {
+  const char* spec = "churn:crash-mtbf=1,crash-mttr=1,from=1,until=20";
+  ExperimentConfig cfg = fault_config(core::Approach::kHybrid, spec);
+  cfg.ior.iterations = 12;
+  ExperimentResult res = Experiment(std::move(cfg)).run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_GE(res.recovery.faults_injected, 1u);
+  ASSERT_GE(res.recovery.migrations_recovered, 1u);
+  EXPECT_GT(res.recovery.recovery_p50_s, 0.0);
+  EXPECT_LE(res.recovery.recovery_p50_s, res.recovery.recovery_p99_s);
+  EXPECT_LE(res.recovery.recovery_p99_s, res.recovery.recovery_p999_s);
+  EXPECT_LE(res.recovery.recovery_p999_s, res.recovery.max_time_to_recover_s);
+  EXPECT_LE(res.recovery.downtime_p50_s, res.recovery.downtime_p99_s);
+  EXPECT_LE(res.recovery.downtime_p99_s, res.recovery.downtime_p999_s);
+}
+
+/// An unbounded churn process (no `until`) keeps generating events forever;
+/// the experiment must still terminate the moment its own work is done (the
+/// run loop exits on completion, not on timer-queue exhaustion).
+TEST(ChurnExperiment, UnboundedChurnStillTerminates) {
+  const char* spec = "churn:crash-mtbf=2,crash-mttr=1,from=1";
+  ExperimentConfig cfg = fault_config(core::Approach::kHybrid, spec);
+  cfg.ior.iterations = 12;
+  ExperimentResult res = Experiment(std::move(cfg)).run();
+  EXPECT_TRUE(res.completed) << res.error;
+  EXPECT_GE(res.recovery.faults_injected, 1u);
+  EXPECT_LT(res.sim_duration, 600.0);  // finished well before max_sim_time
 }
 
 }  // namespace

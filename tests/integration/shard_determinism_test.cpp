@@ -99,12 +99,21 @@ void expect_identical(const ExperimentResult& ref, const ExperimentResult& got,
   EXPECT_EQ(ref.read_Bps, got.read_Bps);
   EXPECT_EQ(ref.cpu_seconds_total, got.cpu_seconds_total);
 
-  EXPECT_EQ(ref.faults_injected, got.faults_injected);
-  EXPECT_EQ(ref.total_retries, got.total_retries);
-  EXPECT_EQ(ref.migrations_abandoned, got.migrations_abandoned);
-  EXPECT_EQ(ref.retransferred_bytes, got.retransferred_bytes);
-  EXPECT_EQ(ref.fault_downtime_s, got.fault_downtime_s);
-  EXPECT_EQ(ref.max_time_to_recover, got.max_time_to_recover);
+  EXPECT_EQ(ref.recovery.faults_injected, got.recovery.faults_injected);
+  EXPECT_EQ(ref.recovery.node_crashes, got.recovery.node_crashes);
+  EXPECT_EQ(ref.recovery.correlated_events, got.recovery.correlated_events);
+  EXPECT_EQ(ref.recovery.total_retries, got.recovery.total_retries);
+  EXPECT_EQ(ref.recovery.migrations_abandoned, got.recovery.migrations_abandoned);
+  EXPECT_EQ(ref.recovery.retransferred_bytes, got.recovery.retransferred_bytes);
+  EXPECT_EQ(ref.recovery.fault_downtime_s, got.recovery.fault_downtime_s);
+  EXPECT_EQ(ref.recovery.node_downtime_s, got.recovery.node_downtime_s);
+  EXPECT_EQ(ref.recovery.max_time_to_recover_s, got.recovery.max_time_to_recover_s);
+  EXPECT_EQ(ref.recovery.recovery_p50_s, got.recovery.recovery_p50_s);
+  EXPECT_EQ(ref.recovery.recovery_p99_s, got.recovery.recovery_p99_s);
+  EXPECT_EQ(ref.recovery.recovery_p999_s, got.recovery.recovery_p999_s);
+  EXPECT_EQ(ref.recovery.downtime_p50_s, got.recovery.downtime_p50_s);
+  EXPECT_EQ(ref.recovery.downtime_p99_s, got.recovery.downtime_p99_s);
+  EXPECT_EQ(ref.recovery.downtime_p999_s, got.recovery.downtime_p999_s);
 
   // Flows started is a simulated quantity and always sums exactly;
   // scheduler bookkeeping (events, frames) is never compared.
@@ -279,10 +288,10 @@ TEST(ShardDeterminism, BroadcastTraceReplayShards) {
   expect_identical(ref, got, /*exact_epochs=*/false);
 }
 
-TEST(ShardFallback, FaultInjectionCollapsesToOneShard) {
-  // A crash fails every flow touching the node and plan draws share one RNG
-  // stream: the planner must refuse to shard, and the run must match the
-  // explicit single-shard run exactly (same code path, same seed).
+TEST(ShardFallback, SeededFaultDrawsCollapseToOneShard) {
+  // rand: plan draws share one RNG stream: the planner must refuse to
+  // shard, and the run must match the explicit single-shard run exactly
+  // (same code path, same seed).
   ExperimentConfig cfg = decomposable_config(1);
   std::string err;
   ASSERT_TRUE(sim::parse_fault_spec(
@@ -291,9 +300,74 @@ TEST(ShardFallback, FaultInjectionCollapsesToOneShard) {
   const ExperimentResult ref = run_with_shards(cfg, 1);
   const ExperimentResult got = run_with_shards(cfg, 4);
   EXPECT_EQ(got.shards_used, 1u);
-  EXPECT_EQ(got.shard_fallback_reason, "fault injection spans shards");
-  EXPECT_GT(got.faults_injected, 0u);  // the axis actually fired
+  EXPECT_EQ(got.shard_fallback_reason, "seeded fault draws share one RNG stream");
+  EXPECT_GT(got.recovery.faults_injected, 0u);  // the axis actually fired
   expect_identical(ref, got, /*exact_epochs=*/true);
+}
+
+TEST(ShardFallback, ChurnAndNodeScopedFaultsCollapseWithSpecificReasons) {
+  auto reason_for = [](const char* spec) {
+    ExperimentConfig cfg = decomposable_config(1);
+    cfg.shards = 4;
+    std::string err;
+    EXPECT_TRUE(sim::parse_fault_spec(spec, &cfg.faults, &err)) << err;
+    cfg.normalize();
+    const ShardPlan plan = plan_shards(cfg);
+    EXPECT_EQ(plan.shard_count(), 1u) << spec;
+    return plan.coupled_reason;
+  };
+  EXPECT_EQ(reason_for("churn:crash-mtbf=50,crash-mttr=5"),
+            "churn fault process spans every node");
+  EXPECT_EQ(reason_for("node-crash@5+4#3"),
+            "fault events target global or node-scoped resources");
+  EXPECT_EQ(reason_for("repo-outage@5+4"),
+            "fault events target global or node-scoped resources");
+  EXPECT_EQ(reason_for("domain-crash@5+4#0;domains:rack0=0-1"),
+            "fault events target global or node-scoped resources");
+}
+
+TEST(ShardDeterminism, RoutableScriptedFaultPlanStillShards) {
+  // Migration-scoped scripted events (src-crash, degrade, flap on migration
+  // k) resolve entirely inside migration k's component: the plan shards, and
+  // each slice arms exactly the events it owns — byte-identical to shards=1.
+  ExperimentConfig cfg = decomposable_config(1);
+  std::string err;
+  ASSERT_TRUE(sim::parse_fault_spec(
+      "src-crash@2.0+3#1;degrade@4+5*0.25#2;flap@6+1#5", &cfg.faults, &err))
+      << err;
+  const ExperimentResult ref = run_with_shards(cfg, 1);
+  ASSERT_TRUE(ref.completed);
+  EXPECT_EQ(ref.recovery.faults_injected, 3u);
+  EXPECT_GE(ref.recovery.total_retries, 1);
+  const ExperimentResult got = run_with_shards(cfg, 4);
+  EXPECT_EQ(got.shards_used, 4u);
+  EXPECT_TRUE(got.shard_fallback_reason.empty()) << got.shard_fallback_reason;
+  expect_identical(ref, got, /*exact_epochs=*/true);
+}
+
+TEST(ShardFallback, DstScopedEventOnUnusedMigrationCollapses) {
+  // dst-crash targeting migration 6 when only 4 migrations run: the
+  // destination node is not pinned to any launched migration's component,
+  // so the planner must collapse rather than mis-route the event.
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.num_migrations = 4;
+  std::string err;
+  ASSERT_TRUE(sim::parse_fault_spec("dst-crash@2+3#6", &cfg.faults, &err)) << err;
+  cfg.shards = 4;
+  cfg.normalize();
+  const ShardPlan plan = plan_shards(cfg);
+  EXPECT_EQ(plan.shard_count(), 1u);
+  EXPECT_EQ(plan.coupled_reason, "scripted fault targets an unused migration destination");
+}
+
+TEST(ShardFallback, AuditedRunCollapsesToOneShard) {
+  ExperimentConfig cfg = decomposable_config(1);
+  cfg.audit = true;
+  cfg.shards = 4;
+  cfg.normalize();
+  const ShardPlan plan = plan_shards(cfg);
+  EXPECT_EQ(plan.shard_count(), 1u);
+  EXPECT_EQ(plan.coupled_reason, "auditor observes every migration");
 }
 
 TEST(ShardFallback, Cm1CollapsesToOneShard) {

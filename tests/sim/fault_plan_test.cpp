@@ -105,6 +105,136 @@ TEST(FaultPlan, BuildIsDeterministicSortedAndTargeted) {
   }
 }
 
+TEST(FaultPlan, NewNodeAndDomainKindsParse) {
+  FaultSpec spec = parse_ok(
+      "node-crash@10#5;node-degrade@20*0.5#6;node-flap@30#7;"
+      "domain-crash@40#0;domain-degrade@50*0.3#1;domains:r0=0-1,r1=2-3");
+  ASSERT_EQ(spec.scripted.size(), 5u);
+  EXPECT_EQ(spec.scripted[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(spec.scripted[1].kind, FaultKind::kNodeDegrade);
+  EXPECT_EQ(spec.scripted[2].kind, FaultKind::kNodeFlap);
+  EXPECT_EQ(spec.scripted[3].kind, FaultKind::kDomainCrash);
+  EXPECT_EQ(spec.scripted[4].kind, FaultKind::kDomainDegrade);
+  ASSERT_EQ(spec.domains.size(), 2u);
+  EXPECT_EQ(spec.domains[0].name, "r0");
+  EXPECT_EQ(spec.domains[0].nodes, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(spec.domains[1].nodes, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(FaultPlan, DomainRangesAndUnions) {
+  FaultSpec spec = parse_ok("node-crash@5#0;domains:rack=0-2+7+9-10");
+  ASSERT_EQ(spec.domains.size(), 1u);
+  EXPECT_EQ(spec.domains[0].nodes, (std::vector<std::uint32_t>{0, 1, 2, 7, 9, 10}));
+}
+
+TEST(FaultPlan, ChurnSpecParsesKeys) {
+  FaultSpec spec = parse_ok(
+      "churn:crash-mtbf=600,crash-mttr=20,degrade-mtbf=300,degrade-mttr=30,"
+      "flap-mtbf=150,flap-mttr=2,domain-mtbf=3600,domain-mttr=60,"
+      "factor=0.4,from=50,until=2000,nodes=16;domains:r0=0-7");
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_TRUE(spec.churn);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.crash_mtbf, 600.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.crash_mttr, 20.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.degrade_mtbf, 300.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.degrade_mttr, 30.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.flap_mtbf, 150.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.flap_mttr, 2.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.domain_mtbf, 3600.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.domain_mttr, 60.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.factor, 0.4);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.from, 50.0);
+  EXPECT_DOUBLE_EQ(spec.churn_spec.until, 2000.0);
+  EXPECT_EQ(spec.churn_spec.nodes, 16u);
+  ASSERT_EQ(spec.domains.size(), 1u);
+  const Rng rng(9);
+  const FaultPlan plan = build_fault_plan(spec, rng, 4);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.churn);
+  EXPECT_TRUE(plan.events.empty());  // churn events materialize lazily
+  EXPECT_EQ(plan.domains.size(), 1u);
+}
+
+TEST(FaultPlan, RandZeroCountsDisable) {
+  // All-zero category counts: the spec parses but is a no-op plan.
+  FaultSpec spec;
+  std::string err;
+  EXPECT_FALSE(parse_fault_spec("rand:crashes=0,degrades=0", &spec, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(FaultPlan, FactorIsClampedToUnitInterval) {
+  // factor is a capacity multiplier in (0, 1]: non-positive values clamp to
+  // a small positive floor, values > 1 clamp to 1.
+  EXPECT_DOUBLE_EQ(parse_ok("degrade@10*0").scripted[0].factor, 1e-3);
+  EXPECT_DOUBLE_EQ(parse_ok("degrade@10*-2").scripted[0].factor, 1e-3);
+  EXPECT_DOUBLE_EQ(parse_ok("degrade@10*1.5").scripted[0].factor, 1.0);
+  EXPECT_DOUBLE_EQ(parse_ok("churn:crash-mtbf=60,factor=7").churn_spec.factor, 1.0);
+}
+
+TEST(FaultPlan, RandDurationsHaveAFloor) {
+  // Exponential duration draws are floored at 0.5 s so no fault window is
+  // degenerate.
+  FaultSpec spec = parse_ok("rand:degrades=40,from=0,span=10,dur=0.01");
+  const Rng rng(77);
+  const FaultPlan plan = build_fault_plan(spec, rng, 4);
+  ASSERT_EQ(plan.events.size(), 40u);
+  for (const FaultEvent& e : plan.events) EXPECT_GE(e.duration_s, 0.5);
+}
+
+TEST(FaultPlan, ChurnGrammarErrors) {
+  for (const char* bad : {
+           "churn:",                              // no category enabled
+           "churn:factor=0.5",                    // still no category
+           "churn:crash-mtbf=0",                  // mtbf must be > 0
+           "churn:crash-mtbf=-5",                 // negative mtbf
+           "churn:crash-mtbf=60,crash-mttr=0",    // mttr must be > 0
+           "churn:crash-mtbf=60,from=-1",         // from must be >= 0
+           "churn:crash-mtbf=60,until=0",         // until must be > 0
+           "churn:crash-mtbf=60,from=50,until=40",  // empty window
+           "churn:crash-mtbf=60,nodes=x",         // malformed count
+           "churn:bogus=1",                       // unknown key
+           "churn:domain-mtbf=60",                // domain churn needs domains
+       }) {
+    FaultSpec spec;
+    std::string err;
+    EXPECT_FALSE(parse_fault_spec(bad, &spec, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(FaultPlan, DomainGrammarErrors) {
+  for (const char* bad : {
+           "node-crash@5;domains:",                 // empty section
+           "node-crash@5;domains:r0",               // missing '='
+           "node-crash@5;domains:=0-1",             // empty name
+           "node-crash@5;domains:r0=",              // no members
+           "node-crash@5;domains:r0=5-2",           // inverted range
+           "node-crash@5;domains:r0=a-b",           // malformed id
+           "node-crash@5;domains:r0=0-1,r0=2-3",    // duplicate name
+           "node-crash@5;domains:r0=0-2+1",         // node repeated in domain
+           "node-crash@5;domains:r0=0-2,r1=2-4",    // node in two domains
+           "domain-crash@5#2;domains:r0=0-1",       // target out of range
+       }) {
+    FaultSpec spec;
+    std::string err;
+    EXPECT_FALSE(parse_fault_spec(bad, &spec, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(FaultPlan, ShardRoutability) {
+  // Migration-scoped scripted plans route; everything else collapses.
+  EXPECT_TRUE(fault_spec_shard_routable(parse_ok("src-crash@10#1;degrade@20*0.5")));
+  EXPECT_TRUE(fault_spec_shard_routable(parse_ok("dst-crash@10;slow-recv@20;flap@5")));
+  EXPECT_FALSE(fault_spec_shard_routable(parse_ok("repo-outage@10")));
+  EXPECT_FALSE(fault_spec_shard_routable(parse_ok("node-crash@10#3")));
+  EXPECT_FALSE(fault_spec_shard_routable(
+      parse_ok("domain-crash@10#0;domains:r0=0-1")));
+  EXPECT_FALSE(fault_spec_shard_routable(parse_ok("rand:crashes=1")));
+  EXPECT_FALSE(fault_spec_shard_routable(parse_ok("churn:crash-mtbf=60")));
+}
+
 TEST(FaultPlan, ScriptedEventsPassThroughBuildVerbatim) {
   FaultSpec spec = parse_ok("flap@30+2;src-crash@10+5#1");
   const Rng rng(7);

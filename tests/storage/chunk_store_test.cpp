@@ -133,8 +133,13 @@ TEST(ChunkStore, WriteGoesToHostCacheNotStraightToDisk) {
   StoreFixture f;
   const double t0 = f.s.now();
   f.s.spawn([](ChunkStore* st) -> sim::Task { co_await st->write_chunk(0); }(&f.store));
-  // Drive only until the write completes (flusher still pending).
+  // Metadata commits in the request path: present before any virtual time
+  // passes, cache residency only once the bus service completes.
   f.s.run_while_pending([&] { return f.store.present(0); });
+  EXPECT_NEAR(f.s.now() - t0, 0.0, 1e-9);
+  EXPECT_FALSE(f.store.host_cached(0));
+  // Drive only until the write completes (flusher still pending).
+  f.s.run_while_pending([&] { return f.store.host_cached(0); });
   const double bus_time = static_cast<double>(kMiB) / ChunkStoreConfig{}.host_bus_Bps;
   EXPECT_NEAR(f.s.now() - t0, bus_time, 1e-6);
   EXPECT_TRUE(f.store.host_cached(0));

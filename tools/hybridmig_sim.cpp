@@ -7,6 +7,7 @@
 //   hybridmig_sim --approach=precopy --workload=asyncwr --migrations=4
 //   hybridmig_sim --approach=pvfs-shared --workload=cm1 --grid=4x4
 //   hybridmig_sim --list
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,8 +44,19 @@ void usage() {
       "  --faults=SPEC       inject faults: scripted events\n"
       "                      (KIND@T[+DUR][*FACTOR][#TARGET] joined by ';',\n"
       "                       KIND = src-crash|dst-crash|degrade|flap|slow-recv|\n"
-      "                       repo-outage) or seeded draws\n"
+      "                       repo-outage|node-crash|node-degrade|node-flap|\n"
+      "                       domain-crash|domain-degrade), seeded draws\n"
       "                      (rand:crashes=N,degrades=N,...,from=T,span=T,dur=T)\n"
+      "                      or a continuous churn process\n"
+      "                      (churn:crash-mtbf=T,crash-mttr=T,degrade-mtbf=T,...,\n"
+      "                       domain-mtbf=T,factor=F,from=T,until=T,nodes=N).\n"
+      "                      Any form may end with ';domains:NAME=LO-HI+N,...'\n"
+      "                      defining correlated failure domains (racks)\n"
+      "  --explain-faults    print the resolved fault timeline / churn process\n"
+      "                      parameters for this config and exit\n"
+      "  --audit             run the virtual-time watchdog/invariant auditor\n"
+      "                      (liveness + chunk conservation; violations fail\n"
+      "                      the run)\n"
       "  --shards=N|auto     parallel in-process simulator shards (default 1;\n"
       "                      byte-identical virtual timeline for any value;\n"
       "                      auto = min(components, worker threads available))\n"
@@ -84,6 +96,7 @@ int main(int argc, char** argv) {
   cfg.max_sim_time = 7200.0;
   bool explicit_dests = false;
   bool explain_shards = false;
+  bool explain_faults = false;
   int iterations = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -180,6 +193,14 @@ int main(int argc, char** argv) {
       explain_shards = true;
       continue;
     }
+    if (std::strcmp(arg, "--explain-faults") == 0) {
+      explain_faults = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--audit") == 0) {
+      cfg.audit = true;
+      continue;
+    }
     if (auto v = arg_value(arg, "--seed")) { cfg.seed = std::stoull(*v); continue; }
     std::cerr << "unknown argument: " << arg << " (try --help)\n";
     return 2;
@@ -192,6 +213,80 @@ int main(int argc, char** argv) {
   if (cfg.workload == cloud::WorkloadKind::kCm1 &&
       cfg.cluster.num_nodes < static_cast<std::size_t>(cfg.cm1.ranks()) + 8) {
     cfg.cluster.num_nodes = static_cast<std::size_t>(cfg.cm1.ranks()) + 8;
+  }
+
+  if (explain_faults) {
+    cloud::ExperimentConfig planned = cfg;
+    planned.normalize();
+    if (!planned.faults.enabled()) {
+      std::cout << "fault plan: none\n";
+      return 0;
+    }
+    // Cluster seeds its RNG as Rng(cfg.seed), so a fresh Rng reproduces the
+    // exact plan the run would arm.
+    const sim::FaultPlan plan =
+        sim::build_fault_plan(planned.faults, sim::Rng(planned.seed),
+                              static_cast<std::uint32_t>(planned.num_migrations));
+    const std::size_t n_vms = planned.num_vms;
+    const std::size_t n_dst = planned.num_destinations;
+    const std::size_t n_nodes = planned.cluster.num_nodes;
+    auto target_of = [&](const sim::FaultEvent& ev) -> std::string {
+      if (sim::fault_kind_is_domain(ev.kind)) {
+        const auto& dom = plan.domains[ev.target % plan.domains.size()];
+        std::string s = "domain '" + dom.name + "' (nodes";
+        for (const auto n : dom.nodes) s += " " + std::to_string(n);
+        return s + ")";
+      }
+      if (sim::fault_kind_is_node(ev.kind))
+        return "node " + std::to_string(ev.target % n_nodes);
+      if (ev.kind == sim::FaultKind::kRepoOutage) return "repository (all stripes)";
+      const std::size_t k = n_vms > 0 ? ev.target % n_vms : 0;
+      if (ev.kind == sim::FaultKind::kDestCrash ||
+          ev.kind == sim::FaultKind::kSlowReceiver)
+        return "node " + std::to_string(n_vms + k % n_dst) + " (migration #" +
+               std::to_string(k) + " destination)";
+      return "node " + std::to_string(k) + " (migration #" + std::to_string(k) +
+             " source)";
+    };
+    std::cout << "fault plan: " << plan.events.size() << " scripted event"
+              << (plan.events.size() == 1 ? "" : "s")
+              << (plan.churn ? " + churn process" : "") << "\n";
+    for (const sim::FaultEvent& ev : plan.events) {
+      std::printf("  t=%9.3fs %-13s dur=%7.3fs factor=%.3f -> %s\n", ev.at,
+                  sim::fault_kind_name(ev.kind), ev.duration_s, ev.factor,
+                  target_of(ev).c_str());
+    }
+    if (plan.churn) {
+      const sim::FaultChurnSpec& cs = plan.churn_spec;
+      std::size_t churn_nodes = cs.nodes > 0 ? cs.nodes : n_vms + n_dst;
+      churn_nodes = std::min(churn_nodes, n_nodes);
+      std::cout << "churn process: " << churn_nodes << " node(s), window ["
+                << cloud::fmt_double(cs.from, 1) << "s, "
+                << (cs.until > 0 ? cloud::fmt_double(cs.until, 1) + "s" : "inf")
+                << "), degrade factor " << cloud::fmt_double(cs.factor, 3) << "\n";
+      if (cs.crash_mtbf > 0)
+        std::cout << "  node-crash:   mtbf=" << cloud::fmt_double(cs.crash_mtbf, 1)
+                  << "s mttr=" << cloud::fmt_double(cs.crash_mttr, 1) << "s\n";
+      if (cs.degrade_mtbf > 0)
+        std::cout << "  node-degrade: mtbf=" << cloud::fmt_double(cs.degrade_mtbf, 1)
+                  << "s mttr=" << cloud::fmt_double(cs.degrade_mttr, 1) << "s\n";
+      if (cs.flap_mtbf > 0)
+        std::cout << "  node-flap:    mtbf=" << cloud::fmt_double(cs.flap_mtbf, 1)
+                  << "s mttr=" << cloud::fmt_double(cs.flap_mttr, 1) << "s\n";
+      if (cs.domain_mtbf > 0)
+        std::cout << "  domain-crash: mtbf=" << cloud::fmt_double(cs.domain_mtbf, 1)
+                  << "s mttr=" << cloud::fmt_double(cs.domain_mttr, 1) << "s over "
+                  << plan.domains.size() << " domain(s)\n";
+    }
+    if (!plan.domains.empty()) {
+      std::cout << "failure domains:\n";
+      for (const sim::FaultDomain& dom : plan.domains) {
+        std::cout << "  " << dom.name << ":";
+        for (const auto n : dom.nodes) std::cout << " " << n;
+        std::cout << "\n";
+      }
+    }
+    return 0;
   }
 
   if (explain_shards) {
@@ -232,14 +327,34 @@ int main(int argc, char** argv) {
             << "\navg migration time: " << cloud::fmt_seconds(res.avg_migration_time)
             << "\nmax downtime:       " << cloud::fmt_double(res.max_downtime * 1e3, 1)
             << " ms\n";
-  if (res.faults_injected > 0) {
-    std::cout << "\nfault axis:         " << res.faults_injected << " faults injected"
-              << "\n  retries:          " << res.total_retries
-              << " (abandoned: " << res.migrations_abandoned << ")"
-              << "\n  re-transferred:   " << cloud::fmt_bytes(res.retransferred_bytes)
-              << "\n  fault downtime:   " << cloud::fmt_seconds(res.fault_downtime_s)
-              << "\n  time-to-recover:  " << cloud::fmt_seconds(res.max_time_to_recover)
-              << " (max)\n";
+  if (res.recovery.faults_injected > 0) {
+    const cloud::RecoveryStats& rc = res.recovery;
+    std::cout << "\nfault axis:         " << rc.faults_injected << " faults injected"
+              << "\n  node crashes:     " << rc.node_crashes << " ("
+              << rc.correlated_events << " correlated domain event"
+              << (rc.correlated_events == 1 ? "" : "s") << ")"
+              << "\n  retries:          " << rc.total_retries
+              << " (abandoned: " << rc.migrations_abandoned
+              << ", recovered: " << rc.migrations_recovered << ")"
+              << "\n  re-transferred:   " << cloud::fmt_bytes(rc.retransferred_bytes)
+              << " (" << cloud::fmt_double(rc.salvaged_chunks, 0)
+              << " chunks salvaged)"
+              << "\n  fault downtime:   " << cloud::fmt_seconds(rc.fault_downtime_s)
+              << "\n  node downtime:    " << cloud::fmt_seconds(rc.node_downtime_s)
+              << "\n  time-to-recover:  max " << cloud::fmt_seconds(rc.max_time_to_recover_s)
+              << ", p50 " << cloud::fmt_seconds(rc.recovery_p50_s)
+              << ", p99 " << cloud::fmt_seconds(rc.recovery_p99_s)
+              << ", p999 " << cloud::fmt_seconds(rc.recovery_p999_s)
+              << "\n  downtime pctile:  p50 " << cloud::fmt_seconds(rc.downtime_p50_s)
+              << ", p99 " << cloud::fmt_seconds(rc.downtime_p99_s)
+              << ", p999 " << cloud::fmt_seconds(rc.downtime_p999_s) << "\n";
+  }
+  if (res.audit_checks > 0 || !res.audit_violations.empty()) {
+    std::cout << "\nauditor:            " << res.audit_checks << " checks, "
+              << res.audit_violations.size() << " violation"
+              << (res.audit_violations.size() == 1 ? "" : "s") << "\n";
+    for (const std::string& v : res.audit_violations)
+      std::cout << "  VIOLATION: " << v << "\n";
   }
   std::cout << "\ntraffic by class:\n";
   for (std::size_t i = 0; i < net::kNumTrafficClasses; ++i) {
@@ -251,5 +366,5 @@ int main(int argc, char** argv) {
   std::cout << "  total: " << cloud::fmt_bytes(res.total_traffic) << "\n";
   std::cout << "\nin-VM throughput: write " << cloud::fmt_bytes(res.write_Bps)
             << "/s, read " << cloud::fmt_bytes(res.read_Bps) << "/s\n";
-  return res.completed ? 0 : 1;
+  return (res.completed && res.audit_violations.empty()) ? 0 : 1;
 }

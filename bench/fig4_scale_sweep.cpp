@@ -177,7 +177,6 @@ int main(int argc, char** argv) {
       std::cerr << "fig4_scale_sweep: n=" << n << ": " << r.error << "\n";
       any_error = true;
     }
-    const double wall_s = r.wall_ms / 1e3;
     const double epochs = r.engine_recomputes ? static_cast<double>(r.engine_recomputes) : 1.0;
     if (!first) std::cout << ",\n";
     first = false;
@@ -194,54 +193,16 @@ int main(int argc, char** argv) {
                   << "\"";
     }
     if (!r.error.empty()) std::cout << ", \"error\": \"" << r.error << "\"";
-    std::cout << ", \"stagger_s\": " << stagger_s
-              << ", \"completed\": " << (r.completed ? "true" : "false")
-              << ", \"sim_s\": " << r.sim_duration
-              << ", \"wall_ms\": " << r.wall_ms
-              << ", \"events\": " << r.engine_events
-              << ", \"events_per_sec\": " << (wall_s > 0 ? r.engine_events / wall_s : 0)
-              << ", \"flows\": " << r.engine_flows
-              << ", \"flows_per_sec\": " << (wall_s > 0 ? r.engine_flows / wall_s : 0)
-              << ", \"solver_epochs\": " << r.engine_recomputes
-              << ", \"solver_components\": " << r.engine_components
-              << ", \"flows_resolved\": " << r.engine_flows_resolved
-              << ", \"flows_resolved_per_epoch\": " << (r.engine_flows_resolved / epochs)
-              << ", \"escalations\": " << r.engine_escalations
-              << ", \"coroutine_frames\": " << r.engine_frames
-              << ", \"frames_reused\": " << r.engine_frames_reused
-              << ", \"frame_heap_allocs\": " << r.engine_frame_heap_allocs
-              << ", \"avg_migration_s\": " << r.avg_migration_time
-              << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024);
-    if (faults.enabled()) {
-      const cloud::RecoveryStats& rc = r.recovery;
-      std::cout << ", \"faults_injected\": " << rc.faults_injected
-                << ", \"node_crashes\": " << rc.node_crashes
-                << ", \"correlated_events\": " << rc.correlated_events
-                << ", \"retries\": " << rc.total_retries
-                << ", \"abandoned\": " << rc.migrations_abandoned
-                << ", \"recovered\": " << rc.migrations_recovered
-                << ", \"salvaged_chunks\": " << rc.salvaged_chunks
-                << ", \"retransferred_gb\": "
-                << rc.retransferred_bytes / (1024.0 * 1024 * 1024)
-                << ", \"fault_downtime_s\": " << rc.fault_downtime_s
-                << ", \"node_downtime_s\": " << rc.node_downtime_s
-                << ", \"max_time_to_recover_s\": " << rc.max_time_to_recover_s
-                << ", \"recovery_p50_s\": " << rc.recovery_p50_s
-                << ", \"recovery_p99_s\": " << rc.recovery_p99_s
-                << ", \"recovery_p999_s\": " << rc.recovery_p999_s
-                << ", \"downtime_p50_s\": " << rc.downtime_p50_s
-                << ", \"downtime_p99_s\": " << rc.downtime_p99_s
-                << ", \"downtime_p999_s\": " << rc.downtime_p999_s;
-    }
-    if (audit) {
-      std::cout << ", \"audit_checks\": " << r.audit_checks
-                << ", \"audit_violations\": " << r.audit_violations.size();
-      if (!r.audit_violations.empty()) {
-        any_error = true;
-        for (const std::string& v : r.audit_violations)
-          std::cerr << "fig4_scale_sweep: n=" << n << " AUDIT VIOLATION: " << v
-                    << "\n";
-      }
+    std::cout << ", \"stagger_s\": " << stagger_s;
+    cloud::SweepRowOptions row;
+    row.fault_regime = faults.enabled();
+    row.audit = audit;
+    cloud::sweep_row_fields(std::cout, r, row);
+    if (audit && !r.audit_violations.empty()) {
+      any_error = true;
+      for (const std::string& v : r.audit_violations)
+        std::cerr << "fig4_scale_sweep: n=" << n << " AUDIT VIOLATION: " << v
+                  << "\n";
     }
     std::cout << "}";
     std::cerr << "fig4_scale: n=" << n << " wall=" << r.wall_ms << " ms, "

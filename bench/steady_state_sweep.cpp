@@ -1,0 +1,167 @@
+// Steady-state scheduler sweep: the continuous-arrival axis of the scale
+// sweep. Instead of a fixed burst of launches, each point runs the
+// cloud::Scheduler against an open Poisson request stream at fleet sizes
+// 8 -> max_vms, with bounded concurrent admission, per-node capacity and
+// anti-affinity placement constraints, and high-priority preemption — the
+// paper's take-over scenario operated as a service rather than a one-shot
+// experiment. Emits one JSON object per fleet size on stdout, rows in the
+// fig4_scale_sweep shape (shared emitter: cloud/report.h sweep_row_fields)
+// plus the scheduler block: request counters, queue/running peaks, and
+// deterministic nearest-rank queueing-delay and downtime p50/p99/p999.
+//
+// Determinism contract: arrivals, priorities and victim-VM picks are forked
+// RNG streams and every scheduling decision happens inside ordinary
+// simulator events, so the whole sweep is a pure function of (config,
+// seed) — byte-identical across reruns, in both ABLATE_INCREMENTAL regimes
+// (modulo solver-work counters, --ignore-solver-work), and under --shards
+// (the scheduler spans the fleet, so the plan collapses and shards=N
+// trivially reproduces the shards=1 timeline). CI gates all three against
+// tests/golden/steady_state_n64.json.
+//
+// The third argument overrides the arrival/scheduler spec (the --arrivals
+// grammar of cloud/scheduler.h). The default, "auto", scales the stream to
+// the fleet: rate = n/100 req/s over a 240 s window, 25% high priority,
+// concurrency max(2, n/8), capacity 2, 4 anti-affinity groups,
+// least-loaded placement, preemption on.
+//
+// Usage: steady_state_sweep [max_vms] [oversub|nonblocking] [auto|SPEC]
+//                           [none|faults:SPEC] [shards|auto]
+//        (defaults: 64 oversub auto none 1)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "sim/fault_plan.h"
+
+using namespace hm;
+using namespace hm::bench;
+
+namespace {
+
+// The fig4_scale_sweep engine-stress footprint (lean per-VM images so the
+// 64-way point stays a seconds-scale run), minus its fixed launch schedule.
+cloud::ExperimentConfig steady_config(std::size_t n, bool nonblocking) {
+  cloud::ExperimentConfig cfg = asyncwr_config(core::Approach::kHybrid);
+  cfg.cluster.image = storage::ImageConfig{1 * kGiB, 256 * static_cast<std::uint32_t>(kKiB)};
+  cfg.vm.memory.ram_bytes = 1 * kGiB;
+  cfg.vm.memory.base_used_bytes = 128 * kMiB;
+  cfg.vm.cache.capacity_bytes = 768 * kMiB;
+  cfg.vm.cache.dirty_limit_bytes = 256 * kMiB;
+  cfg.asyncwr.iterations = 300;
+  cfg.asyncwr.file_offset = 256 * kMiB;
+  if (nonblocking) {
+    cfg.cluster.network.fabric_Bps = net::kUnlimitedRate;
+    cfg.cluster.nodes_per_switch = 0;
+  } else {
+    cfg.cluster.nodes_per_switch = 20;
+    cfg.cluster.switch_uplink_Bps = 1.25e9;
+  }
+  cfg.num_vms = n;
+  // A destination pool half the fleet size makes the capacity and
+  // anti-affinity constraints bind at peak load instead of being vacuous.
+  cfg.num_destinations = std::max<std::size_t>(2, n / 2);
+  cfg.num_migrations = 0;  // the scheduler owns the schedule
+  cfg.cluster.num_nodes = n + cfg.num_destinations + 8;
+  cfg.max_sim_time = 7200.0;
+  return cfg;
+}
+
+std::string default_spec(std::size_t n) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "poisson:rate=%g,until=240,hi=0.25"
+                ";sched:concurrent=%zu,capacity=2,groups=4,"
+                "policy=least-loaded,preempt=1",
+                static_cast<double>(n) / 100.0, std::max<std::size_t>(2, n / 8));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t max_n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  bool nonblocking = false;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "nonblocking") == 0) {
+      nonblocking = true;
+    } else if (std::strcmp(argv[2], "oversub") != 0) {
+      std::cerr << "usage: steady_state_sweep [max_vms] [oversub|nonblocking]"
+                   " [auto|SPEC] [none|faults:SPEC] [shards]\n";
+      return 2;
+    }
+  }
+  const std::string spec_arg = argc > 3 ? argv[3] : "auto";
+  const std::string faults_arg = argc > 4 ? argv[4] : "none";
+  const std::uint32_t shards =
+      argc > 5 ? (std::strcmp(argv[5], "auto") == 0
+                      ? cloud::ExperimentConfig::kShardsAuto
+                      : static_cast<std::uint32_t>(std::strtoul(argv[5], nullptr, 10)))
+               : 1;
+  sim::FaultSpec faults;
+  {
+    std::string err;
+    if (!sim::parse_fault_spec(faults_arg, &faults, &err)) {
+      std::cerr << "steady_state_sweep: " << err << "\n";
+      return 2;
+    }
+  }
+  bool any_error = false;
+  std::cout << "[\n";
+  bool first = true;
+  for (std::size_t n = 8; n <= max_n; n *= 2) {
+    const std::string spec = spec_arg == "auto" ? default_spec(n) : spec_arg;
+    cloud::ExperimentConfig cfg = steady_config(n, nonblocking);
+    {
+      std::string err;
+      if (!cloud::parse_scheduler_spec(spec, &cfg.scheduler, &err)) {
+        std::cerr << "steady_state_sweep: " << err << "\n";
+        return 2;
+      }
+    }
+    cfg.faults = faults;
+    cfg.shards = shards;
+    cfg.audit = faults.churn;  // same convention as fig4_scale_sweep
+    const bool audit = cfg.audit;
+    cloud::Experiment exp(std::move(cfg));
+    const ExperimentResult r = exp.run();
+    if (!r.error.empty()) {
+      std::cerr << "steady_state_sweep: n=" << n << ": " << r.error << "\n";
+      any_error = true;
+    }
+    if (!first) std::cout << ",\n";
+    first = false;
+    std::cout << "  {\"vms\": " << n
+              << ", \"core\": \"" << (nonblocking ? "nonblocking" : "oversub") << "\""
+              << ", \"arrivals\": \"" << spec << "\"";
+    if (faults.enabled()) std::cout << ", \"faults\": \"" << faults_arg << "\"";
+    if (shards != 1) {
+      std::cout << ", \"shards\": " << r.shards_used;
+      if (!r.shard_fallback_reason.empty())
+        std::cout << ", \"shard_fallback_reason\": \"" << r.shard_fallback_reason
+                  << "\"";
+    }
+    if (!r.error.empty()) std::cout << ", \"error\": \"" << r.error << "\"";
+    cloud::SweepRowOptions row;
+    row.fault_regime = faults.enabled();
+    row.scheduler_regime = true;
+    row.audit = audit;
+    cloud::sweep_row_fields(std::cout, r, row);
+    if (audit && !r.audit_violations.empty()) {
+      any_error = true;
+      for (const std::string& v : r.audit_violations)
+        std::cerr << "steady_state_sweep: n=" << n << " AUDIT VIOLATION: " << v
+                  << "\n";
+    }
+    std::cout << "}";
+    std::cerr << "steady_state: n=" << n << " wall=" << r.wall_ms << " ms, "
+              << r.scheduler.requests << " requests, "
+              << r.scheduler.completed << " completed, "
+              << r.scheduler.preemptions << " preempted, q-p99="
+              << r.scheduler.queueing_p99_s << " s\n";
+  }
+  std::cout << "\n]\n";
+  return any_error ? 1 : 0;
+}

@@ -1,8 +1,13 @@
 // Load balancing scenario (one of the management tasks live migration
 // enables, Section 1): a rack of nodes runs several AsyncWR VMs; the
-// middleware rebalances half of them onto empty nodes, simultaneously.
-// Compares how the five storage transfer strategies cope.
+// middleware rebalances half of them onto empty nodes. The rebalance order
+// arrives as a burst through the continuous-arrival scheduler
+// (cloud/scheduler.h): four requests land at t=20s at once, and a bounded
+// admission queue (2 slots) staggers them instead of running all four
+// simultaneously. Compares how the five storage transfer strategies cope,
+// including what the admission bound costs in queueing delay.
 #include <iostream>
+#include <string>
 
 #include "cloud/experiment.h"
 #include "cloud/report.h"
@@ -22,29 +27,42 @@ int main() {
     cfg.workload = cloud::WorkloadKind::kAsyncWr;
     cfg.asyncwr.iterations = 600;  // ~100 s of moderate I/O
     cfg.cluster.num_nodes = 20;
-    cfg.num_vms = 8;            // loaded rack
-    cfg.num_migrations = 4;     // rebalance half of it
-    cfg.num_destinations = 4;   // onto 4 idle nodes
-    cfg.first_migration_at = 20.0;
+    cfg.num_vms = 8;           // loaded rack
+    cfg.num_migrations = 0;    // the scheduler owns the schedule
+    cfg.num_destinations = 4;  // 4 idle nodes to rebalance onto
     cfg.max_sim_time = 3600.0;
+    // Burst trace: the rebalancer asks for 4 moves at t=20s; two admission
+    // slots serialize them pairwise, least-loaded placement spreads them.
+    std::string err;
+    if (!cloud::parse_scheduler_spec(
+            "trace:20,20,20,20;sched:concurrent=2,policy=least-loaded",
+            &cfg.scheduler, &err)) {
+      std::cerr << err << "\n";
+      return 1;
+    }
     items.push_back({core::approach_name(a), cfg});
   }
 
-  std::cout << "Rebalancing 4 of 8 AsyncWR VMs onto idle nodes, simultaneously...\n";
+  std::cout << "Rebalancing 4 of 8 AsyncWR VMs onto idle nodes (burst of 4 "
+               "requests,\n2 admission slots)...\n";
   const auto results = cloud::run_sweep(items);
 
-  cloud::Table t({"Approach", "avg mig time", "max downtime", "total traffic",
-                  "app runtime"});
+  cloud::Table t({"Approach", "avg mig time", "max downtime", "p50 wait",
+                  "max wait", "total traffic"});
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto& r = results[i];
     t.add_row({items[i].label, cloud::fmt_seconds(r.avg_migration_time),
                cloud::fmt_double(r.max_downtime * 1000, 1) + " ms",
-               cloud::fmt_bytes(r.total_traffic),
-               cloud::fmt_seconds(r.app_execution_time)});
+               cloud::fmt_seconds(r.scheduler.queueing_p50_s),
+               cloud::fmt_seconds(r.scheduler.max_queueing_delay_s),
+               cloud::fmt_bytes(r.total_traffic)});
   }
   t.print(std::cout);
-  std::cout << "\nLower migration time frees the overloaded nodes sooner; the hybrid\n"
-               "scheme relinquishes sources quickly without precopy's repeated\n"
-               "transfers or mirror's write penalty.\n";
+  std::cout << "\nLower migration time frees the overloaded nodes sooner — and with a\n"
+               "bounded admission queue it also drains the queue sooner: the 'max\n"
+               "wait' column is the burst's tail queueing delay, which tracks how\n"
+               "long each scheme holds its admission slot. The hybrid scheme\n"
+               "relinquishes sources quickly without precopy's repeated transfers\n"
+               "or mirror's write penalty.\n";
   return 0;
 }

@@ -1,8 +1,13 @@
-// Proactive fault tolerance scenario (Section 1): a node is predicted to
-// fail; every VM it hosts must be evacuated as fast as possible. The key
-// metric is the evacuation deadline: the instant the source holds no state
-// the VMs still need (paper metric: migration time = source relinquished).
+// Proactive fault tolerance scenario (Section 1): a rack is predicted to
+// fail; every VM on it must be evacuated as fast as possible. The eviction
+// orders arrive as a high-priority wave (hi=1) through the continuous-
+// arrival scheduler, so they jump any queued maintenance work and may
+// preempt running low-priority migrations. The key metric is the evacuation
+// deadline: the instant the last source holds no state the VMs still need
+// (paper metric: migration time = source relinquished).
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "cloud/experiment.h"
 #include "cloud/report.h"
@@ -23,32 +28,48 @@ int main() {
     cfg.ior.iterations = 6;
     cfg.ior.file_bytes = 512 * storage::kMiB;
     cfg.ior.file_offset = 1 * storage::kGiB;
-    cfg.cluster.num_nodes = 12;
-    cfg.num_vms = 1;           // the VM on the failing node
-    cfg.num_migrations = 1;
-    cfg.num_destinations = 1;
-    cfg.first_migration_at = 10.0;  // failure predicted at t=10s
+    cfg.cluster.num_nodes = 14;
+    cfg.num_vms = 3;           // the VMs on the failing rack
+    cfg.num_migrations = 0;    // the scheduler owns the schedule
+    cfg.num_destinations = 3;
     cfg.max_sim_time = 3600.0;
+    // Failure predicted at t=10s: three eviction orders land at once, all
+    // high priority, against two admission slots — the third waits for the
+    // first freed slot, so the wave's deadline is one migration longer than
+    // the slowest pair.
+    std::string err;
+    if (!cloud::parse_scheduler_spec(
+            "trace:10,10,10,hi=1;sched:concurrent=2,policy=least-loaded,preempt=1",
+            &cfg.scheduler, &err)) {
+      std::cerr << err << "\n";
+      return 1;
+    }
     items.push_back({core::approach_name(a), cfg});
   }
 
-  std::cout << "Evacuating an I/O intensive VM from a failing host (predicted at "
-               "t=10s)...\n";
+  std::cout << "Evacuating 3 I/O intensive VMs from a failing rack (predicted at "
+               "t=10s,\nhigh-priority wave, 2 admission slots)...\n";
   const auto results = cloud::run_sweep(items);
 
-  cloud::Table t({"Approach", "source relinquished after", "dependency window",
+  cloud::Table t({"Approach", "rack evacuated after", "dependency window",
                   "downtime", "traffic"});
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto& r = results[i];
-    const auto& m = r.migrations.at(0);
-    t.add_row({items[i].label, cloud::fmt_seconds(m.migration_time()),
-               cloud::fmt_seconds(m.dependency_window()),
-               cloud::fmt_double(m.downtime_s * 1000, 1) + " ms",
+    // The rack is safe once the *last* source is relinquished.
+    double evacuated_at = 0, dep_window = 0, downtime = 0;
+    for (const auto& m : r.migrations) {
+      evacuated_at = std::max(evacuated_at, m.t_source_released);
+      dep_window = std::max(dep_window, m.dependency_window());
+      downtime = std::max(downtime, m.downtime_s);
+    }
+    t.add_row({items[i].label, cloud::fmt_seconds(evacuated_at - 10.0),
+               cloud::fmt_seconds(dep_window),
+               cloud::fmt_double(downtime * 1000, 1) + " ms",
                cloud::fmt_bytes(r.total_traffic)});
   }
   t.print(std::cout);
-  std::cout << "\nIf the node dies before the source is relinquished, the VM is lost —\n"
-               "the exposure is the 'source relinquished after' column. The\n"
+  std::cout << "\nIf the rack dies before the last source is relinquished, a VM is\n"
+               "lost — the exposure is the 'rack evacuated after' column. The\n"
                "'dependency window' shows the pull-based schemes' residual reliance\n"
                "on the source after control already moved (the safety trade-off the\n"
                "paper's conclusion debates). Note precopy's long exposure under\n"

@@ -148,6 +148,7 @@ struct Experiment::SliceRuntime {
   std::vector<MigLaunch> launches;
   std::unique_ptr<FaultInjector> injector;
   std::unique_ptr<Auditor> auditor;
+  std::unique_ptr<Scheduler> scheduler;
 
   SliceRuntime(const ExperimentConfig& cfg_in, const std::vector<std::uint32_t>* owned_in,
                SliceDetail* detail_in, bool coupled)
@@ -242,7 +243,18 @@ struct Experiment::SliceRuntime {
     // Launch k targets VM k with destination n_vms + (k % num_destinations);
     // times and schedule order depend only on the global index, so a slice
     // schedules its owned subset identically to the full run.
-    if (cfg.perform_migrations) {
+    // With the continuous scheduler enabled the fixed launch schedule is
+    // replaced wholesale: requests arrive from the configured stream and the
+    // scheduler owns VM choice, placement, admission and retries. Scheduler
+    // regimes statically collapse the shard plan (shard_plan.cpp), so this
+    // branch only ever runs on the full (owned == nullptr) path.
+    if (cfg.perform_migrations && cfg.scheduler.enabled()) {
+      migrations_done.add();
+      scheduler = std::make_unique<Scheduler>(
+          simulator, cluster, mw, cfg.scheduler, static_cast<net::NodeId>(n_vms),
+          static_cast<std::uint32_t>(cfg.num_destinations), &migrations_done);
+      scheduler->start();
+    } else if (cfg.perform_migrations) {
       launches.reserve(n_owned);  // addresses must survive the timers
       for (std::size_t idx = 0; idx < n_owned; ++idx) {
         const std::size_t k = owned ? (*owned)[idx] : idx;
@@ -343,6 +355,7 @@ struct Experiment::SliceRuntime {
       res.recovery.node_downtime_s = injector->node_downtime_s();
     }
     recovery_from_migrations(res.migrations, &res.recovery);
+    if (scheduler) res.scheduler = scheduler->stats();
     if (auditor) {
       res.audit_checks = auditor->checks_run();
       res.audit_violations = auditor->violations();

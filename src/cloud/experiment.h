@@ -12,6 +12,7 @@
 
 #include "cloud/middleware.h"
 #include "cloud/recovery.h"
+#include "cloud/scheduler.h"
 #include "core/metrics.h"
 #include "sim/fault_plan.h"
 #include "workloads/asyncwr.h"
@@ -57,6 +58,13 @@ struct ExperimentConfig {
   /// Delay between successive migration initiations (0 = simultaneous).
   double migration_interval_s = 0.0;
   bool perform_migrations = true;
+
+  /// Continuous-arrival scheduler (cloud/scheduler.h). When enabled it
+  /// replaces the fixed launch schedule above: an open arrival stream feeds
+  /// a priority admission queue with bounded concurrency, placement under
+  /// capacity/anti-affinity constraints, preemption and fault retry. The
+  /// scheduler spans the whole fleet, so it collapses the shard plan.
+  SchedulerConfig scheduler{};
 
   /// Hard stop (safety against non-converging runs); 0 = run to completion.
   double max_sim_time = 0;
@@ -116,6 +124,10 @@ struct ExperimentResult {
   /// recovery aggregates and p50/p99/p999 percentiles (cloud/recovery.h).
   /// All zero when no faults are configured.
   RecoveryStats recovery{};
+
+  /// Scheduler telemetry (queue depths, preemptions, queueing-delay
+  /// percentiles) — all zero unless cfg.scheduler is enabled.
+  SchedulerStats scheduler{};
 
   /// Invariant-auditor telemetry (cfg.audit): checks executed and the
   /// violations found — an audited run with a non-empty list is a failure.

@@ -76,85 +76,103 @@ void Middleware::on_node_down(net::NodeId n) {
       s->abort();
 }
 
-sim::Task Middleware::migrate(vm::VmInstance& vm, net::NodeId dst) {
+core::StorageMigrationSession* Middleware::active_session_for(
+    const core::MigrationRecord& rec) noexcept {
+  for (auto* s : active_sessions_)
+    if (&s->record() == &rec) return s;
+  return nullptr;
+}
+
+sim::Task Middleware::migrate_attempt(vm::VmInstance& vm, net::NodeId dst,
+                                      core::MigrationRecord& rec, bool* completed) {
   VmSlot* slot = nullptr;
   for (auto& s : slots_)
     if (s->vm.get() == &vm) slot = s.get();
   assert(slot != nullptr);
 
   auto& net = cluster_.network();
+  const double chunk_bytes = cluster_.config().image.chunk_bytes;
+  *completed = false;
+
+  sessions_.push_back(make_session(*slot, dst, rec));
+  core::StorageMigrationSession& session = *sessions_.back();
+  active_sessions_.push_back(&session);
+  const std::uint64_t dst_epoch = net.node_epoch(dst);
+
+  // Retry with partial state: hand a surviving destination replica back to
+  // the new session so already-current chunks are not re-streamed.
+  if (slot->mgr != nullptr) {
+    auto& resume = slot->mgr->resume_state();
+    if (resume.has_value()) {
+      if (resume->dst_node == dst && resume->dst_epoch == dst_epoch) {
+        if (auditor_ != nullptr)
+          auditor_->check_adoption(*resume->dst_store, resume->valid, vm.id());
+        session.adopt_destination(std::move(resume->dst_store),
+                                  std::move(resume->valid));
+      } else if (resume->dst_store != nullptr) {
+        retired_stores_.push_back(std::move(resume->dst_store));
+      }
+      resume.reset();
+    }
+  }
+
+  const double mem_base = rec.memory_bytes_sent;
+  const double push_base = rec.storage_chunks_pushed;
+
+  // MIGRATION_REQUEST on the source manager (Algorithm 1), then forward the
+  // request to the hypervisor, which migrates memory independently.
+  if (slot->mgr) slot->mgr->begin_migration(&session);
+  session.start();
+  co_await vm::Hypervisor::live_migrate(sim_, cluster_.network(), vm, dst, session,
+                                        cfg_.hypervisor, rec);
+  if (slot->mgr) slot->mgr->end_migration();
+  active_sessions_.erase(
+      std::find(active_sessions_.begin(), active_sessions_.end(), &session));
+
+  if (!session.aborted()) {
+    if (auditor_ != nullptr) auditor_->check_completion(session, chunk_bytes);
+    *completed = true;  // done: source released
+    co_return;
+  }
+
+  // The attempt died before control transfer. Salvage what the destination
+  // still holds (lost if the destination itself crashed) and account the
+  // wasted wire work; the caller decides whether to retry, requeue or give
+  // up.
+  ++rec.retries;
+  if (rec.t_first_abort == 0) rec.t_first_abort = sim_.now();
+
+  double salvaged_chunks = 0;
+  if (slot->mgr != nullptr) {
+    util::DirtyBitmap valid;
+    auto store = session.take_partial_destination(&valid);
+    if (store != nullptr && net.node_epoch(dst) == dst_epoch) {
+      salvaged_chunks = static_cast<double>(valid.count());
+      rec.salvaged_chunks += salvaged_chunks;
+      slot->mgr->resume_state().emplace(core::MigrationManager::ResumeState{
+          std::move(store), std::move(valid), dst, dst_epoch});
+    } else if (store != nullptr) {
+      // Destination crashed under the attempt: the un-synced partial
+      // replica is gone. Park the object (in-flight bus work may still
+      // reference it) and start the next attempt from scratch.
+      retired_stores_.push_back(std::move(store));
+    }
+  }
+  rec.retransferred_bytes +=
+      (rec.memory_bytes_sent - mem_base) +
+      chunk_bytes *
+          std::max(0.0, rec.storage_chunks_pushed - push_base - salvaged_chunks);
+}
+
+sim::Task Middleware::migrate(vm::VmInstance& vm, net::NodeId dst) {
+  auto& net = cluster_.network();
   core::MigrationRecord& rec = metrics_.new_migration(vm.id());
   rec.t_request = sim_.now();
-  const double chunk_bytes = cluster_.config().image.chunk_bytes;
 
   for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
-    sessions_.push_back(make_session(*slot, dst, rec));
-    core::StorageMigrationSession& session = *sessions_.back();
-    active_sessions_.push_back(&session);
-    const std::uint64_t dst_epoch = net.node_epoch(dst);
-
-    // Retry with partial state: hand a surviving destination replica back to
-    // the new session so already-current chunks are not re-streamed.
-    if (slot->mgr != nullptr) {
-      auto& resume = slot->mgr->resume_state();
-      if (resume.has_value()) {
-        if (resume->dst_node == dst && resume->dst_epoch == dst_epoch) {
-          if (auditor_ != nullptr)
-            auditor_->check_adoption(*resume->dst_store, resume->valid, vm.id());
-          session.adopt_destination(std::move(resume->dst_store),
-                                    std::move(resume->valid));
-        } else if (resume->dst_store != nullptr) {
-          retired_stores_.push_back(std::move(resume->dst_store));
-        }
-        resume.reset();
-      }
-    }
-
-    const double mem_base = rec.memory_bytes_sent;
-    const double push_base = rec.storage_chunks_pushed;
-
-    // MIGRATION_REQUEST on the source manager (Algorithm 1), then forward the
-    // request to the hypervisor, which migrates memory independently.
-    if (slot->mgr) slot->mgr->begin_migration(&session);
-    session.start();
-    co_await vm::Hypervisor::live_migrate(sim_, cluster_.network(), vm, dst, session,
-                                          cfg_.hypervisor, rec);
-    if (slot->mgr) slot->mgr->end_migration();
-    active_sessions_.erase(
-        std::find(active_sessions_.begin(), active_sessions_.end(), &session));
-
-    if (!session.aborted()) {
-      if (auditor_ != nullptr) auditor_->check_completion(session, chunk_bytes);
-      co_return;  // done: source released
-    }
-
-    // The attempt died before control transfer. Salvage what the destination
-    // still holds (lost if the destination itself crashed), account the
-    // wasted wire work, wait for both endpoints plus a backoff, and retry.
-    ++rec.retries;
-    if (rec.t_first_abort == 0) rec.t_first_abort = sim_.now();
-
-    double salvaged_chunks = 0;
-    if (slot->mgr != nullptr) {
-      util::DirtyBitmap valid;
-      auto store = session.take_partial_destination(&valid);
-      if (store != nullptr && net.node_epoch(dst) == dst_epoch) {
-        salvaged_chunks = static_cast<double>(valid.count());
-        rec.salvaged_chunks += salvaged_chunks;
-        slot->mgr->resume_state().emplace(core::MigrationManager::ResumeState{
-            std::move(store), std::move(valid), dst, dst_epoch});
-      } else if (store != nullptr) {
-        // Destination crashed under the attempt: the un-synced partial
-        // replica is gone. Park the object (in-flight bus work may still
-        // reference it) and start the next attempt from scratch.
-        retired_stores_.push_back(std::move(store));
-      }
-    }
-    rec.retransferred_bytes +=
-        (rec.memory_bytes_sent - mem_base) +
-        chunk_bytes *
-            std::max(0.0, rec.storage_chunks_pushed - push_base - salvaged_chunks);
-
+    bool completed = false;
+    co_await migrate_attempt(vm, dst, rec, &completed);
+    if (completed) co_return;
     if (attempt + 1 >= cfg_.max_attempts) break;
     co_await net.wait_node_up(vm.node());
     co_await net.wait_node_up(dst);

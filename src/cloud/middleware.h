@@ -57,6 +57,23 @@ class Middleware {
   /// destination chunk state when the destination survived the fault.
   sim::Task migrate(vm::VmInstance& vm, net::NodeId dst);
 
+  /// One migration attempt against `rec`: build the session (adopting a
+  /// salvageable partial destination replica from a previous attempt of the
+  /// same record), drive the hypervisor, and — on abort — salvage the
+  /// partial destination state back into the manager's resume slot and
+  /// account the wasted wire work (rec.retries, t_first_abort,
+  /// retransferred/salvaged bytes). Sets *completed to whether the source
+  /// was released. Shared by migrate()'s internal retry loop and the
+  /// continuous scheduler (cloud/scheduler.h), whose admission/preemption
+  /// logic decides per attempt whether to retry in place or requeue.
+  sim::Task migrate_attempt(vm::VmInstance& vm, net::NodeId dst,
+                            core::MigrationRecord& rec, bool* completed);
+
+  /// The in-flight session currently driving `rec`'s attempt, or nullptr.
+  /// The scheduler uses this to abort (preempt) a running migration.
+  core::StorageMigrationSession* active_session_for(
+      const core::MigrationRecord& rec) noexcept;
+
   /// Fault-injection hook: `n` just crashed. Aborts every in-flight
   /// migration attempt that still depends on `n` and has not yet moved
   /// control. Called synchronously by the injector *after* the network

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "cloud/experiment.h"
 #include "core/metrics.h"
 
 namespace hm::cloud {
@@ -14,6 +15,75 @@ std::string printf_str(const char* fmt, double v) {
   return buf;
 }
 }  // namespace
+
+void sweep_row_fields(std::ostream& os, const ExperimentResult& r,
+                      const SweepRowOptions& opt) {
+  const double wall_s = r.wall_ms / 1e3;
+  const double epochs =
+      r.engine_recomputes ? static_cast<double>(r.engine_recomputes) : 1.0;
+  os << ", \"completed\": " << (r.completed ? "true" : "false")
+     << ", \"sim_s\": " << r.sim_duration
+     << ", \"wall_ms\": " << r.wall_ms
+     << ", \"events\": " << r.engine_events
+     << ", \"events_per_sec\": " << (wall_s > 0 ? r.engine_events / wall_s : 0)
+     << ", \"flows\": " << r.engine_flows
+     << ", \"flows_per_sec\": " << (wall_s > 0 ? r.engine_flows / wall_s : 0)
+     << ", \"solver_epochs\": " << r.engine_recomputes
+     << ", \"solver_components\": " << r.engine_components
+     << ", \"flows_resolved\": " << r.engine_flows_resolved
+     << ", \"flows_resolved_per_epoch\": " << (r.engine_flows_resolved / epochs)
+     << ", \"escalations\": " << r.engine_escalations
+     << ", \"coroutine_frames\": " << r.engine_frames
+     << ", \"frames_reused\": " << r.engine_frames_reused
+     << ", \"frame_heap_allocs\": " << r.engine_frame_heap_allocs
+     << ", \"avg_migration_s\": " << r.avg_migration_time
+     << ", \"total_traffic_gb\": " << r.total_traffic / (1024.0 * 1024 * 1024);
+  if (opt.fault_regime) {
+    const RecoveryStats& rc = r.recovery;
+    os << ", \"faults_injected\": " << rc.faults_injected
+       << ", \"node_crashes\": " << rc.node_crashes
+       << ", \"correlated_events\": " << rc.correlated_events
+       << ", \"retries\": " << rc.total_retries
+       << ", \"abandoned\": " << rc.migrations_abandoned
+       << ", \"recovered\": " << rc.migrations_recovered
+       << ", \"salvaged_chunks\": " << rc.salvaged_chunks
+       << ", \"retransferred_gb\": "
+       << rc.retransferred_bytes / (1024.0 * 1024 * 1024)
+       << ", \"fault_downtime_s\": " << rc.fault_downtime_s
+       << ", \"node_downtime_s\": " << rc.node_downtime_s
+       << ", \"max_time_to_recover_s\": " << rc.max_time_to_recover_s
+       << ", \"recovery_p50_s\": " << rc.recovery_p50_s
+       << ", \"recovery_p99_s\": " << rc.recovery_p99_s
+       << ", \"recovery_p999_s\": " << rc.recovery_p999_s;
+  }
+  // Downtime percentiles move under either regime (fault recovery stretches
+  // them, preemption churn multiplies attempts); for fault rows they close
+  // the recovery block, byte-identical to the pre-scheduler layout.
+  if (opt.fault_regime || opt.scheduler_regime) {
+    os << ", \"downtime_p50_s\": " << r.recovery.downtime_p50_s
+       << ", \"downtime_p99_s\": " << r.recovery.downtime_p99_s
+       << ", \"downtime_p999_s\": " << r.recovery.downtime_p999_s;
+  }
+  if (opt.scheduler_regime) {
+    const SchedulerStats& s = r.scheduler;
+    os << ", \"requests\": " << s.requests
+       << ", \"requests_dispatched\": " << s.dispatched
+       << ", \"requests_completed\": " << s.completed
+       << ", \"requests_abandoned\": " << s.abandoned
+       << ", \"requests_rejected\": " << s.rejected
+       << ", \"preemptions\": " << s.preemptions
+       << ", \"peak_queue_depth\": " << s.peak_queue_depth
+       << ", \"peak_running\": " << s.peak_running
+       << ", \"queueing_p50_s\": " << s.queueing_p50_s
+       << ", \"queueing_p99_s\": " << s.queueing_p99_s
+       << ", \"queueing_p999_s\": " << s.queueing_p999_s
+       << ", \"max_queueing_delay_s\": " << s.max_queueing_delay_s;
+  }
+  if (opt.audit) {
+    os << ", \"audit_checks\": " << r.audit_checks
+       << ", \"audit_violations\": " << r.audit_violations.size();
+  }
+}
 
 std::string fmt_seconds(double s) { return printf_str("%.2f s", s); }
 

@@ -66,6 +66,8 @@ std::string hard_coupling_reason(const ExperimentConfig& cfg) {
   std::string fault_reason = fault_coupling_reason(cfg);
   if (!fault_reason.empty()) return fault_reason;
   if (cfg.audit) return "auditor observes every migration";
+  if (cfg.perform_migrations && cfg.scheduler.enabled())
+    return "continuous-arrival scheduler spans the fleet";
   if (cfg.approach == core::Approach::kPvfsShared || cfg.cluster.enable_pvfs)
     return "PVFS stripes across all nodes";
   switch (cfg.workload) {

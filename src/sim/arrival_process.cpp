@@ -1,0 +1,217 @@
+#include "sim/arrival_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace hm::sim {
+
+namespace {
+
+bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string buf(s);
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+bool parse_u32(std::string_view s, std::uint32_t* out) {
+  double d = 0;
+  if (!parse_double(s, &d) || d < 0 || d != static_cast<std::uint32_t>(d))
+    return false;
+  *out = static_cast<std::uint32_t>(d);
+  return true;
+}
+
+bool fail(std::string* err, std::string msg) {
+  if (err) *err = std::move(msg);
+  return false;
+}
+
+/// Keys shared by every kind (window, cap, priority share). Returns true if
+/// `key` was one of them (with *ok set to whether the value parsed).
+bool common_key(std::string_view key, std::string_view val, ArrivalSpec* spec,
+                bool* ok) {
+  if (key == "from") *ok = parse_double(val, &spec->from) && spec->from >= 0;
+  else if (key == "until") *ok = parse_double(val, &spec->until) && spec->until > 0;
+  else if (key == "count") *ok = parse_u32(val, &spec->count);
+  else if (key == "hi")
+    *ok = parse_double(val, &spec->hi_share) && spec->hi_share >= 0 &&
+          spec->hi_share <= 1;
+  else return false;
+  return true;
+}
+
+bool parse_rate_keys(std::string_view body, ArrivalSpec* spec, std::string* err) {
+  const bool diurnal = spec->kind == ArrivalKind::kDiurnal;
+  const char* what = diurnal ? "diurnal" : "poisson";
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view kv = body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{}
+                                           : body.substr(comma + 1);
+    const auto eq = kv.find('=');
+    if (eq == std::string_view::npos)
+      return fail(err, std::string(what) + " arrival spec expects k=v, got '" +
+                           std::string(kv) + "'");
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+    bool ok = true;
+    if (common_key(key, val, spec, &ok)) {
+      // handled
+    } else if (!diurnal && key == "rate") {
+      ok = parse_double(val, &spec->rate) && spec->rate > 0;
+    } else if (diurnal && key == "base") {
+      ok = parse_double(val, &spec->rate) && spec->rate > 0;
+    } else if (diurnal && key == "amp") {
+      ok = parse_double(val, &spec->amp) && spec->amp >= 0 && spec->amp <= 1;
+    } else if (diurnal && key == "period") {
+      ok = parse_double(val, &spec->period) && spec->period > 0;
+    } else if (diurnal && key == "phase") {
+      ok = parse_double(val, &spec->phase);
+    } else {
+      return fail(err, std::string("unknown ") + what + " arrival key '" +
+                           std::string(key) + "'");
+    }
+    if (!ok)
+      return fail(err, std::string("bad value for ") + what + " arrival key '" +
+                           std::string(key) + "'");
+  }
+  if (spec->rate <= 0)
+    return fail(err, std::string(what) + " arrival spec requires " +
+                         (diurnal ? "'base'" : "'rate'") + " > 0");
+  if (spec->until == 0 && spec->count == 0)
+    return fail(err, std::string(what) +
+                         " arrival stream is unbounded: set 'until' or 'count'");
+  if (spec->until > 0 && spec->until <= spec->from)
+    return fail(err, std::string(what) + " arrival 'until' must exceed 'from'");
+  return true;
+}
+
+bool parse_trace_items(std::string_view body, ArrivalSpec* spec, std::string* err) {
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view item = body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{}
+                                           : body.substr(comma + 1);
+    if (item.empty()) continue;
+    if (item.find('=') != std::string_view::npos) {
+      const auto eq = item.find('=');
+      const std::string_view key = item.substr(0, eq);
+      bool ok = true;
+      if (!common_key(key, item.substr(eq + 1), spec, &ok))
+        return fail(err, "unknown trace arrival key '" + std::string(key) + "'");
+      if (!ok)
+        return fail(err, "bad value for trace arrival key '" + std::string(key) + "'");
+      continue;
+    }
+    double t = 0;
+    if (!parse_double(item, &t) || t < 0)
+      return fail(err, "bad trace arrival instant '" + std::string(item) + "'");
+    spec->times.push_back(t);
+  }
+  if (spec->times.empty())
+    return fail(err, "trace arrival spec lists no instants");
+  std::sort(spec->times.begin(), spec->times.end());
+  return true;
+}
+
+}  // namespace
+
+const char* arrival_kind_name(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kNone: return "none";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+bool parse_arrival_spec(std::string_view arg, ArrivalSpec* out, std::string* err) {
+  *out = ArrivalSpec{};
+  if (arg.rfind("arrivals:", 0) == 0) arg = arg.substr(9);
+  if (arg.empty() || arg == "none") return true;
+  if (arg.rfind("poisson:", 0) == 0) {
+    out->kind = ArrivalKind::kPoisson;
+    return parse_rate_keys(arg.substr(8), out, err);
+  }
+  if (arg.rfind("diurnal:", 0) == 0) {
+    out->kind = ArrivalKind::kDiurnal;
+    return parse_rate_keys(arg.substr(8), out, err);
+  }
+  if (arg.rfind("trace:", 0) == 0) {
+    out->kind = ArrivalKind::kTrace;
+    return parse_trace_items(arg.substr(6), out, err);
+  }
+  return fail(err, "unknown arrival process '" + std::string(arg) +
+                       "' (poisson:...|diurnal:...|trace:...)");
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, const Rng& rng)
+    : spec_(spec),
+      gaps_(rng.fork("arrivals")),
+      prio_(rng.fork("arrival-prio")),
+      t_(spec.from) {}
+
+double ArrivalProcess::rate_at(double t) const noexcept {
+  const double w = 2.0 * M_PI * (t - spec_.phase) / spec_.period;
+  return std::max(0.0, spec_.rate * (1.0 + spec_.amp * std::sin(w)));
+}
+
+std::optional<Arrival> ArrivalProcess::next() {
+  if (exhausted_ || !spec_.enabled()) return std::nullopt;
+  if (spec_.count > 0 && emitted_ >= spec_.count) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  switch (spec_.kind) {
+    case ArrivalKind::kTrace: {
+      // Skip instants outside the [from, until) window (verbatim otherwise).
+      while (trace_idx_ < spec_.times.size() &&
+             spec_.times[trace_idx_] < spec_.from)
+        ++trace_idx_;
+      if (trace_idx_ >= spec_.times.size() ||
+          (spec_.until > 0 && spec_.times[trace_idx_] >= spec_.until)) {
+        exhausted_ = true;
+        return std::nullopt;
+      }
+      t_ = spec_.times[trace_idx_++];
+      break;
+    }
+    case ArrivalKind::kPoisson: {
+      t_ += gaps_.exponential(1.0 / spec_.rate);
+      if (spec_.until > 0 && t_ >= spec_.until) {
+        exhausted_ = true;
+        return std::nullopt;
+      }
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning against the peak rate: candidates arrive at the constant
+      // peak; each is accepted with probability rate(t)/peak. Draw order per
+      // candidate is fixed (gap, then acceptance), so the accepted stream is
+      // deterministic in (spec, seed).
+      const double peak = spec_.rate * (1.0 + spec_.amp);
+      for (;;) {
+        t_ += gaps_.exponential(1.0 / peak);
+        if (spec_.until > 0 && t_ >= spec_.until) {
+          exhausted_ = true;
+          return std::nullopt;
+        }
+        if (gaps_.uniform_real(0.0, 1.0) < rate_at(t_) / peak) break;
+      }
+      break;
+    }
+    case ArrivalKind::kNone:
+      return std::nullopt;
+  }
+  ++emitted_;
+  // One priority draw per emitted arrival, always consumed, from its own
+  // stream — changing hi_share re-labels arrivals but never moves them.
+  const bool hi = prio_.uniform_real(0.0, 1.0) < spec_.hi_share;
+  return Arrival{t_, hi};
+}
+
+}  // namespace hm::sim

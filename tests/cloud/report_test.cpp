@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "cloud/experiment.h"
+
 namespace hm::cloud {
 namespace {
 
@@ -103,6 +105,83 @@ TEST(ReportCsv, ShortRowsPaddedToHeaderWidth) {
   std::ostringstream os;
   t.print_csv(os);
   EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+}  // namespace
+}  // namespace hm::cloud
+
+// --------------------------------------------------------------------------
+// Sweep-row JSON shape: the regime-gated field convention. Fields specific
+// to a regime (fault recovery, scheduler queueing, audit counters) appear
+// if and only if that regime is active, so committed fault-free goldens stay
+// byte-identical when a new regime adds fields.
+
+namespace hm::cloud {
+namespace {
+
+std::string row_for(const SweepRowOptions& opt) {
+  ExperimentResult r;
+  r.recovery.max_time_to_recover_s = 1.5;
+  r.scheduler.requests = 3;
+  std::ostringstream os;
+  sweep_row_fields(os, r, opt);
+  return os.str();
+}
+
+bool has_field(const std::string& row, const char* name) {
+  return row.find("\"" + std::string(name) + "\":") != std::string::npos;
+}
+
+TEST(SweepRowShape, DefaultRegimeEmitsOnlyTheCoreFields) {
+  const std::string row = row_for(SweepRowOptions{});
+  for (const char* f : {"completed", "sim_s", "events", "solver_epochs",
+                        "coroutine_frames", "avg_migration_s", "total_traffic_gb"})
+    EXPECT_TRUE(has_field(row, f)) << f << " missing from: " << row;
+  // Regression: max_time_to_recover_s (and the rest of the recovery block),
+  // the downtime/queueing percentiles and the audit counters must NOT leak
+  // into fault-free, scheduler-free, unaudited rows.
+  for (const char* f :
+       {"max_time_to_recover_s", "faults_injected", "recovery_p50_s",
+        "downtime_p50_s", "requests", "queueing_p50_s", "max_queueing_delay_s",
+        "audit_checks", "audit_violations"})
+    EXPECT_FALSE(has_field(row, f)) << f << " leaked into: " << row;
+}
+
+TEST(SweepRowShape, FaultRegimeAddsRecoveryBlockClosedByDowntimePercentiles) {
+  SweepRowOptions opt;
+  opt.fault_regime = true;
+  const std::string row = row_for(opt);
+  for (const char* f : {"faults_injected", "salvaged_chunks", "max_time_to_recover_s",
+                        "recovery_p999_s", "downtime_p50_s", "downtime_p999_s"})
+    EXPECT_TRUE(has_field(row, f)) << f << " missing from: " << row;
+  // Layout compatibility with the pre-scheduler fault goldens: the downtime
+  // percentiles close the recovery block.
+  EXPECT_GT(row.find("\"downtime_p50_s\":"), row.find("\"recovery_p999_s\":"));
+  for (const char* f : {"requests", "queueing_p50_s", "audit_checks"})
+    EXPECT_FALSE(has_field(row, f)) << f << " leaked into: " << row;
+}
+
+TEST(SweepRowShape, SchedulerRegimeAddsQueueingAndDowntimeFields) {
+  SweepRowOptions opt;
+  opt.scheduler_regime = true;
+  const std::string row = row_for(opt);
+  for (const char* f :
+       {"requests", "requests_dispatched", "requests_completed",
+        "requests_abandoned", "requests_rejected", "preemptions",
+        "peak_queue_depth", "peak_running", "queueing_p50_s", "queueing_p99_s",
+        "queueing_p999_s", "max_queueing_delay_s", "downtime_p50_s"})
+    EXPECT_TRUE(has_field(row, f)) << f << " missing from: " << row;
+  for (const char* f : {"faults_injected", "max_time_to_recover_s", "audit_checks"})
+    EXPECT_FALSE(has_field(row, f)) << f << " leaked into: " << row;
+  EXPECT_NE(row.find("\"requests\": 3"), std::string::npos) << row;
+}
+
+TEST(SweepRowShape, AuditFlagAppendsAuditCounters) {
+  SweepRowOptions opt;
+  opt.audit = true;
+  const std::string row = row_for(opt);
+  EXPECT_TRUE(has_field(row, "audit_checks")) << row;
+  EXPECT_TRUE(has_field(row, "audit_violations")) << row;
 }
 
 }  // namespace

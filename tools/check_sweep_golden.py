@@ -11,8 +11,10 @@ flows_per_sec) are host-dependent and excluded.
 Usage: check_sweep_golden.py [--ignore-solver-work]
            <golden.json> <fresh.json> [<golden2> <fresh2> ...]
 Multiple golden/fresh pairs are checked in one invocation (the CI matrix:
-AsyncWR regimes plus the trace-replay and fault sweeps); the exit status is
-0 only if EVERY pair matches, 1 with a per-field diff otherwise.
+AsyncWR regimes plus the trace-replay, fault and steady-state scheduler
+sweeps — scheduler rows carry the regime-gated request/queueing-percentile
+fields, diffed exactly like any other virtual-time field); the exit status
+is 0 only if EVERY pair matches, 1 with a per-field diff otherwise.
 
 --ignore-solver-work additionally excludes the solver-work counters
 (solver_components, flows_resolved, flows_resolved_per_epoch, escalations).

@@ -37,6 +37,14 @@ void usage() {
       "  --destinations=N    destination nodes (default = migrations)\n"
       "  --migrate-at=SEC    first migration initiation time (default 100)\n"
       "  --interval=SEC      delay between successive migrations (default 0)\n"
+      "  --arrivals=SPEC     continuous-arrival scheduler (replaces the fixed\n"
+      "                      schedule; --migrations is ignored):\n"
+      "                      poisson:rate=R,until=T[,from=T,count=N,hi=F] |\n"
+      "                      diurnal:base=R,amp=F,period=T[,phase=T,...] |\n"
+      "                      trace:T1,T2,...[,hi=F]; optionally followed by\n"
+      "                      ';sched:concurrent=N,capacity=N,groups=N,\n"
+      "                      policy=round-robin|least-loaded,preempt=0|1,\n"
+      "                      attempts=N'\n"
       "  --threshold=N       hybrid write-count threshold (default 3)\n"
       "  --chunk-kib=N       chunk/stripe size in KiB (default 256)\n"
       "  --grid=XxY          cm1 rank grid (default 8x8)\n"
@@ -157,6 +165,14 @@ int main(int argc, char** argv) {
     }
     if (auto v = arg_value(arg, "--migrate-at")) { cfg.first_migration_at = std::stod(*v); continue; }
     if (auto v = arg_value(arg, "--interval")) { cfg.migration_interval_s = std::stod(*v); continue; }
+    if (auto v = arg_value(arg, "--arrivals")) {
+      std::string err;
+      if (!cloud::parse_scheduler_spec(*v, &cfg.scheduler, &err)) {
+        std::cerr << err << "\n";
+        return 2;
+      }
+      continue;
+    }
     if (auto v = arg_value(arg, "--threshold")) {
       cfg.approach_cfg.hybrid.threshold = static_cast<std::uint32_t>(std::stoul(*v));
       continue;
@@ -311,8 +327,12 @@ int main(int argc, char** argv) {
 
   std::cout << "approach=" << core::approach_name(cfg.approach)
             << " workload=" << cloud::workload_name(cfg.workload)
-            << " vms=" << cfg.num_vms << " migrations="
-            << (cfg.perform_migrations ? cfg.num_migrations : 0) << "\n";
+            << " vms=" << cfg.num_vms;
+  if (cfg.perform_migrations && cfg.scheduler.enabled())
+    std::cout << " arrivals=" << sim::arrival_kind_name(cfg.scheduler.arrivals.kind);
+  else
+    std::cout << " migrations=" << (cfg.perform_migrations ? cfg.num_migrations : 0);
+  std::cout << "\n";
 
   cloud::Experiment exp(std::move(cfg));
   cloud::ExperimentResult res = exp.run();
@@ -327,6 +347,19 @@ int main(int argc, char** argv) {
             << "\navg migration time: " << cloud::fmt_seconds(res.avg_migration_time)
             << "\nmax downtime:       " << cloud::fmt_double(res.max_downtime * 1e3, 1)
             << " ms\n";
+  if (res.scheduler.requests > 0) {
+    const cloud::SchedulerStats& sc = res.scheduler;
+    std::cout << "\nscheduler:          " << sc.requests << " requests ("
+              << sc.completed << " completed, " << sc.abandoned << " abandoned, "
+              << sc.rejected << " rejected)"
+              << "\n  preemptions:      " << sc.preemptions
+              << "\n  peak depth:       " << sc.peak_queue_depth << " queued, "
+              << sc.peak_running << " running"
+              << "\n  queueing delay:   p50 " << cloud::fmt_seconds(sc.queueing_p50_s)
+              << ", p99 " << cloud::fmt_seconds(sc.queueing_p99_s)
+              << ", p999 " << cloud::fmt_seconds(sc.queueing_p999_s)
+              << ", max " << cloud::fmt_seconds(sc.max_queueing_delay_s) << "\n";
+  }
   if (res.recovery.faults_injected > 0) {
     const cloud::RecoveryStats& rc = res.recovery;
     std::cout << "\nfault axis:         " << rc.faults_injected << " faults injected"
